@@ -1,0 +1,89 @@
+// Figures 10 and 11 — Local feature attribution for representative test
+// instances of Frappe and Diabetes130: the interaction weights of the three
+// most active exponential neurons, the aggregate over all neurons, and the
+// Lime / Shap local importance of the same instance (explaining the same
+// ARM-Net prediction).
+//
+// Expected shape (paper): different neurons capture distinct sparse cross
+// features; the aggregate highlights the same fields Lime/Shap find, while
+// external explainers spread weight more diffusely.
+//
+// Flags: --scale=<f> (default 0.4), --epochs=<n> (default 12),
+//        --instance=<row> (default 0).
+
+#include "bench/common.h"
+
+#include "armor/interpreter.h"
+#include "core/arm_net.h"
+#include "interpret/attribution.h"
+
+int main(int argc, char** argv) {
+  using namespace armnet;
+  const double scale = FlagDouble(argc, argv, "scale", 0.3);
+  const int epochs = static_cast<int>(FlagInt(argc, argv, "epochs", 10));
+  const int64_t instance = FlagInt(argc, argv, "instance", 0);
+
+  std::printf("=== Figures 10-11: local feature attribution (scale=%.2f, "
+              "instance=%lld) ===\n",
+              scale, static_cast<long long>(instance));
+  for (const std::string& dataset_name :
+       {std::string("frappe"), std::string("diabetes130")}) {
+    bench::PreparedData prepared =
+        bench::Prepare(data::PresetByName(dataset_name, scale), 42);
+    const data::Schema& schema = prepared.synthetic.dataset.schema();
+    const int m = schema.num_fields();
+
+    core::ArmNetConfig config = bench::DefaultArmConfig(dataset_name);
+    Rng rng(7);
+    core::ArmNet model(schema.num_features(), m, config, rng);
+    armor::TrainConfig train;
+    train.max_epochs = epochs;
+    train.patience = 4;
+    train.learning_rate = 3e-3f;
+    armor::Fit(model, prepared.splits, train);
+
+    armor::ArmInterpreter interpreter(&model);
+    const auto local =
+        interpreter.Explain(prepared.splits.test, instance, /*top_neurons=*/3);
+
+    interpret::LimeConfig lime_config;
+    const auto lime = interpret::LimeAttribution(
+        model, prepared.splits.train, prepared.splits.test, instance,
+        lime_config);
+    interpret::ShapConfig shap_config;
+    const auto shap = interpret::ShapAttribution(
+        model, prepared.splits.train, prepared.splits.test, instance,
+        shap_config);
+
+    std::printf("\n--- %s, test instance %lld ---\n", dataset_name.c_str(),
+                static_cast<long long>(instance));
+    std::printf("%-24s", "Field");
+    for (size_t t = 0; t < local.per_neuron.size(); ++t) {
+      std::printf(" Neuron%zu ", t + 1);
+    }
+    std::printf("%9s %8s %8s\n", "ARM-aggr", "Lime", "Shap");
+    // Show the 10 highest fields by aggregate ARM attribution.
+    std::vector<int> order(static_cast<size_t>(m));
+    for (int f = 0; f < m; ++f) order[static_cast<size_t>(f)] = f;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return local.field_importance[static_cast<size_t>(a)] >
+             local.field_importance[static_cast<size_t>(b)];
+    });
+    const int show = std::min(10, m);
+    for (int i = 0; i < show; ++i) {
+      const int f = order[static_cast<size_t>(i)];
+      std::printf("%-24s", schema.field(f).name.c_str());
+      for (const auto& neuron : local.per_neuron) {
+        std::printf(" %8.3f", neuron[static_cast<size_t>(f)]);
+      }
+      std::printf(" %8.4f %8.4f %8.4f\n",
+                  local.field_importance[static_cast<size_t>(f)],
+                  lime[static_cast<size_t>(f)], shap[static_cast<size_t>(f)]);
+    }
+    std::fflush(stdout);
+  }
+  std::printf("\npaper-reference: individual neurons are sparse and "
+              "distinct; the aggregate matches the instance's most "
+              "discriminative fields\n");
+  return 0;
+}

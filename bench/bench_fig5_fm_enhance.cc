@@ -1,0 +1,70 @@
+// Figure 5 — Enhancing FM with exponential neurons: AUC and Logloss of the
+// base FM and of FM augmented with 1, 2, 4, 8 ARM cross features (shared
+// embeddings) on Frappe and Diabetes130.
+//
+// Expected shape (paper): even one exponential neuron improves FM
+// noticeably, and performance rises as more cross features are added.
+//
+// Flags: --scale=<f> (default 0.5), --epochs=<n> (default 14).
+
+#include "bench/common.h"
+#include "models/fm.h"
+#include "models/fm_arm.h"
+
+int main(int argc, char** argv) {
+  using namespace armnet;
+  const double scale = FlagDouble(argc, argv, "scale", 0.4);
+  const int epochs = static_cast<int>(FlagInt(argc, argv, "epochs", 12));
+
+  std::printf("=== Figure 5: FM enhanced with exponential neurons "
+              "(scale=%.2f) ===\n",
+              scale);
+  const std::vector<std::string> dataset_names = {"frappe", "diabetes130"};
+  const std::vector<int64_t> neuron_counts = {0, 1, 2, 4, 8};
+
+  for (const std::string& dataset_name : dataset_names) {
+    bench::PreparedData prepared =
+        bench::Prepare(data::PresetByName(dataset_name, scale), 42);
+    const float alpha = bench::PaperArmConfig(dataset_name).alpha;
+    std::printf("\n--- %s (Bayes AUC %.4f) ---\n%-8s %8s %8s\n",
+                dataset_name.c_str(), bench::BayesAuc(prepared.synthetic),
+                "Model", "AUC", "Logloss");
+    for (int64_t neurons : neuron_counts) {
+      armor::TrainConfig train;
+      train.max_epochs = epochs;
+      train.patience = 4;
+      const int64_t features =
+          prepared.synthetic.dataset.schema().num_features();
+      const int fields = prepared.synthetic.dataset.num_fields();
+
+      double best_val = -1;
+      armor::TrainResult best;
+      std::string label;
+      for (float lr : {1e-3f, 3e-3f}) {
+        Rng rng(7);
+        std::unique_ptr<models::TabularModel> model;
+        if (neurons == 0) {
+          model = std::make_unique<models::Fm>(features, 10, rng);
+        } else {
+          model = std::make_unique<models::FmArm>(features, fields, 10,
+                                                  neurons, alpha, rng);
+        }
+        label = model->name();
+        train.learning_rate = lr;
+        armor::TrainResult result =
+            armor::Fit(*model, prepared.splits, train);
+        if (result.best_validation_auc > best_val) {
+          best_val = result.best_validation_auc;
+          best = result;
+        }
+      }
+      std::printf("%-8s %8.4f %8.4f\n",
+                  neurons == 0 ? "Base FM" : label.c_str(), best.test.auc,
+                  best.test.logloss);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\npaper-reference (Frappe): Base FM 0.9709 -> FM+o1 0.9760, "
+              "monotone up through FM+o8\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 9 — Impact of a larger input embedding size on ARM-Net+: AUC and
+// Logloss as n_e grows from 10 to 35 on Frappe and MovieLens.
+//
+// Expected shape (paper): performance improves with embedding size
+// (0.9800 -> 0.9807 on Frappe, 0.9592 -> 0.9615 on MovieLens at n_e=35).
+//
+// Flags: --scale=<f> (default 0.4), --epochs=<n> (default 12),
+//        --sizes=<a,b,...> (default 10,15,20,25,30,35).
+
+#include "bench/common.h"
+
+int main(int argc, char** argv) {
+  using namespace armnet;
+  const double scale = FlagDouble(argc, argv, "scale", 0.5);
+  const int epochs = static_cast<int>(FlagInt(argc, argv, "epochs", 10));
+  const std::string sizes_flag =
+      FlagValue(argc, argv, "sizes", "10,15,25,35");
+  // Larger embeddings overfit the scaled-down datasets without
+  // regularization (the paper's full-size runs don't have this problem);
+  // a light dropout keeps the capacity sweep meaningful.
+  const float dropout =
+      static_cast<float>(FlagDouble(argc, argv, "dropout", 0.1));
+
+  std::vector<int64_t> sizes;
+  for (const auto& s : Split(sizes_flag, ',')) sizes.push_back(std::stoll(s));
+
+  std::printf("=== Figure 9: ARM-Net+ with larger embedding sizes "
+              "(scale=%.2f) ===\n",
+              scale);
+  for (const std::string& dataset_name :
+       {std::string("frappe"), std::string("movielens")}) {
+    bench::PreparedData prepared =
+        bench::Prepare(data::PresetByName(dataset_name, scale), 42);
+    std::printf("\n--- %s ---\n%6s %8s %8s %9s\n", dataset_name.c_str(),
+                "n_e", "AUC", "Logloss", "Param");
+    for (int64_t ne : sizes) {
+      models::FactoryConfig factory;
+      factory.embed_dim = ne;
+      factory.dropout = dropout;
+      factory.arm = bench::DefaultArmConfig(dataset_name);
+      factory.arm.embed_dim = ne;
+      factory.arm.dropout = dropout;
+      armor::TrainConfig train;
+      train.max_epochs = epochs;
+      train.patience = 3;
+      bench::FitOutcome outcome =
+          bench::FitBest("ARM-Net+", prepared, factory, train, {3e-3f});
+      std::printf("%6lld %8.4f %8.4f %9s\n", static_cast<long long>(ne),
+                  outcome.result.test.auc, outcome.result.test.logloss,
+                  bench::HumanCount(outcome.parameters).c_str());
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\npaper-reference: AUC rises with n_e (Frappe 0.9800 at 10 "
+              "-> 0.9807 at 35)\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Microbenchmarks (google-benchmark) for the numeric substrate: kernel
+// backends, entmax solvers, embedding lookup, and a full ARM-Net
+// forward/backward step. Not a paper experiment — engineering validation of
+// the Table 3 backend axis at the kernel level.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/entmax.h"
+#include "autograd/ops.h"
+#include "core/arm_net.h"
+#include "data/presets.h"
+#include "optim/adam.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor_ops.h"
+
+namespace {
+
+using namespace armnet;
+
+void BM_GemmScalar(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Normal(Shape({n, n}), 0, 1, rng);
+  Tensor b = Tensor::Normal(Shape({n, n}), 0, 1, rng);
+  Tensor c = Tensor::Zeros(Shape({n, n}));
+  for (auto _ : state) {
+    kernels::scalar::Gemm(n, n, n, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmScalar)->Arg(64)->Arg(128);
+
+void BM_GemmSimd(benchmark::State& state) {
+  if (!SimdAvailable()) {
+    state.SkipWithError("AVX2 unavailable");
+    return;
+  }
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Normal(Shape({n, n}), 0, 1, rng);
+  Tensor b = Tensor::Normal(Shape({n, n}), 0, 1, rng);
+  Tensor c = Tensor::Zeros(Shape({n, n}));
+  for (auto _ : state) {
+    kernels::simd::Gemm(n, n, n, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmSimd)->Arg(64)->Arg(128);
+
+void BM_VecExpScalar(benchmark::State& state) {
+  const int64_t n = 1 << 14;
+  Rng rng(2);
+  Tensor a = Tensor::Normal(Shape({n}), 0, 1, rng);
+  Tensor out = Tensor::Zeros(Shape({n}));
+  for (auto _ : state) {
+    kernels::scalar::VecExp(a.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_VecExpScalar);
+
+void BM_VecExpSimd(benchmark::State& state) {
+  if (!SimdAvailable()) {
+    state.SkipWithError("AVX2 unavailable");
+    return;
+  }
+  const int64_t n = 1 << 14;
+  Rng rng(2);
+  Tensor a = Tensor::Normal(Shape({n}), 0, 1, rng);
+  Tensor out = Tensor::Zeros(Shape({n}));
+  for (auto _ : state) {
+    kernels::simd::VecExp(a.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_VecExpSimd);
+
+void BM_Entmax(benchmark::State& state) {
+  const float alpha = static_cast<float>(state.range(0)) / 10.0f;
+  const int64_t rows = 4096;
+  const int64_t d = state.range(1);
+  Rng rng(3);
+  Tensor z = Tensor::Normal(Shape({rows, d}), 0, 1, rng);
+  for (auto _ : state) {
+    Tensor p = ag::EntmaxLastDimValue(z, alpha);
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.SetLabel(alpha == 1.0f   ? "softmax"
+                 : alpha == 2.0f ? "sparsemax-exact"
+                 : alpha == 1.5f ? "entmax15-exact"
+                                 : "bisection");
+}
+BENCHMARK(BM_Entmax)
+    ->Args({10, 10})
+    ->Args({15, 10})
+    ->Args({17, 10})
+    ->Args({20, 10})
+    ->Args({17, 43});
+
+void BM_EmbeddingLookupBackward(benchmark::State& state) {
+  Rng rng(4);
+  const int64_t rows = 100000;
+  Variable table(Tensor::Normal(Shape({rows, 10}), 0, 0.01f, rng), true);
+  std::vector<int64_t> ids;
+  for (int i = 0; i < 4096; ++i) ids.push_back(rng.UniformInt(rows));
+  for (auto _ : state) {
+    Variable e = ag::EmbeddingLookup(table, ids);
+    Variable loss = ag::SumAll(ag::Square(e));
+    table.ZeroGrad();
+    loss.Backward();
+    benchmark::DoNotOptimize(table.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(ids.size()));
+}
+BENCHMARK(BM_EmbeddingLookupBackward);
+
+void BM_ArmNetTrainStep(benchmark::State& state) {
+  const auto backend =
+      state.range(0) == 0 ? Backend::kScalar : Backend::kSimd;
+  if (backend == Backend::kSimd && !SimdAvailable()) {
+    state.SkipWithError("AVX2 unavailable");
+    return;
+  }
+  SetBackend(backend);
+  data::SyntheticSpec spec = data::FrappePreset();
+  spec.num_tuples = 2048;
+  data::SyntheticDataset synthetic = data::GenerateSynthetic(spec);
+  Rng rng(5);
+  core::ArmNetConfig config;
+  config.num_heads = 4;
+  config.neurons_per_head = 32;
+  core::ArmNet model(synthetic.dataset.schema().num_features(),
+                     synthetic.dataset.num_fields(), config, rng);
+  optim::Adam optimizer(model.Parameters(), 1e-3f);
+  data::Batch batch;
+  std::vector<int64_t> all_rows;
+  for (int64_t i = 0; i < 512; ++i) all_rows.push_back(i);
+  synthetic.dataset.Gather(all_rows, &batch);
+  Rng dropout_rng(6);
+  for (auto _ : state) {
+    Variable loss = ag::BceWithLogits(model.Forward(batch, dropout_rng),
+                                      batch.LabelsTensor());
+    optimizer.ZeroGrad();
+    loss.Backward();
+    optimizer.Step();
+    benchmark::DoNotOptimize(loss.value().item());
+  }
+  state.SetItemsProcessed(state.iterations() * batch.batch_size);
+  state.SetLabel(BackendName(backend));
+  if (SimdAvailable()) SetBackend(Backend::kSimd);
+}
+BENCHMARK(BM_ArmNetTrainStep)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Tables 4 and 5 — Top global interaction terms captured by ARM-Net on
+// Frappe and Diabetes130: frequency (average occurrences per instance over
+// the K*o neurons), order, and the term itself.
+//
+// The synthetic presets plant the very interactions the paper reports
+// (data/presets.cc), so unlike the paper we can also score *recovery*: how
+// many planted terms appear among the mined top terms (exact match or
+// subset/superset overlap).
+//
+// Flags: --scale=<f> (default 0.5), --epochs=<n> (default 14),
+//        --top=<k> (default 8).
+
+#include <set>
+
+#include "bench/common.h"
+
+#include "armor/interaction_miner.h"
+#include "core/arm_net.h"
+
+namespace {
+
+using namespace armnet;
+
+// Jaccard overlap between a mined field set and a planted one.
+double Overlap(const std::vector<int>& a, const std::vector<int>& b) {
+  std::set<int> sa(a.begin(), a.end());
+  std::set<int> sb(b.begin(), b.end());
+  int intersection = 0;
+  for (int x : sb) intersection += sa.count(x) > 0;
+  const size_t uni = sa.size() + sb.size() - static_cast<size_t>(intersection);
+  return uni == 0 ? 0.0 : static_cast<double>(intersection) /
+                              static_cast<double>(uni);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = FlagDouble(argc, argv, "scale", 0.4);
+  const int epochs = static_cast<int>(FlagInt(argc, argv, "epochs", 12));
+  const int top_k = static_cast<int>(FlagInt(argc, argv, "top", 8));
+
+  std::printf("=== Tables 4-5: top global interaction terms mined from "
+              "ARM-Net gates (scale=%.2f) ===\n",
+              scale);
+  for (const std::string& dataset_name :
+       {std::string("frappe"), std::string("diabetes130")}) {
+    bench::PreparedData prepared =
+        bench::Prepare(data::PresetByName(dataset_name, scale), 42);
+    const data::Schema& schema = prepared.synthetic.dataset.schema();
+
+    core::ArmNetConfig config = bench::DefaultArmConfig(dataset_name);
+    Rng rng(7);
+    core::ArmNet model(schema.num_features(), schema.num_fields(), config,
+                       rng);
+    armor::TrainConfig train;
+    train.max_epochs = epochs;
+    train.patience = 4;
+    train.learning_rate = 3e-3f;
+    armor::TrainResult fit = armor::Fit(model, prepared.splits, train);
+
+    armor::MinerConfig miner;
+    miner.top_k = top_k;
+    const std::vector<armor::MinedInteraction> mined =
+        armor::MineInteractions(model, prepared.splits.test, miner);
+
+    std::printf("\n--- %s (test AUC %.4f) ---\n%10s %6s  %s\n",
+                dataset_name.c_str(), fit.test.auc, "Frequency", "Order",
+                "Interaction Term");
+    for (const auto& interaction : mined) {
+      std::printf("%10.2f %6d  %s\n", interaction.frequency,
+                  interaction.order(),
+                  armor::FormatInteraction(interaction, schema).c_str());
+    }
+
+    // Recovery vs the planted ground truth.
+    std::printf("\nplanted terms and their best overlap with a mined term "
+                "(1.0 = exact):\n");
+    double mean_best = 0;
+    for (const auto& planted : prepared.synthetic.truth.interactions) {
+      double best = 0;
+      for (const auto& interaction : mined) {
+        best = std::max(best, Overlap(interaction.fields, planted.fields));
+      }
+      mean_best += best;
+      armor::MinedInteraction as_mined;
+      as_mined.fields = planted.fields;
+      std::printf("  %-50s best-overlap %.2f\n",
+                  armor::FormatInteraction(as_mined, schema).c_str(), best);
+    }
+    if (!prepared.synthetic.truth.interactions.empty()) {
+      mean_best /=
+          static_cast<double>(prepared.synthetic.truth.interactions.size());
+    }
+    std::printf("mean best-overlap: %.2f\n", mean_best);
+    std::fflush(stdout);
+  }
+  std::printf("\npaper-reference: Frappe top terms are order 2-3 around "
+              "(user_id, item_id, is_free); Diabetes130 terms are order "
+              "1-2, led by (inpatient_score)\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+#ifndef ARMNET_BENCH_COMMON_H_
+#define ARMNET_BENCH_COMMON_H_
+
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure). Every binary accepts:
+//   --scale=<f>     multiplies dataset tuple counts (default from binary)
+//   --epochs=<n>    max training epochs
+//   --seed=<n>      experiment seed
+// plus binary-specific flags documented in each main().
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "armor/trainer.h"
+#include "data/presets.h"
+#include "data/split.h"
+#include "metrics/metrics.h"
+#include "models/factory.h"
+#include "util/string_util.h"
+
+namespace armnet::bench {
+
+// Dataset plus its splits and generation ground truth.
+struct PreparedData {
+  data::SyntheticSpec spec;
+  data::SyntheticDataset synthetic;
+  data::Splits splits;
+};
+
+inline PreparedData Prepare(data::SyntheticSpec spec, uint64_t seed) {
+  PreparedData prepared;
+  prepared.synthetic = data::GenerateSynthetic(spec);
+  Rng rng(seed);
+  prepared.splits = data::SplitDataset(prepared.synthetic.dataset, rng);
+  prepared.spec = std::move(spec);
+  return prepared;
+}
+
+// AUC an oracle scoring with the true (noiseless) logits achieves — the
+// ceiling for any model on this synthetic dataset.
+inline double BayesAuc(const data::SyntheticDataset& synthetic) {
+  std::vector<float> labels(
+      static_cast<size_t>(synthetic.dataset.size()));
+  for (int64_t i = 0; i < synthetic.dataset.size(); ++i) {
+    labels[static_cast<size_t>(i)] = synthetic.dataset.label_at(i);
+  }
+  return metrics::Auc(synthetic.truth.true_logits, labels);
+}
+
+struct FitOutcome {
+  armor::TrainResult result;
+  int64_t parameters = 0;
+  float learning_rate = 0;
+};
+
+// Trains `model_name` once per learning rate in `lrs` and keeps the run
+// with the best validation AUC (the paper's per-model LR search,
+// Section 4.1.5). A fresh model is built per run from `seed`.
+inline FitOutcome FitBest(const std::string& model_name,
+                          const PreparedData& prepared,
+                          const models::FactoryConfig& factory,
+                          armor::TrainConfig train,
+                          const std::vector<float>& lrs, uint64_t seed = 7) {
+  FitOutcome best;
+  best.result.best_validation_auc = -1;
+  for (float lr : lrs) {
+    Rng rng(seed);
+    std::unique_ptr<models::TabularModel> model = models::CreateModel(
+        model_name, prepared.synthetic.dataset.schema(), factory, rng);
+    train.learning_rate = lr;
+    armor::TrainResult result = armor::Fit(*model, prepared.splits, train);
+    if (result.best_validation_auc > best.result.best_validation_auc) {
+      best.result = result;
+      best.parameters = model->ParameterCount();
+      best.learning_rate = lr;
+    }
+  }
+  return best;
+}
+
+// "1.5M"-style human-readable parameter counts (Table 2 formatting).
+inline std::string HumanCount(int64_t n) {
+  if (n >= 1000000) return StrFormat("%.1fM", static_cast<double>(n) / 1e6);
+  if (n >= 1000) return StrFormat("%.1fK", static_cast<double>(n) / 1e3);
+  return StrFormat("%lld", static_cast<long long>(n));
+}
+
+// The per-dataset best ARM-Net configurations from paper Table 1.
+inline core::ArmNetConfig PaperArmConfig(const std::string& dataset) {
+  core::ArmNetConfig config;
+  if (dataset == "frappe") {
+    config.num_heads = 8;
+    config.neurons_per_head = 32;
+    config.alpha = 2.0f;
+  } else if (dataset == "movielens") {
+    config.num_heads = 1;
+    config.neurons_per_head = 16;
+    config.alpha = 2.0f;
+  } else if (dataset == "avazu") {
+    config.num_heads = 1;
+    config.neurons_per_head = 32;
+    config.alpha = 1.5f;
+  } else if (dataset == "criteo") {
+    config.num_heads = 4;
+    config.neurons_per_head = 64;
+    config.alpha = 2.0f;
+  } else if (dataset == "diabetes130") {
+    config.num_heads = 1;
+    config.neurons_per_head = 32;
+    config.alpha = 1.7f;
+  }
+  return config;
+}
+
+// Scaled-down ARM-Net configs for the quick default runs: the Table 1
+// K values with smaller o where the paper's would dominate runtime.
+inline core::ArmNetConfig DefaultArmConfig(const std::string& dataset) {
+  core::ArmNetConfig config = PaperArmConfig(dataset);
+  if (config.num_heads * config.neurons_per_head > 128) {
+    config.num_heads = 4;
+    config.neurons_per_head = 32;
+  }
+  return config;
+}
+
+}  // namespace armnet::bench
+
+#endif  // ARMNET_BENCH_COMMON_H_

@@ -1,0 +1,107 @@
+// Sales prediction — the paper's introductory use case (Section 1): a
+// company has a table of (month, region_id, store_id, product_id) tuples
+// and wants to predict whether a month's sales beat target, AND see which
+// cross features drive each prediction ("a particular store sells more of a
+// particular product in certain months/regions").
+//
+// Demonstrates: building a custom SyntheticSpec, persisting/reloading the
+// table in the libsvm interchange format, training ARM-Net+, and local
+// explanations for individual predictions.
+//
+//   ./build/examples/sales_prediction [--tuples=16000] [--epochs=8]
+
+#include <cstdio>
+
+#include "armor/interaction_miner.h"
+#include "armor/interpreter.h"
+#include "armor/trainer.h"
+#include "core/arm_net_plus.h"
+#include "data/loader.h"
+#include "data/presets.h"
+#include "data/split.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace armnet;
+  const int64_t tuples = FlagInt(argc, argv, "tuples", 16000);
+  const int64_t epochs = FlagInt(argc, argv, "epochs", 8);
+
+  // 1. The sales table: categorical fields with a store x product affinity,
+  //    a seasonal month x region effect, and a month x product effect —
+  //    exactly the structure the paper's example describes.
+  data::SyntheticSpec spec;
+  spec.name = "monthly_sales";
+  spec.fields = {
+      {"month", data::FieldType::kCategorical, 12},
+      {"region_id", data::FieldType::kCategorical, 30},
+      {"store_id", data::FieldType::kCategorical, 400},
+      {"product_id", data::FieldType::kCategorical, 600},
+  };
+  spec.num_tuples = tuples;
+  spec.interactions = {
+      {{2, 3}, 1.8f},     // store x product (local bestsellers)
+      {{0, 1}, 1.4f},     // month x region (seasonality)
+      {{0, 3}, 1.4f},     // month x product (seasonal products)
+      {{0, 1, 3}, 1.0f},  // regional seasonal products
+  };
+  spec.linear_scale = 0.3f;
+  spec.noise_stddev = 0.4f;
+  spec.seed = 2024;
+  data::SyntheticDataset synthetic = data::GenerateSynthetic(spec);
+
+  // 2. Round-trip through the libsvm interchange format, as a real
+  //    deployment would persist its training snapshot.
+  const std::string snapshot = "/tmp/armnet_sales.libsvm";
+  Status save = data::SaveLibsvm(synthetic.dataset, snapshot);
+  ARMNET_CHECK(save.ok()) << save.message();
+  StatusOr<data::Dataset> reloaded =
+      data::LoadLibsvm(snapshot, synthetic.dataset.schema());
+  ARMNET_CHECK(reloaded.ok()) << reloaded.status().message();
+  std::printf("persisted and reloaded %lld tuples via %s\n",
+              static_cast<long long>(reloaded.value().size()),
+              snapshot.c_str());
+
+  // 3. Train ARM-Net+ (the strongest configuration in the paper).
+  Rng rng(7);
+  data::Splits splits = data::SplitDataset(reloaded.value(), rng);
+  core::ArmNetConfig config;
+  config.num_heads = 2;
+  config.neurons_per_head = 16;
+  config.alpha = 2.0f;
+  core::ArmNetPlus model(reloaded.value().schema().num_features(),
+                         reloaded.value().num_fields(), config, {128, 64},
+                         rng);
+  armor::TrainConfig train;
+  train.max_epochs = static_cast<int>(epochs);
+  train.learning_rate = 3e-3f;
+  armor::TrainResult result = armor::Fit(model, splits, train);
+  std::printf("sales model: test AUC = %.4f, logloss = %.4f\n",
+              result.test.auc, result.test.logloss);
+
+  // 4. Which cross features does the inner ARM-Net rely on, globally?
+  armor::MinerConfig miner;
+  miner.top_k = 5;
+  const auto mined =
+      armor::MineInteractions(model.arm_net(), splits.test, miner);
+  std::printf("\ncross features driving predictions:\n");
+  for (const auto& interaction : mined) {
+    std::printf("  freq %.2f  order %d  %s\n", interaction.frequency,
+                interaction.order(),
+                armor::FormatInteraction(interaction,
+                                         reloaded.value().schema())
+                    .c_str());
+  }
+
+  // 5. Explain three individual predictions.
+  armor::ArmInterpreter interpreter(&model.arm_net());
+  for (int64_t row = 0; row < 3; ++row) {
+    const auto local = interpreter.Explain(splits.test, row);
+    std::printf("\ntuple %lld field attribution:", static_cast<long long>(row));
+    for (int f = 0; f < reloaded.value().num_fields(); ++f) {
+      std::printf(" %s=%.2f", reloaded.value().schema().field(f).name.c_str(),
+                  local.field_importance[static_cast<size_t>(f)]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/bin/bash
+# Runs every experiment harness at the default (laptop-sized) scales used
+# for the recorded bench_output.txt. Each binary documents further flags
+# in its header comment; raise --scale toward paper scale on bigger boxes.
+set -u
+run() { echo "===== RUNNING $1 ====="; timeout 2400 "$@"; echo; }
+run build/bench/bench_table1_datasets
+run build/bench/bench_ablation_arm --epochs=8
+run build/bench/bench_fig10_11_local_attr --epochs=8
+run build/bench/bench_fig5_fm_enhance
+run build/bench/bench_fig6_sensitivity --epochs=8
+run build/bench/bench_fig7_sparsity --epochs=8
+run build/bench/bench_fig8_global_attr
+run build/bench/bench_fig9_embedding
+run build/bench/bench_micro_kernels --benchmark_min_time=0.2
+run build/bench/bench_table2_overall --scale=0.2 --epochs=8
+run build/bench/bench_table3_throughput --batches=2
+run build/bench/bench_table45_interactions --scale=0.35 --epochs=10
+echo "ALL_BENCHES_DONE"

@@ -1,0 +1,44 @@
+#include "armor/evaluator.h"
+
+#include "data/batcher.h"
+#include "metrics/metrics.h"
+
+namespace armnet::armor {
+
+std::vector<float> PredictLogits(models::TabularModel& model,
+                                 const data::Dataset& dataset,
+                                 int64_t batch_size) {
+  const bool was_training = model.training();
+  model.SetTraining(false);
+  Rng rng(0);  // eval mode uses no randomness; any seed works
+  std::vector<float> logits;
+  logits.reserve(static_cast<size_t>(dataset.size()));
+
+  data::Batcher batcher(dataset, batch_size, /*shuffle=*/false, Rng(0));
+  data::Batch batch;
+  while (batcher.Next(&batch)) {
+    Variable out = model.Forward(batch, rng);
+    const Tensor& values = out.value();
+    ARMNET_CHECK_EQ(values.numel(), batch.batch_size);
+    for (int64_t i = 0; i < values.numel(); ++i) logits.push_back(values[i]);
+  }
+  model.SetTraining(was_training);
+  return logits;
+}
+
+EvalResult Evaluate(models::TabularModel& model, const data::Dataset& dataset,
+                    int64_t batch_size) {
+  const std::vector<float> logits = PredictLogits(model, dataset, batch_size);
+  std::vector<float> labels(static_cast<size_t>(dataset.size()));
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    labels[static_cast<size_t>(i)] = dataset.label_at(i);
+  }
+  EvalResult result;
+  result.auc = metrics::Auc(logits, labels);
+  result.logloss = metrics::LogLoss(logits, labels);
+  result.accuracy = metrics::Accuracy(logits, labels);
+  result.rmse = metrics::Rmse(logits, labels);
+  return result;
+}
+
+}  // namespace armnet::armor

@@ -1,0 +1,32 @@
+#ifndef ARMNET_ARMOR_EVALUATOR_H_
+#define ARMNET_ARMOR_EVALUATOR_H_
+
+#include <vector>
+
+#include "core/tabular.h"
+#include "data/dataset.h"
+
+namespace armnet::armor {
+
+// Batched inference: raw logits for every row of `dataset`, in row order.
+// Runs in eval mode and restores the model's previous mode.
+std::vector<float> PredictLogits(models::TabularModel& model,
+                                 const data::Dataset& dataset,
+                                 int64_t batch_size = 1024);
+
+struct EvalResult {
+  double auc = 0;
+  double logloss = 0;
+  double accuracy = 0;
+  // Root mean squared error of the raw model output against the labels;
+  // the headline metric for regression tasks (§3.3 of the paper).
+  double rmse = 0;
+};
+
+// AUC / Logloss / accuracy / RMSE of `model` on `dataset`.
+EvalResult Evaluate(models::TabularModel& model, const data::Dataset& dataset,
+                    int64_t batch_size = 1024);
+
+}  // namespace armnet::armor
+
+#endif  // ARMNET_ARMOR_EVALUATOR_H_

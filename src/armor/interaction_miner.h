@@ -1,0 +1,48 @@
+#ifndef ARMNET_ARMOR_INTERACTION_MINER_H_
+#define ARMNET_ARMOR_INTERACTION_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/arm_net.h"
+
+namespace armnet::armor {
+
+// A cross feature captured by ARM-Net's gates, aggregated over a dataset
+// (paper Tables 4 and 5).
+struct MinedInteraction {
+  // Field indices of the interaction term, ascending.
+  std::vector<int> fields;
+  // Average occurrence count per instance over the K*o neurons (the paper's
+  // "Frequency" column; one term can be captured by several neurons).
+  double frequency = 0;
+  int order() const { return static_cast<int>(fields.size()); }
+};
+
+struct MinerConfig {
+  int64_t batch_size = 1024;
+  // Gate values below this do not count a field as participating. Entmax
+  // outputs exact zeros for filtered fields; the threshold also drops
+  // barely-on fields the way the paper's reported terms do.
+  double gate_threshold = 0.05;
+  // Interaction terms above this order are skipped (near-dense gates under
+  // small alpha are not meaningful "cross features").
+  int max_order = 4;
+  // How many top terms to return.
+  int top_k = 10;
+};
+
+// Runs the trained model over `dataset`, records each neuron's gate support
+// per instance, and returns the most frequent field sets.
+std::vector<MinedInteraction> MineInteractions(core::ArmNet& model,
+                                               const data::Dataset& dataset,
+                                               const MinerConfig& config);
+
+// Formats a mined interaction with schema field names:
+// "(weekday, location, is_free)".
+std::string FormatInteraction(const MinedInteraction& interaction,
+                              const data::Schema& schema);
+
+}  // namespace armnet::armor
+
+#endif  // ARMNET_ARMOR_INTERACTION_MINER_H_

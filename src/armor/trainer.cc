@@ -1,0 +1,128 @@
+#include "armor/trainer.h"
+
+#include <cstdio>
+
+#include "data/batcher.h"
+#include "optim/adam.h"
+#include "util/stopwatch.h"
+
+namespace armnet::armor {
+
+namespace {
+
+// Deep copy of the full model state: parameters plus non-learnable buffers
+// (batch-norm running statistics), so best-epoch restoration is exact.
+struct ModelSnapshot {
+  std::vector<Tensor> params;
+  std::vector<Tensor> buffers;
+};
+
+ModelSnapshot Snapshot(const std::vector<Variable>& params,
+                       const std::vector<Tensor>& buffers) {
+  ModelSnapshot snapshot;
+  snapshot.params.reserve(params.size());
+  for (const Variable& p : params) snapshot.params.push_back(p.value().Clone());
+  snapshot.buffers.reserve(buffers.size());
+  for (const Tensor& b : buffers) snapshot.buffers.push_back(b.Clone());
+  return snapshot;
+}
+
+void Restore(std::vector<Variable>& params, std::vector<Tensor>& buffers,
+             const ModelSnapshot& snapshot) {
+  ARMNET_CHECK_EQ(params.size(), snapshot.params.size());
+  ARMNET_CHECK_EQ(buffers.size(), snapshot.buffers.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& dst = params[i].mutable_value();
+    const Tensor& src = snapshot.params[i];
+    ARMNET_CHECK(dst.shape() == src.shape());
+    std::copy(src.data(), src.data() + src.numel(), dst.data());
+  }
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    // Buffers are shared handles into the modules' state.
+    Tensor& dst = buffers[i];
+    const Tensor& src = snapshot.buffers[i];
+    ARMNET_CHECK(dst.shape() == src.shape());
+    std::copy(src.data(), src.data() + src.numel(), dst.data());
+  }
+}
+
+}  // namespace
+
+TrainResult Fit(models::TabularModel& model, const data::Splits& splits,
+                const TrainConfig& config) {
+  Rng rng(config.seed);
+  Rng dropout_rng = rng.Fork();
+  std::vector<Variable> params = model.Parameters();
+  optim::Adam optimizer(params, config.learning_rate, 0.9f, 0.999f, 1e-8f,
+                        config.weight_decay);
+  data::Batcher batcher(splits.train, config.batch_size, /*shuffle=*/true,
+                        rng.Fork());
+
+  TrainResult result;
+  std::vector<Tensor> buffers = model.Buffers();
+  ModelSnapshot best = Snapshot(params, buffers);
+  int epochs_since_best = 0;
+  Stopwatch watch;
+
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    model.SetTraining(true);
+    batcher.Reset();
+    data::Batch batch;
+    double epoch_loss = 0;
+    int64_t steps = 0;
+    while (batcher.Next(&batch)) {
+      Variable logits = model.Forward(batch, dropout_rng);
+      Variable loss =
+          config.task == Task::kClassification
+              ? ag::BceWithLogits(logits, batch.LabelsTensor())
+              : ag::MseLoss(logits, batch.LabelsTensor());
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optim::ClipGradNorm(params, config.grad_clip_norm);
+      optimizer.Step();
+      epoch_loss += loss.value().item();
+      ++steps;
+      if (config.max_batches_per_epoch > 0 &&
+          steps >= config.max_batches_per_epoch) {
+        break;
+      }
+    }
+    result.epochs_run = epoch + 1;
+
+    const EvalResult validation =
+        Evaluate(model, splits.validation, config.batch_size);
+    // Selection metric, oriented so larger is better.
+    const double metric = config.task == Task::kClassification
+                              ? validation.auc
+                              : -validation.rmse;
+    result.validation_metric_history.push_back(metric);
+    if (config.verbose) {
+      std::fprintf(stderr,
+                   "[%s] epoch %d: train_loss=%.4f val_auc=%.4f "
+                   "val_logloss=%.4f val_rmse=%.4f\n",
+                   model.name().c_str(), epoch + 1,
+                   epoch_loss / static_cast<double>(steps > 0 ? steps : 1),
+                   validation.auc, validation.logloss, validation.rmse);
+    }
+
+    const bool first_epoch = epoch == 0;
+    if (first_epoch || metric > result.best_validation_metric) {
+      result.best_validation_metric = metric;
+      best = Snapshot(params, buffers);
+      epochs_since_best = 0;
+    } else {
+      ++epochs_since_best;
+      if (epochs_since_best >= config.patience) break;
+    }
+  }
+  if (config.task == Task::kClassification) {
+    result.best_validation_auc = result.best_validation_metric;
+  }
+  result.train_seconds = watch.ElapsedSeconds();
+
+  Restore(params, buffers, best);
+  result.test = Evaluate(model, splits.test, config.batch_size);
+  return result;
+}
+
+}  // namespace armnet::armor

@@ -1,0 +1,58 @@
+#ifndef ARMNET_ARMOR_TRAINER_H_
+#define ARMNET_ARMOR_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "armor/evaluator.h"
+#include "core/tabular.h"
+#include "data/split.h"
+
+namespace armnet::armor {
+
+// Learning task: drives the loss and the early-stopping metric (§3.3 —
+// "ARM-Net can be adopted in various learning tasks, such as
+// classification, regression with a proper objective function").
+enum class Task {
+  kClassification,  // binary cross entropy, early stop on validation AUC
+  kRegression,      // mean squared error, early stop on validation RMSE
+};
+
+// Training protocol of the paper's Section 4.1: Adam, early stopping on
+// the validation metric, best-epoch weights (and buffers) restored before
+// the final test evaluation.
+struct TrainConfig {
+  Task task = Task::kClassification;
+  int max_epochs = 12;
+  int64_t batch_size = 512;
+  float learning_rate = 1e-3f;
+  float weight_decay = 0.0f;
+  // Stop after this many epochs without validation improvement.
+  int patience = 3;
+  double grad_clip_norm = 50.0;
+  uint64_t seed = 7;
+  bool verbose = false;
+  // 0 = full epochs; otherwise caps steps per epoch (quick benches).
+  int64_t max_batches_per_epoch = 0;
+};
+
+struct TrainResult {
+  // Best validation value of the selection metric, oriented so higher is
+  // better: AUC for classification, -RMSE for regression.
+  double best_validation_metric = 0;
+  // Convenience alias valid for classification runs.
+  double best_validation_auc = 0;
+  EvalResult test;
+  int epochs_run = 0;
+  std::vector<double> validation_metric_history;
+  double train_seconds = 0;
+};
+
+// Fits `model` on splits.train, early-stops on splits.validation, and
+// reports metrics on splits.test with the best validation weights.
+TrainResult Fit(models::TabularModel& model, const data::Splits& splits,
+                const TrainConfig& config);
+
+}  // namespace armnet::armor
+
+#endif  // ARMNET_ARMOR_TRAINER_H_

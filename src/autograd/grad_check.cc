@@ -1,0 +1,46 @@
+#include "autograd/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace armnet::ag {
+
+double GradCheckMaxError(
+    const std::function<Variable(std::vector<Variable>&)>& fn,
+    std::vector<Variable>& inputs, float eps) {
+  // Analytic pass.
+  for (Variable& input : inputs) input.ZeroGrad();
+  Variable loss = fn(inputs);
+  ARMNET_CHECK_EQ(loss.numel(), 1) << "GradCheck requires a scalar output";
+  loss.Backward();
+
+  std::vector<Tensor> analytic;
+  analytic.reserve(inputs.size());
+  for (Variable& input : inputs) {
+    analytic.push_back(input.has_grad() ? input.grad().Clone()
+                                        : Tensor::Zeros(input.shape()));
+  }
+
+  double max_error = 0;
+  for (size_t vi = 0; vi < inputs.size(); ++vi) {
+    Variable& input = inputs[vi];
+    if (!input.requires_grad()) continue;
+    Tensor& value = input.mutable_value();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      const float original = value[i];
+      value[i] = original + eps;
+      const double f_plus = static_cast<double>(fn(inputs).value().item());
+      value[i] = original - eps;
+      const double f_minus = static_cast<double>(fn(inputs).value().item());
+      value[i] = original;
+      const double numeric = (f_plus - f_minus) / (2.0 * eps);
+      const double a = analytic[vi][i];
+      const double error =
+          std::abs(a - numeric) / std::max(1.0, std::abs(numeric));
+      max_error = std::max(max_error, error);
+    }
+  }
+  return max_error;
+}
+
+}  // namespace armnet::ag

@@ -1,0 +1,26 @@
+#ifndef ARMNET_AUTOGRAD_GRAD_CHECK_H_
+#define ARMNET_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace armnet::ag {
+
+// Validates analytic gradients against central finite differences.
+//
+// `fn` must build a scalar Variable from `inputs` (re-invoked many times;
+// it must be a pure function of the input values). Returns the maximum
+// normalized error max_i |analytic_i − numeric_i| / max(1, |numeric_i|)
+// over every element of every input that requires grad.
+//
+// float32 arithmetic limits attainable precision; eps around 1e-2 with a
+// tolerance around 2e-2 is appropriate for smooth ops.
+double GradCheckMaxError(
+    const std::function<Variable(std::vector<Variable>&)>& fn,
+    std::vector<Variable>& inputs, float eps = 1e-2f);
+
+}  // namespace armnet::ag
+
+#endif  // ARMNET_AUTOGRAD_GRAD_CHECK_H_

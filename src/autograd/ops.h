@@ -1,0 +1,99 @@
+#ifndef ARMNET_AUTOGRAD_OPS_H_
+#define ARMNET_AUTOGRAD_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "util/rng.h"
+
+// Differentiable operations on Variables. Each op computes its value via
+// tmath and, when any input requires grad, records a tape node whose
+// backward accumulates exact gradients into the inputs.
+//
+// Broadcasting semantics mirror tmath (NumPy rules); gradients of broadcast
+// operands are reduced back to the operand's shape.
+
+namespace armnet::ag {
+
+// --- Elementwise binary (broadcasting) ------------------------------------
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+Variable Div(const Variable& a, const Variable& b);
+
+// --- Scalar ----------------------------------------------------------------
+Variable AddScalar(const Variable& a, float s);
+Variable MulScalar(const Variable& a, float s);
+// a^p elementwise; for non-integer p requires a >= 0.
+Variable PowScalar(const Variable& a, float p);
+
+// --- Unary -------------------------------------------------------------------
+Variable Neg(const Variable& a);
+Variable Exp(const Variable& a);
+// Natural log; caller guarantees positive input (compose with ClampMin).
+Variable Log(const Variable& a);
+Variable Sqrt(const Variable& a);
+Variable Square(const Variable& a);
+Variable Sigmoid(const Variable& a);
+Variable Tanh(const Variable& a);
+Variable Relu(const Variable& a);
+// Leaky ReLU with the given negative-side slope.
+Variable LeakyRelu(const Variable& a, float slope = 0.2f);
+// |a| elementwise; subgradient 0 at 0.
+Variable Abs(const Variable& a);
+// max(a, lo); gradient is zero where clamped.
+Variable ClampMin(const Variable& a, float lo);
+
+// --- Linear algebra ----------------------------------------------------------
+// [..., M, K] x [..., K, N] with batch-dim broadcasting.
+Variable MatMul(const Variable& a, const Variable& b);
+Variable Transpose(const Variable& a, int dim0, int dim1);
+// View with a new shape (one dim may be -1).
+Variable Reshape(const Variable& a, Shape shape);
+
+// --- Reductions ----------------------------------------------------------------
+Variable SumAll(const Variable& a);
+Variable MeanAll(const Variable& a);
+Variable Sum(const Variable& a, int axis, bool keepdim);
+Variable Mean(const Variable& a, int axis, bool keepdim);
+
+// --- Structural ------------------------------------------------------------------
+Variable Concat(const std::vector<Variable>& parts, int axis);
+Variable Slice(const Variable& a, int axis, int64_t start, int64_t length);
+// Picks `indices` along `axis` (duplicates allowed); the gradient
+// scatter-adds back.
+Variable IndexSelect(const Variable& a, int axis,
+                     const std::vector<int64_t>& indices);
+
+// --- Embedding ---------------------------------------------------------------------
+// Selects rows of `table` ([num_rows, width]) by flat `ids`; the result is
+// [ids.size(), width]. Gradient scatter-adds into the table.
+Variable EmbeddingLookup(const Variable& table,
+                         const std::vector<int64_t>& ids);
+
+// --- Softmax ------------------------------------------------------------------------
+// Numerically stable softmax over the last dimension.
+Variable Softmax(const Variable& a);
+
+// --- Losses ---------------------------------------------------------------------------
+// Mean binary cross entropy on logits (Equation 9 of the paper), numerically
+// stable in both tails. `targets` is a constant [N] tensor of {0,1} labels;
+// `logits` is [N] or [N, 1].
+Variable BceWithLogits(const Variable& logits, const Tensor& targets);
+// Mean squared error against a constant target of the same shape.
+Variable MseLoss(const Variable& pred, const Tensor& target);
+
+// --- Regularization ------------------------------------------------------------------
+// Inverted dropout: keeps each element with prob 1-p and rescales by
+// 1/(1-p). Identity when `training` is false or p == 0.
+Variable Dropout(const Variable& a, float p, bool training, Rng& rng);
+
+// Constant (non-differentiable) wrapper for data tensors.
+inline Variable Constant(Tensor t) {
+  return Variable(std::move(t), /*requires_grad=*/false);
+}
+
+}  // namespace armnet::ag
+
+#endif  // ARMNET_AUTOGRAD_OPS_H_

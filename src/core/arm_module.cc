@@ -1,0 +1,76 @@
+#include "core/arm_module.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace armnet::core {
+
+ArmModule::ArmModule(int num_fields, const ArmNetConfig& config, Rng& rng)
+    : num_fields_(num_fields), config_(config) {
+  ARMNET_CHECK_GT(config.num_heads, 0);
+  ARMNET_CHECK_GT(config.neurons_per_head, 0);
+  ARMNET_CHECK_GE(config.alpha, 1.0f);
+  const int64_t k = config.num_heads;
+  const int64_t o = config.neurons_per_head;
+  const int64_t ne = config.embed_dim;
+  if (config.use_bilinear) {
+    bilinear_ = RegisterParameter(
+        "bilinear", nn::XavierUniform(Shape({k, ne, ne}), ne, ne, rng));
+  }
+  queries_ = RegisterParameter(
+      "queries", nn::XavierUniform(Shape({k, o, ne}), ne, o, rng));
+  values_ = RegisterParameter(
+      "values", Tensor::Normal(Shape({k, o, num_fields}), 0.0f, 0.3f, rng));
+  temperature_ = RegisterParameter(
+      "temperature",
+      Tensor::Full(Shape({k, 1, 1}), config.gate_temperature));
+}
+
+ArmModule::Output ArmModule::Forward(const Variable& embeddings) const {
+  const int64_t b = embeddings.shape().dim(0);
+  const int64_t m = num_fields_;
+  const int64_t ne = config_.embed_dim;
+  const int64_t k = config_.num_heads;
+  const int64_t o = config_.neurons_per_head;
+  ARMNET_CHECK_EQ(embeddings.shape().dim(1), m);
+  ARMNET_CHECK_EQ(embeddings.shape().dim(2), ne);
+
+  Output out;
+  // [B, 1, m, ne] view for per-head broadcasting.
+  Variable e_heads = ag::Reshape(embeddings, Shape({b, 1, m, ne}));
+
+  Variable weights;  // [B, K, o, m]
+  if (config_.use_gate) {
+    // Bilinear projection of every field embedding into each head's query
+    // space: P[b,k,j,:] = W_att^k e_bj.
+    Variable projected = e_heads;  // [B, 1, m, ne]
+    if (config_.use_bilinear) {
+      // [B, 1, m, ne] x [K, ne, ne]ᵀ -> [B, K, m, ne]
+      projected = ag::MatMul(e_heads, ag::Transpose(bilinear_, -2, -1));
+    }
+    // Alignment scores with each neuron's query (Eq. 5):
+    // [B, K, m, ne] x [K, ne, o] -> [B, K, m, o] -> [B, K, o, m].
+    Variable scores =
+        ag::MatMul(projected, ag::Transpose(queries_, -2, -1));
+    scores = ag::Transpose(scores, -2, -1);
+    // Learnable sharpening, then the sparse gate over the m fields.
+    scores = ag::Mul(scores, temperature_);
+    out.gates = ag::Entmax(scores, config_.alpha);
+    // Recalibrated interaction weights (Eq. 6); V broadcasts over B.
+    weights = ag::Mul(out.gates, values_);
+  } else {
+    // Ablation: static interaction weights, no per-instance gating. The
+    // gates degenerate to dense ones (every field participates).
+    out.gates =
+        ag::Constant(Tensor::Ones(Shape({b, k, o, m})));
+    weights = ag::Mul(out.gates, values_);
+  }
+  out.interaction_weights = weights;
+
+  // Exponential neurons (Eq. 3): y_i = exp(Σ_j w_ij e_j), batched as
+  // [B, K, o, m] x [B, 1, m, ne] -> [B, K, o, ne].
+  out.cross_features = ag::Exp(ag::MatMul(weights, e_heads));
+  return out;
+}
+
+}  // namespace armnet::core

@@ -1,0 +1,63 @@
+#ifndef ARMNET_CORE_ARM_MODULE_H_
+#define ARMNET_CORE_ARM_MODULE_H_
+
+#include "autograd/entmax.h"
+#include "core/config.h"
+#include "nn/module.h"
+
+namespace armnet::core {
+
+// Adaptive Relation Modeling Module (paper Section 3.2.2, Figure 3).
+//
+// Given field embeddings E = [e_1 .. e_m], each of the K*o exponential
+// neurons captures one cross feature of arbitrary order:
+//
+//   scores  z~_ij = q_iᵀ W_att e_j        (bilinear alignment, Eq. 5)
+//   gate    z_i   = α-entmax(z~_i)        (sparse, per instance)
+//   weights w_i   = z_i ∘ v_i             (Eq. 6; v_i learned, global)
+//   output  y_i   = exp(Σ_j w_ij e_j)     (exponential neuron, Eq. 3)
+//
+// The gate zeroes the exponents of irrelevant fields, so exp(Σ w_ij e_j) =
+// Π_j exp(e_j)^{w_ij} involves only the selected fields — a cross feature
+// whose order is decided per input tuple.
+class ArmModule : public nn::Module {
+ public:
+  struct Output {
+    // Cross features Y: [B, K, o, n_e] (exponential-neuron outputs).
+    Variable cross_features;
+    // Entmax gates z: [B, K, o, m]; the support of row (k, i) is the set of
+    // fields neuron (k, i) uses for this instance — the basis of the
+    // interpretability study (Tables 4-5, Figures 10-11).
+    Variable gates;
+    // Interaction weights w = z ∘ v: [B, K, o, m] (Eq. 6).
+    Variable interaction_weights;
+  };
+
+  ArmModule(int num_fields, const ArmNetConfig& config, Rng& rng);
+
+  // embeddings: [B, m, n_e].
+  Output Forward(const Variable& embeddings) const;
+
+  // Learned attention value vectors V: [K, o, m]. Aggregating |V| over
+  // neurons yields the paper's global feature importance (Section 3.4).
+  const Variable& attention_values() const { return values_; }
+
+  int64_t total_neurons() const {
+    return static_cast<int64_t>(config_.num_heads) *
+           config_.neurons_per_head;
+  }
+  const ArmNetConfig& config() const { return config_; }
+  int num_fields() const { return num_fields_; }
+
+ private:
+  int num_fields_;
+  ArmNetConfig config_;
+  Variable bilinear_;     // W_att per head: [K, n_e, n_e]
+  Variable queries_;      // Q per head:     [K, o, n_e]
+  Variable values_;       // V per head:     [K, o, m]
+  Variable temperature_;  // score temperature per head: [K, 1, 1]
+};
+
+}  // namespace armnet::core
+
+#endif  // ARMNET_CORE_ARM_MODULE_H_

@@ -1,0 +1,72 @@
+#ifndef ARMNET_CORE_ARM_NET_H_
+#define ARMNET_CORE_ARM_NET_H_
+
+#include <string>
+
+#include "core/arm_module.h"
+#include "core/tabular.h"
+#include "nn/batchnorm.h"
+#include "nn/mlp.h"
+
+namespace armnet::core {
+
+// ARM-Net (paper Section 3, Figure 2): preprocessing embeddings ->
+// ARM-Module (adaptive cross features) -> batch norm -> prediction MLP
+// (Eq. 7-8). The batch norm over the flattened cross features follows the
+// reference implementation: exponential-neuron outputs start near exp(0)=1
+// with tiny variance, and normalizing them is what makes the prediction
+// head train at a useful rate.
+class ArmNet : public models::TabularModel {
+ public:
+  ArmNet(int64_t num_features, int num_fields, const ArmNetConfig& config,
+         Rng& rng)
+      : config_(config),
+        embedding_(num_features, config.embed_dim, rng),
+        arm_(num_fields, config, rng),
+        norm_(arm_.total_neurons() * config.embed_dim),
+        mlp_(arm_.total_neurons() * config.embed_dim, config.hidden, 1, rng,
+             config.dropout) {
+    RegisterModule(&embedding_);
+    RegisterModule(&arm_);
+    RegisterModule(&norm_);
+    RegisterModule(&mlp_);
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    ArmModule::Output arm = arm_.Forward(embedding_.Forward(batch));
+    return Head(arm, batch, rng);
+  }
+
+  // Forward pass that also surfaces the ARM-Module internals (gates and
+  // interaction weights) for the interpretability pipeline.
+  Variable ForwardWithTrace(const data::Batch& batch, Rng& rng,
+                            ArmModule::Output* trace) {
+    ArmModule::Output arm = arm_.Forward(embedding_.Forward(batch));
+    *trace = arm;
+    return Head(arm, batch, rng);
+  }
+
+  std::string name() const override { return "ARM-Net"; }
+
+  const ArmModule& arm_module() const { return arm_; }
+  const ArmNetConfig& config() const { return config_; }
+
+ private:
+  Variable Head(const ArmModule::Output& arm, const data::Batch& batch,
+                Rng& rng) {
+    Variable features = ag::Reshape(arm.cross_features,
+                                    Shape({batch.batch_size, -1}));
+    features = norm_.Forward(features);
+    return models::SqueezeLogit(mlp_.Forward(features, rng));
+  }
+
+  ArmNetConfig config_;
+  models::FeaturesEmbedding embedding_;
+  ArmModule arm_;
+  nn::BatchNorm1d norm_;
+  nn::Mlp mlp_;
+};
+
+}  // namespace armnet::core
+
+#endif  // ARMNET_CORE_ARM_NET_H_

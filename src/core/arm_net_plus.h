@@ -1,0 +1,55 @@
+#ifndef ARMNET_CORE_ARM_NET_PLUS_H_
+#define ARMNET_CORE_ARM_NET_PLUS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/arm_net.h"
+
+namespace armnet::core {
+
+// ARM-Net+ (paper Section 3.3, Eq. 10): ARM-Net ensembled end-to-end with a
+// DNN that owns a separate embedding table, combined with learned scalar
+// weights:  y = w1 * y_ARM + w2 * y_DNN + b.
+class ArmNetPlus : public models::TabularModel {
+ public:
+  ArmNetPlus(int64_t num_features, int num_fields, const ArmNetConfig& config,
+             const std::vector<int64_t>& dnn_hidden, Rng& rng,
+             float dnn_dropout = 0.0f)
+      : arm_net_(num_features, num_fields, config, rng),
+        dnn_embedding_(num_features, config.embed_dim, rng),
+        dnn_mlp_(num_fields * config.embed_dim, dnn_hidden, 1, rng,
+                 dnn_dropout) {
+    RegisterModule(&arm_net_);
+    RegisterModule(&dnn_embedding_);
+    RegisterModule(&dnn_mlp_);
+    w1_ = RegisterParameter("w1", Tensor::Full(Shape({1}), 0.5f));
+    w2_ = RegisterParameter("w2", Tensor::Full(Shape({1}), 0.5f));
+    bias_ = RegisterParameter("bias", Tensor::Zeros(Shape({1})));
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    Variable arm_logit = arm_net_.Forward(batch, rng);
+    Variable dnn_logit = models::SqueezeLogit(dnn_mlp_.Forward(
+        models::FlattenEmbeddings(dnn_embedding_.Forward(batch)), rng));
+    Variable combined =
+        ag::Add(ag::Mul(arm_logit, w1_), ag::Mul(dnn_logit, w2_));
+    return ag::Add(combined, bias_);
+  }
+
+  std::string name() const override { return "ARM-Net+"; }
+
+  ArmNet& arm_net() { return arm_net_; }
+
+ private:
+  ArmNet arm_net_;
+  models::FeaturesEmbedding dnn_embedding_;
+  nn::Mlp dnn_mlp_;
+  Variable w1_;
+  Variable w2_;
+  Variable bias_;
+};
+
+}  // namespace armnet::core
+
+#endif  // ARMNET_CORE_ARM_NET_PLUS_H_

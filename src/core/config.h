@@ -1,0 +1,41 @@
+#ifndef ARMNET_CORE_CONFIG_H_
+#define ARMNET_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace armnet::core {
+
+// Hyperparameters of ARM-Net (paper Section 3.2 / Table 1 notation).
+struct ArmNetConfig {
+  // Embedding size n_e (the paper fixes 10 for the Table 2 comparison and
+  // sweeps it in Figure 9).
+  int64_t embed_dim = 10;
+  // Number of attention heads K.
+  int num_heads = 4;
+  // Exponential neurons per head o (K * o cross features total).
+  int64_t neurons_per_head = 32;
+  // Sparsity of the entmax gate; 1.0 = dense softmax, larger = sparser
+  // (swept in Figure 7).
+  float alpha = 1.7f;
+  // Initial value of the learnable per-head temperature multiplying the
+  // bilinear alignment scores before the entmax gate. Entmax support sizes
+  // depend on the absolute score scale; at small-data scale raw scores stay
+  // far below the sparsity threshold, so the temperature lets each head
+  // sharpen its gates as training demands (it is learned end-to-end).
+  float gate_temperature = 12.0f;
+  // Hidden widths of the prediction MLP phi_MLP (Equation 7).
+  std::vector<int64_t> hidden = {256, 128};
+  float dropout = 0.0f;
+  // Disables the shared bilinear weight W_att (the paper's single-head
+  // complexity reduction, Section 3.4); scores become q_i · e_j.
+  bool use_bilinear = true;
+  // Disables the per-instance attention recalibration entirely (ablation):
+  // interaction weights reduce to the static value vectors, making the
+  // module an exponential-space analogue of AFN.
+  bool use_gate = true;
+};
+
+}  // namespace armnet::core
+
+#endif  // ARMNET_CORE_CONFIG_H_

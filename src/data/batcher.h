@@ -1,0 +1,66 @@
+#ifndef ARMNET_DATA_BATCHER_H_
+#define ARMNET_DATA_BATCHER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace armnet::data {
+
+// Iterates a dataset in mini-batches, optionally reshuffling every epoch.
+//
+//   Batcher batcher(train, 4096, /*shuffle=*/true, rng);
+//   Batch batch;
+//   while (batcher.Next(&batch)) { ... }
+//   batcher.Reset();  // new epoch (reshuffles)
+class Batcher {
+ public:
+  Batcher(const Dataset& dataset, int64_t batch_size, bool shuffle, Rng rng)
+      : dataset_(&dataset),
+        batch_size_(batch_size),
+        shuffle_(shuffle),
+        rng_(rng) {
+    ARMNET_CHECK_GT(batch_size, 0);
+    order_.resize(static_cast<size_t>(dataset.size()));
+    for (int64_t i = 0; i < dataset.size(); ++i) {
+      order_[static_cast<size_t>(i)] = i;
+    }
+    Reset();
+  }
+
+  // Starts a new epoch.
+  void Reset() {
+    cursor_ = 0;
+    if (shuffle_) rng_.Shuffle(order_);
+  }
+
+  // Fills `batch` with the next (possibly short) mini-batch; returns false
+  // when the epoch is exhausted.
+  bool Next(Batch* batch) {
+    const int64_t n = dataset_->size();
+    if (cursor_ >= n) return false;
+    const int64_t take = std::min(batch_size_, n - cursor_);
+    rows_.assign(order_.begin() + cursor_, order_.begin() + cursor_ + take);
+    dataset_->Gather(rows_, batch);
+    cursor_ += take;
+    return true;
+  }
+
+  int64_t batches_per_epoch() const {
+    return (dataset_->size() + batch_size_ - 1) / batch_size_;
+  }
+
+ private:
+  const Dataset* dataset_;
+  int64_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<int64_t> order_;
+  std::vector<int64_t> rows_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace armnet::data
+
+#endif  // ARMNET_DATA_BATCHER_H_

@@ -1,0 +1,52 @@
+#include "data/dataset.h"
+
+namespace armnet::data {
+
+void Dataset::Gather(const std::vector<int64_t>& rows, Batch* batch) const {
+  const int m = num_fields();
+  batch->batch_size = static_cast<int64_t>(rows.size());
+  batch->num_fields = m;
+  batch->ids.resize(rows.size() * static_cast<size_t>(m));
+  batch->values.resize(rows.size() * static_cast<size_t>(m));
+  batch->labels.resize(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const int64_t row = rows[i];
+    ARMNET_DCHECK(row >= 0 && row < size());
+    const size_t src = static_cast<size_t>(row) * static_cast<size_t>(m);
+    const size_t dst = i * static_cast<size_t>(m);
+    for (int f = 0; f < m; ++f) {
+      batch->ids[dst + static_cast<size_t>(f)] =
+          ids_[src + static_cast<size_t>(f)];
+      batch->values[dst + static_cast<size_t>(f)] =
+          values_[src + static_cast<size_t>(f)];
+    }
+    batch->labels[i] = labels_[static_cast<size_t>(row)];
+  }
+}
+
+Dataset Dataset::Subset(const std::vector<int64_t>& rows) const {
+  Dataset out(schema_);
+  const int m = num_fields();
+  out.ids_.reserve(rows.size() * static_cast<size_t>(m));
+  out.values_.reserve(rows.size() * static_cast<size_t>(m));
+  out.labels_.reserve(rows.size());
+  for (int64_t row : rows) {
+    ARMNET_CHECK(row >= 0 && row < size());
+    const size_t src = static_cast<size_t>(row) * static_cast<size_t>(m);
+    out.ids_.insert(out.ids_.end(), ids_.begin() + src,
+                    ids_.begin() + src + static_cast<size_t>(m));
+    out.values_.insert(out.values_.end(), values_.begin() + src,
+                       values_.begin() + src + static_cast<size_t>(m));
+    out.labels_.push_back(labels_[static_cast<size_t>(row)]);
+  }
+  return out;
+}
+
+double Dataset::PositiveRate() const {
+  if (labels_.empty()) return 0;
+  double positives = 0;
+  for (float y : labels_) positives += y;
+  return positives / static_cast<double>(labels_.size());
+}
+
+}  // namespace armnet::data

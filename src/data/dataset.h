@@ -1,0 +1,88 @@
+#ifndef ARMNET_DATA_DATASET_H_
+#define ARMNET_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/schema.h"
+#include "tensor/tensor.h"
+
+namespace armnet::data {
+
+// One mini-batch in model-ready layout.
+//
+// `ids` are global feature ids ([batch_size * num_fields], row-major),
+// `values` the per-field scalars (1.0 for categorical fields, the scaled
+// value for numerical fields), `labels` the binary targets.
+struct Batch {
+  int64_t batch_size = 0;
+  int num_fields = 0;
+
+  std::vector<int64_t> ids;
+  std::vector<float> values;
+  std::vector<float> labels;
+
+  // [batch_size, num_fields] value tensor (copies).
+  Tensor ValuesTensor() const {
+    return Tensor::FromVector(Shape({batch_size, num_fields}), values);
+  }
+  // [batch_size] label tensor (copies).
+  Tensor LabelsTensor() const {
+    return Tensor::FromVector(Shape({batch_size}), labels);
+  }
+};
+
+// In-memory structured dataset: n tuples over the schema's m fields, stored
+// row-major as (global feature id, value) pairs plus a binary label.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  int64_t size() const {
+    return static_cast<int64_t>(labels_.size());
+  }
+  int num_fields() const { return schema_.num_fields(); }
+
+  // Appends one tuple; `ids` and `values` must have num_fields entries and
+  // ids must be valid global feature ids for their field positions.
+  void Append(const std::vector<int64_t>& ids, const std::vector<float>& values,
+              float label) {
+    const int m = num_fields();
+    ARMNET_CHECK_EQ(static_cast<int>(ids.size()), m);
+    ARMNET_CHECK_EQ(static_cast<int>(values.size()), m);
+    ids_.insert(ids_.end(), ids.begin(), ids.end());
+    values_.insert(values_.end(), values.begin(), values.end());
+    labels_.push_back(label);
+  }
+
+  int64_t id_at(int64_t row, int field) const {
+    return ids_[static_cast<size_t>(row * num_fields() + field)];
+  }
+  float value_at(int64_t row, int field) const {
+    return values_[static_cast<size_t>(row * num_fields() + field)];
+  }
+  float label_at(int64_t row) const {
+    return labels_[static_cast<size_t>(row)];
+  }
+
+  // Copies rows `rows` into `batch`.
+  void Gather(const std::vector<int64_t>& rows, Batch* batch) const;
+
+  // New dataset containing the given rows (used for train/val/test splits).
+  Dataset Subset(const std::vector<int64_t>& rows) const;
+
+  // Fraction of positive labels.
+  double PositiveRate() const;
+
+ private:
+  Schema schema_;
+  std::vector<int64_t> ids_;
+  std::vector<float> values_;
+  std::vector<float> labels_;
+};
+
+}  // namespace armnet::data
+
+#endif  // ARMNET_DATA_DATASET_H_

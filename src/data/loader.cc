@@ -1,0 +1,173 @@
+#include "data/loader.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace armnet::data {
+
+StatusOr<Dataset> LoadLibsvm(const std::string& path, const Schema& schema) {
+  std::ifstream in(path);
+  if (!in) return Status::Error("cannot open libsvm file: " + path);
+
+  Dataset dataset(schema);
+  const int m = schema.num_fields();
+  std::vector<int64_t> ids(static_cast<size_t>(m));
+  std::vector<float> values(static_cast<size_t>(m));
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> pieces = Split(trimmed, ' ');
+    if (static_cast<int>(pieces.size()) != m + 1) {
+      return Status::Error(
+          StrFormat("%s:%lld: expected %d id:value pairs, got %zu",
+                    path.c_str(), static_cast<long long>(line_no), m,
+                    pieces.size() - 1));
+    }
+    const float label = std::strtof(pieces[0].c_str(), nullptr);
+    for (int f = 0; f < m; ++f) {
+      const std::string& pair = pieces[static_cast<size_t>(f + 1)];
+      const size_t colon = pair.find(':');
+      if (colon == std::string::npos) {
+        return Status::Error(StrFormat("%s:%lld: malformed pair '%s'",
+                                       path.c_str(),
+                                       static_cast<long long>(line_no),
+                                       pair.c_str()));
+      }
+      const int64_t id = std::strtoll(pair.c_str(), nullptr, 10);
+      const float value = std::strtof(pair.c_str() + colon + 1, nullptr);
+      const int64_t lo = schema.offset(f);
+      const int64_t hi = lo + schema.field(f).cardinality;
+      if (id < lo || id >= hi) {
+        return Status::Error(StrFormat(
+            "%s:%lld: id %lld outside field %d range [%lld, %lld)",
+            path.c_str(), static_cast<long long>(line_no),
+            static_cast<long long>(id), f, static_cast<long long>(lo),
+            static_cast<long long>(hi)));
+      }
+      ids[static_cast<size_t>(f)] = id;
+      values[static_cast<size_t>(f)] = value;
+    }
+    dataset.Append(ids, values, label);
+  }
+  return dataset;
+}
+
+Status SaveLibsvm(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Error("cannot open file for writing: " + path);
+  const int m = dataset.num_fields();
+  for (int64_t row = 0; row < dataset.size(); ++row) {
+    out << StrFormat("%g", dataset.label_at(row));
+    for (int f = 0; f < m; ++f) {
+      out << StrFormat(" %lld:%g",
+                       static_cast<long long>(dataset.id_at(row, f)),
+                       dataset.value_at(row, f));
+    }
+    out << "\n";
+  }
+  if (!out) return Status::Error("short write to: " + path);
+  return Status::Ok();
+}
+
+StatusOr<Dataset> LoadCsvWithVocab(const std::string& path,
+                                   const std::vector<bool>& numerical,
+                                   char delim) {
+  std::ifstream in(path);
+  if (!in) return Status::Error("cannot open CSV file: " + path);
+
+  // First pass: header, vocabularies for categorical fields, ranges for
+  // numerical fields.
+  std::string line;
+  if (!std::getline(in, line)) return Status::Error("empty CSV: " + path);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const std::vector<std::string> header = Split(line, delim);
+  if (header.size() < 2) {
+    return Status::Error("CSV needs a label column plus fields: " + path);
+  }
+  const int m = static_cast<int>(header.size()) - 1;
+  if (static_cast<int>(numerical.size()) != m) {
+    return Status::Error(
+        StrFormat("numerical flags size %zu != field count %d",
+                  numerical.size(), m));
+  }
+
+  std::vector<std::unordered_map<std::string, int64_t>> vocab(
+      static_cast<size_t>(m));
+  std::vector<float> lo(static_cast<size_t>(m),
+                        std::numeric_limits<float>::max());
+  std::vector<float> hi(static_cast<size_t>(m),
+                        std::numeric_limits<float>::lowest());
+  std::vector<std::vector<std::string>> raw_rows;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> cells = Split(line, delim);
+    if (static_cast<int>(cells.size()) != m + 1) {
+      return Status::Error("ragged CSV row in " + path);
+    }
+    for (int f = 0; f < m; ++f) {
+      const std::string& cell = cells[static_cast<size_t>(f + 1)];
+      if (numerical[static_cast<size_t>(f)]) {
+        const float v = std::strtof(cell.c_str(), nullptr);
+        lo[static_cast<size_t>(f)] = std::min(lo[static_cast<size_t>(f)], v);
+        hi[static_cast<size_t>(f)] = std::max(hi[static_cast<size_t>(f)], v);
+      } else {
+        auto& map = vocab[static_cast<size_t>(f)];
+        map.emplace(cell, static_cast<int64_t>(map.size()));
+      }
+    }
+    raw_rows.push_back(std::move(cells));
+  }
+
+  std::vector<FieldSpec> fields;
+  fields.reserve(static_cast<size_t>(m));
+  for (int f = 0; f < m; ++f) {
+    FieldSpec spec;
+    spec.name = header[static_cast<size_t>(f + 1)];
+    if (numerical[static_cast<size_t>(f)]) {
+      spec.type = FieldType::kNumerical;
+      spec.cardinality = 1;
+    } else {
+      spec.type = FieldType::kCategorical;
+      spec.cardinality =
+          std::max<int64_t>(1, static_cast<int64_t>(
+                                   vocab[static_cast<size_t>(f)].size()));
+    }
+    fields.push_back(std::move(spec));
+  }
+  Schema schema(std::move(fields));
+
+  Dataset dataset(schema);
+  std::vector<int64_t> ids(static_cast<size_t>(m));
+  std::vector<float> values(static_cast<size_t>(m));
+  for (const auto& cells : raw_rows) {
+    const float label = std::strtof(cells[0].c_str(), nullptr);
+    for (int f = 0; f < m; ++f) {
+      const size_t uf = static_cast<size_t>(f);
+      const std::string& cell = cells[uf + 1];
+      if (numerical[uf]) {
+        const float v = std::strtof(cell.c_str(), nullptr);
+        // Min-max rescale into (0, 1]; constant columns map to 1.
+        const float range = hi[uf] - lo[uf];
+        const float scaled =
+            range > 0 ? (v - lo[uf]) / range * 0.999f + 0.001f : 1.0f;
+        ids[uf] = schema.GlobalId(f, 0);
+        values[uf] = scaled;
+      } else {
+        ids[uf] = schema.GlobalId(f, vocab[uf].at(cell));
+        values[uf] = 1.0f;
+      }
+    }
+    dataset.Append(ids, values, label);
+  }
+  return dataset;
+}
+
+}  // namespace armnet::data

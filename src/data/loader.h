@@ -1,0 +1,39 @@
+#ifndef ARMNET_DATA_LOADER_H_
+#define ARMNET_DATA_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace armnet::data {
+
+// --- libsvm-style format ----------------------------------------------------
+//
+// One tuple per line: "<label> <id>:<value> <id>:<value> ..." with exactly
+// num_fields (id, value) pairs of global feature ids, field-ordered. This is
+// the interchange format of the official ARM-Net repository's preprocessed
+// datasets.
+
+// Parses a libsvm file against `schema`; ids must fall in each field's
+// global-id range.
+StatusOr<Dataset> LoadLibsvm(const std::string& path, const Schema& schema);
+
+// Writes `dataset` in the libsvm format.
+Status SaveLibsvm(const Dataset& dataset, const std::string& path);
+
+// --- CSV with vocabulary building --------------------------------------------
+//
+// Loads a CSV whose first column is the binary label and remaining columns
+// are attribute fields. `numerical` flags which fields (by position,
+// label excluded) are numerical; all other fields are categorical and a
+// vocabulary is built from the observed strings. Numerical values are
+// min-max rescaled into (0, 1].
+StatusOr<Dataset> LoadCsvWithVocab(const std::string& path,
+                                   const std::vector<bool>& numerical,
+                                   char delim = ',');
+
+}  // namespace armnet::data
+
+#endif  // ARMNET_DATA_LOADER_H_

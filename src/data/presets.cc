@@ -1,0 +1,231 @@
+#include "data/presets.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace armnet::data {
+
+namespace {
+
+FieldSpec Cat(std::string name, int64_t cardinality) {
+  FieldSpec f;
+  f.name = std::move(name);
+  f.type = FieldType::kCategorical;
+  f.cardinality = cardinality;
+  return f;
+}
+
+FieldSpec Num(std::string name) {
+  FieldSpec f;
+  f.name = std::move(name);
+  f.type = FieldType::kNumerical;
+  f.cardinality = 1;
+  return f;
+}
+
+int64_t Scaled(double scale, int64_t base) {
+  const double n = std::llround(scale * static_cast<double>(base));
+  return n < 64 ? 64 : static_cast<int64_t>(n);
+}
+
+}  // namespace
+
+SyntheticSpec FrappePreset(double scale) {
+  SyntheticSpec spec;
+  spec.name = "frappe";
+  // Field order matches the paper (Section 4.4): the use context of a
+  // mobile app-usage log.
+  spec.fields = {
+      Cat("user_id", 450),  Cat("item_id", 900), Cat("daytime", 7),
+      Cat("weekday", 7),    Cat("weekend", 2),   Cat("location", 80),
+      Cat("is_free", 2),    Cat("weather", 9),   Cat("country", 80),
+      Cat("city", 100),
+  };
+  spec.num_tuples = Scaled(scale, 30000);
+  // Planted terms mirror the top global interactions the paper reports in
+  // Table 4, so the interaction miner has a known answer to recover.
+  spec.interactions = {
+      {{3, 5, 6}, 1.6f},  // (weekday, location, is_free)
+      {{0, 1, 6}, 1.6f},  // (user_id, item_id, is_free)
+      {{1, 4, 6}, 1.4f},  // (item_id, weekend, is_free)
+      {{1, 6, 9}, 1.4f},  // (item_id, is_free, city)
+      {{0, 4, 6}, 1.2f},  // (user_id, weekend, is_free)
+      {{1, 6}, 1.2f},     // (item_id, is_free)
+      {{0, 1, 7}, 1.0f},  // (user_id, item_id, weather)
+  };
+  spec.linear_scale = 0.25f;
+  spec.noise_stddev = 0.4f;
+  spec.seed = 1001;
+  return spec;
+}
+
+SyntheticSpec MovieLensPreset(double scale) {
+  SyntheticSpec spec;
+  spec.name = "movielens";
+  spec.fields = {
+      Cat("user_id", 2200),
+      Cat("movie_id", 3200),
+      Cat("tag", 1600),
+  };
+  spec.num_tuples = Scaled(scale, 40000);
+  spec.interactions = {
+      {{0, 1}, 1.5f},     // user x movie affinity
+      {{1, 2}, 1.5f},     // movie x tag relevance
+      {{0, 1, 2}, 1.2f},  // personalized tagging
+  };
+  spec.linear_scale = 0.2f;
+  spec.noise_stddev = 0.4f;
+  spec.seed = 1002;
+  return spec;
+}
+
+SyntheticSpec AvazuPreset(double scale) {
+  SyntheticSpec spec;
+  spec.name = "avazu";
+  spec.fields = {
+      Cat("hour", 24),          Cat("c1", 7),
+      Cat("banner_pos", 7),     Cat("site_id", 1200),
+      Cat("site_domain", 600),  Cat("site_category", 26),
+      Cat("app_id", 1500),      Cat("app_domain", 250),
+      Cat("app_category", 28),  Cat("device_id", 2000),
+      Cat("device_ip", 2500),   Cat("device_model", 900),
+      Cat("device_type", 5),    Cat("device_conn_type", 4),
+      Cat("c14", 800),          Cat("c15", 8),
+      Cat("c16", 9),            Cat("c17", 250),
+      Cat("c18", 4),            Cat("c19", 60),
+      Cat("c20", 160),          Cat("c21", 60),
+  };
+  spec.num_tuples = Scaled(scale, 30000);
+  spec.interactions = {
+      {{3, 6}, 1.5f},      // site x app
+      {{6, 11}, 1.4f},     // app x device_model
+      {{0, 2, 6}, 1.3f},   // hour x banner_pos x app
+      {{5, 8}, 1.2f},      // site_category x app_category
+      {{9, 14, 17}, 1.1f}, // device x anonymized campaign ids
+      {{1, 12}, 0.9f},     // c1 x device_type
+  };
+  spec.linear_scale = 0.2f;
+  spec.noise_stddev = 0.6f;
+  spec.seed = 1003;
+  return spec;
+}
+
+SyntheticSpec CriteoPreset(double scale) {
+  SyntheticSpec spec;
+  spec.name = "criteo";
+  // 13 numerical count features followed by 26 anonymized categorical
+  // fields, exactly the original layout.
+  for (int i = 1; i <= 13; ++i) {
+    spec.fields.push_back(Num("I" + std::to_string(i)));
+  }
+  const int64_t cards[26] = {900, 500, 1500, 800, 200, 14,  900, 300, 3,
+                             800, 500, 1200, 600, 25,  700, 900, 10,  400,
+                             150, 4,   1100, 12,  15,  600, 60,  400};
+  for (int i = 1; i <= 26; ++i) {
+    spec.fields.push_back(
+        Cat("C" + std::to_string(i), cards[static_cast<size_t>(i - 1)]));
+  }
+  spec.num_tuples = Scaled(scale, 30000);
+  spec.interactions = {
+      {{13, 15}, 1.4f},      // C1 x C3
+      {{16, 23}, 1.3f},      // C4 x C11
+      {{0, 14}, 1.2f},       // I1 x C2 (numerical x categorical)
+      {{13, 20, 34}, 1.2f},  // C1 x C8 x C22
+      {{4, 6}, 1.0f},        // I5 x I7 (numerical pair)
+      {{26, 31}, 1.0f},      // C14 x C19
+      {{1, 22, 37}, 0.9f},   // I2 x C10 x C25
+  };
+  spec.linear_scale = 0.25f;
+  spec.noise_stddev = 0.6f;
+  spec.seed = 1004;
+  return spec;
+}
+
+SyntheticSpec Diabetes130Preset(double scale) {
+  SyntheticSpec spec;
+  spec.name = "diabetes130";
+  // 43 clinical fields with low cardinalities (369 features total in the
+  // original). Names follow Strack et al. 2014 / the paper's Figure 11.
+  spec.fields = {
+      Cat("race", 6),
+      Cat("gender", 3),
+      Cat("age", 10),
+      Cat("admission_type", 8),
+      Cat("discharge_disposition", 26),
+      Cat("admission_source", 17),
+      Num("time_in_hospital"),
+      Cat("payer_code", 18),
+      Cat("medical_specialty", 40),
+      Num("num_lab_procedures"),
+      Num("num_procedures"),
+      Num("num_medications"),
+      Num("outpatient_score"),
+      Num("emergency_score"),
+      Num("inpatient_score"),
+      Cat("diag_1_category", 10),
+      Cat("diag_2_category", 10),
+      Cat("diag_3_category", 10),
+      Num("num_diagnoses"),
+      Cat("max_glu_serum", 4),
+      Cat("A1Cresult", 4),
+      Cat("metformin", 4),
+      Cat("repaglinide", 4),
+      Cat("nateglinide", 4),
+      Cat("chlorpropamide", 4),
+      Cat("glimepiride", 4),
+      Cat("acetohexamide", 2),
+      Cat("glipizide", 4),
+      Cat("glyburide", 4),
+      Cat("tolbutamide", 2),
+      Cat("pioglitazone", 4),
+      Cat("rosiglitazone", 4),
+      Cat("acarbose", 4),
+      Cat("miglitol", 4),
+      Cat("troglitazone", 2),
+      Cat("tolazamide", 3),
+      Cat("examide", 2),
+      Cat("citoglipton", 2),
+      Cat("insulin", 4),
+      Cat("glyburide_metformin", 4),
+      Cat("glipizide_metformin", 2),
+      Cat("metformin_rosiglitazone", 2),
+      Cat("diabetes_med", 2),
+  };
+  ARMNET_CHECK_EQ(static_cast<int>(spec.fields.size()), 43);
+  spec.num_tuples = Scaled(scale, 16000);
+  // Mirrors Table 5: mostly order-1 and order-2 terms, with one order-3.
+  spec.interactions = {
+      {{14}, 2.2f},          // inpatient_score (order 1, dominant)
+      {{15}, 1.5f},          // diag_1_category
+      {{20, 25}, 1.4f},      // (A1Cresult, glimepiride)
+      {{23, 39}, 1.3f},      // (nateglinide, glyburide_metformin)
+      {{18}, 1.2f},          // num_diagnoses
+      {{21, 23, 39}, 1.1f},  // (metformin, nateglinide, glyburide_metformin)
+      {{18, 42}, 1.0f},      // (num_diagnoses, diabetes_med)
+      {{14, 42}, 1.0f},      // (inpatient_score, diabetes_med)
+      {{13}, 1.3f},          // emergency_score
+  };
+  spec.linear_scale = 0.15f;
+  spec.noise_stddev = 0.5f;
+  spec.zipf_exponent = 0.7;  // clinical categories are less skewed
+  spec.seed = 1005;
+  return spec;
+}
+
+std::vector<SyntheticSpec> AllPresets(double scale) {
+  return {FrappePreset(scale), MovieLensPreset(scale), AvazuPreset(scale),
+          CriteoPreset(scale), Diabetes130Preset(scale)};
+}
+
+SyntheticSpec PresetByName(const std::string& name, double scale) {
+  if (name == "frappe") return FrappePreset(scale);
+  if (name == "movielens") return MovieLensPreset(scale);
+  if (name == "avazu") return AvazuPreset(scale);
+  if (name == "criteo") return CriteoPreset(scale);
+  if (name == "diabetes130") return Diabetes130Preset(scale);
+  ARMNET_CHECK(false) << "unknown preset: " << name;
+  return {};
+}
+
+}  // namespace armnet::data

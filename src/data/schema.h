@@ -1,0 +1,91 @@
+#ifndef ARMNET_DATA_SCHEMA_H_
+#define ARMNET_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace armnet::data {
+
+// Attribute field kind. Categorical fields hold one of `cardinality`
+// discrete values; numerical fields hold a scalar (scaled into (0, 1]) and
+// occupy exactly one feature id.
+enum class FieldType {
+  kCategorical,
+  kNumerical,
+};
+
+// One attribute field (column) of the logical table.
+struct FieldSpec {
+  std::string name;
+  FieldType type = FieldType::kCategorical;
+  // Number of distinct categories; 1 for numerical fields.
+  int64_t cardinality = 1;
+};
+
+// Column layout of a structured dataset, plus the global feature-id space:
+// every (field, category) pair gets a unique id, fields laid out
+// consecutively (the paper's preprocessing module; all models index one
+// embedding table with these ids).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<FieldSpec> fields) : fields_(std::move(fields)) {
+    offsets_.reserve(fields_.size());
+    int64_t offset = 0;
+    for (const FieldSpec& f : fields_) {
+      ARMNET_CHECK_GE(f.cardinality, 1)
+          << "field " << f.name << " has no categories";
+      offsets_.push_back(offset);
+      offset += f.cardinality;
+    }
+    num_features_ = offset;
+  }
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const FieldSpec& field(int i) const {
+    return fields_[static_cast<size_t>(i)];
+  }
+  const std::vector<FieldSpec>& fields() const { return fields_; }
+
+  // Total number of distinct feature ids (the "Features" column of the
+  // paper's Table 1).
+  int64_t num_features() const { return num_features_; }
+
+  // First feature id of field `i`.
+  int64_t offset(int i) const { return offsets_[static_cast<size_t>(i)]; }
+
+  // Global feature id of (field, category).
+  int64_t GlobalId(int field, int64_t category) const {
+    ARMNET_DCHECK(category >= 0 &&
+                  category < fields_[static_cast<size_t>(field)].cardinality);
+    return offsets_[static_cast<size_t>(field)] + category;
+  }
+
+  // Field index owning a global feature id (binary search).
+  int FieldOfGlobalId(int64_t id) const {
+    ARMNET_CHECK(id >= 0 && id < num_features_);
+    int lo = 0;
+    int hi = num_fields() - 1;
+    while (lo < hi) {
+      const int mid = (lo + hi + 1) / 2;
+      if (offsets_[static_cast<size_t>(mid)] <= id) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<FieldSpec> fields_;
+  std::vector<int64_t> offsets_;
+  int64_t num_features_ = 0;
+};
+
+}  // namespace armnet::data
+
+#endif  // ARMNET_DATA_SCHEMA_H_

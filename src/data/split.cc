@@ -1,0 +1,32 @@
+#include "data/split.h"
+
+#include <vector>
+
+namespace armnet::data {
+
+Splits SplitDataset(const Dataset& dataset, Rng& rng, double train_fraction,
+                    double validation_fraction) {
+  ARMNET_CHECK(train_fraction > 0 && validation_fraction >= 0 &&
+               train_fraction + validation_fraction < 1.0)
+      << "invalid split fractions";
+  const int64_t n = dataset.size();
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  rng.Shuffle(order);
+
+  const int64_t n_train = static_cast<int64_t>(train_fraction * n);
+  const int64_t n_val =
+      static_cast<int64_t>((train_fraction + validation_fraction) * n) -
+      n_train;
+
+  Splits splits;
+  splits.train = dataset.Subset(
+      {order.begin(), order.begin() + n_train});
+  splits.validation = dataset.Subset(
+      {order.begin() + n_train, order.begin() + n_train + n_val});
+  splits.test = dataset.Subset(
+      {order.begin() + n_train + n_val, order.end()});
+  return splits;
+}
+
+}  // namespace armnet::data

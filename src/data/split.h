@@ -1,0 +1,24 @@
+#ifndef ARMNET_DATA_SPLIT_H_
+#define ARMNET_DATA_SPLIT_H_
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace armnet::data {
+
+// A dataset partitioned for supervised training.
+struct Splits {
+  Dataset train;
+  Dataset validation;
+  Dataset test;
+};
+
+// Shuffles row indices with `rng` and splits 8:1:1 (the paper's protocol,
+// Section 4.1.3) or by the given fractions.
+Splits SplitDataset(const Dataset& dataset, Rng& rng,
+                    double train_fraction = 0.8,
+                    double validation_fraction = 0.1);
+
+}  // namespace armnet::data
+
+#endif  // ARMNET_DATA_SPLIT_H_

@@ -1,0 +1,104 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace armnet::data {
+
+SyntheticDataset GenerateSynthetic(const SyntheticSpec& spec) {
+  ARMNET_CHECK(!spec.fields.empty()) << "spec has no fields";
+  for (const PlantedInteraction& interaction : spec.interactions) {
+    ARMNET_CHECK(!interaction.fields.empty());
+    for (int f : interaction.fields) {
+      ARMNET_CHECK(f >= 0 && f < static_cast<int>(spec.fields.size()))
+          << "interaction references unknown field " << f;
+    }
+  }
+
+  Schema schema(spec.fields);
+  const int m = schema.num_fields();
+
+  Rng rng(spec.seed);
+  Rng latent_rng = rng.Fork();
+  Rng sample_rng = rng.Fork();
+  Rng label_rng = rng.Fork();
+
+  // Latent factors and linear effects per global feature id.
+  SyntheticGroundTruth truth;
+  truth.interactions = spec.interactions;
+  truth.latent.resize(static_cast<size_t>(schema.num_features()));
+  truth.linear.resize(static_cast<size_t>(schema.num_features()));
+  for (int64_t id = 0; id < schema.num_features(); ++id) {
+    truth.latent[static_cast<size_t>(id)] =
+        static_cast<float>(latent_rng.Gaussian());
+    truth.linear[static_cast<size_t>(id)] =
+        static_cast<float>(latent_rng.Gaussian());
+  }
+  truth.field_importance.assign(static_cast<size_t>(m), 0.0);
+
+  // Per-field category samplers (skewed frequencies, like real logs).
+  std::vector<Rng::ZipfTable> samplers;
+  samplers.reserve(static_cast<size_t>(m));
+  for (int f = 0; f < m; ++f) {
+    samplers.emplace_back(schema.field(f).cardinality, spec.zipf_exponent);
+  }
+
+  Dataset dataset(schema);
+  std::vector<int64_t> ids(static_cast<size_t>(m));
+  std::vector<float> values(static_cast<size_t>(m));
+  std::vector<float> s(static_cast<size_t>(m));  // effective latent factors
+
+  for (int64_t row = 0; row < spec.num_tuples; ++row) {
+    double logit = spec.bias;
+    for (int f = 0; f < m; ++f) {
+      const size_t uf = static_cast<size_t>(f);
+      const FieldSpec& field = schema.field(f);
+      if (field.type == FieldType::kNumerical) {
+        const float v = sample_rng.UniformF(0.001f, 1.0f);
+        ids[uf] = schema.GlobalId(f, 0);
+        values[uf] = v;
+        // Centered value so the latent factor flips sign mid-range.
+        s[uf] = truth.latent[static_cast<size_t>(ids[uf])] * (2.0f * v - 1.0f);
+      } else {
+        const int64_t category = samplers[uf].Sample(sample_rng);
+        ids[uf] = schema.GlobalId(f, category);
+        values[uf] = 1.0f;
+        s[uf] = truth.latent[static_cast<size_t>(ids[uf])];
+      }
+      const double linear_term =
+          spec.linear_scale * truth.linear[static_cast<size_t>(ids[uf])] *
+          values[uf];
+      logit += linear_term;
+      truth.field_importance[uf] += std::abs(linear_term);
+    }
+    for (const PlantedInteraction& interaction : spec.interactions) {
+      double product = interaction.weight;
+      for (int f : interaction.fields) product *= s[static_cast<size_t>(f)];
+      logit += product;
+      for (int f : interaction.fields) {
+        truth.field_importance[static_cast<size_t>(f)] += std::abs(product);
+      }
+    }
+    truth.true_logits.push_back(static_cast<float>(logit));
+    logit += label_rng.Gaussian(0.0, spec.noise_stddev);
+    float label;
+    if (spec.regression) {
+      label = static_cast<float>(logit);
+    } else {
+      const double probability = 1.0 / (1.0 + std::exp(-logit));
+      label = label_rng.Bernoulli(probability) ? 1.0f : 0.0f;
+    }
+    dataset.Append(ids, values, label);
+  }
+
+  if (spec.num_tuples > 0) {
+    for (double& importance : truth.field_importance) {
+      importance /= static_cast<double>(spec.num_tuples);
+    }
+  }
+
+  return SyntheticDataset{std::move(dataset), std::move(truth)};
+}
+
+}  // namespace armnet::data

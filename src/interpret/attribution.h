@@ -1,0 +1,74 @@
+#ifndef ARMNET_INTERPRET_ATTRIBUTION_H_
+#define ARMNET_INTERPRET_ATTRIBUTION_H_
+
+#include <vector>
+
+#include "core/tabular.h"
+#include "data/dataset.h"
+
+// Model-agnostic feature-attribution baselines used by the paper's
+// interpretability study (Figures 8, 10, 11): a LIME-style local linear
+// surrogate (Ribeiro et al. 2016) and a sampling approximation of Shapley
+// values (Lundberg & Lee 2017). Both perturb tabular instances by replacing
+// fields with values drawn from a background dataset and query the model in
+// one batched forward pass.
+
+namespace armnet::interpret {
+
+// Per-field attribution scores for one instance; positive magnitude =
+// important. Scores are |weight|-normalized to sum to 1 for comparability
+// with ARM-Net's attributions.
+using Attribution = std::vector<double>;
+
+struct LimeConfig {
+  int num_samples = 512;
+  // Kernel width of the exponential locality kernel over the number of
+  // perturbed fields (in units of sqrt(m)).
+  double kernel_width = 0.75;
+  double ridge_lambda = 1e-3;
+  uint64_t seed = 17;
+};
+
+// Local attribution of `model`'s logit at dataset[row] via a weighted ridge
+// regression on field-presence indicators.
+Attribution LimeAttribution(models::TabularModel& model,
+                            const data::Dataset& background,
+                            const data::Dataset& dataset, int64_t row,
+                            const LimeConfig& config);
+
+struct ShapConfig {
+  // Each permutation costs m+1 model evaluations (batched).
+  int num_permutations = 64;
+  uint64_t seed = 29;
+};
+
+// Sampling-permutation Shapley values of the model logit at dataset[row].
+Attribution ShapAttribution(models::TabularModel& model,
+                            const data::Dataset& background,
+                            const data::Dataset& dataset, int64_t row,
+                            const ShapConfig& config);
+
+// Mean of per-instance |attributions| over `rows`, renormalized — the
+// "global feature attribution by aggregation of local attribution of all
+// instances" protocol the paper uses for Lime and Shap in Figure 8.
+template <typename LocalFn>
+Attribution AggregateGlobal(const std::vector<int64_t>& rows, int num_fields,
+                            LocalFn local_fn) {
+  Attribution total(static_cast<size_t>(num_fields), 0.0);
+  for (int64_t row : rows) {
+    const Attribution local = local_fn(row);
+    for (int f = 0; f < num_fields; ++f) {
+      total[static_cast<size_t>(f)] += local[static_cast<size_t>(f)];
+    }
+  }
+  double sum = 0;
+  for (double v : total) sum += v;
+  if (sum > 0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+}  // namespace armnet::interpret
+
+#endif  // ARMNET_INTERPRET_ATTRIBUTION_H_

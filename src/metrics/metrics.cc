@@ -1,0 +1,84 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace armnet::metrics {
+
+double Auc(const std::vector<float>& scores,
+           const std::vector<float>& labels) {
+  ARMNET_CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Midrank assignment over tie groups, accumulating the rank sum of the
+  // positive class.
+  double positive_rank_sum = 0;
+  int64_t positives = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    // Ranks are 1-based; the tie group [i, j) shares the average rank.
+    const double midrank = 0.5 * (static_cast<double>(i + 1) +
+                                  static_cast<double>(j));
+    for (size_t k = i; k < j; ++k) {
+      if (labels[order[k]] > 0.5f) {
+        positive_rank_sum += midrank;
+        ++positives;
+      }
+    }
+    i = j;
+  }
+  const int64_t negatives = static_cast<int64_t>(n) - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double u = positive_rank_sum -
+                   static_cast<double>(positives) * (positives + 1) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+double LogLoss(const std::vector<float>& logits,
+               const std::vector<float>& labels) {
+  ARMNET_CHECK_EQ(logits.size(), labels.size());
+  ARMNET_CHECK(!logits.empty());
+  double total = 0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    const double x = logits[i];
+    const double y = labels[i];
+    total += std::max(x, 0.0) - x * y + std::log1p(std::exp(-std::abs(x)));
+  }
+  return total / static_cast<double>(logits.size());
+}
+
+double Rmse(const std::vector<float>& predictions,
+            const std::vector<float>& targets) {
+  ARMNET_CHECK_EQ(predictions.size(), targets.size());
+  ARMNET_CHECK(!predictions.empty());
+  double total = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const double d = static_cast<double>(predictions[i]) - targets[i];
+    total += d * d;
+  }
+  return std::sqrt(total / static_cast<double>(predictions.size()));
+}
+
+double Accuracy(const std::vector<float>& logits,
+                const std::vector<float>& labels, float threshold_logit) {
+  ARMNET_CHECK_EQ(logits.size(), labels.size());
+  ARMNET_CHECK(!logits.empty());
+  int64_t correct = 0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    const bool predicted = logits[i] > threshold_logit;
+    const bool actual = labels[i] > 0.5f;
+    if (predicted == actual) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(logits.size());
+}
+
+}  // namespace armnet::metrics

@@ -1,0 +1,29 @@
+#ifndef ARMNET_METRICS_METRICS_H_
+#define ARMNET_METRICS_METRICS_H_
+
+#include <vector>
+
+namespace armnet::metrics {
+
+// Area under the ROC curve, computed exactly via the rank-sum (Mann-Whitney)
+// statistic with midrank tie handling. `labels` are {0, 1}; `scores` are
+// any monotone score (probabilities or raw logits give the same AUC).
+// Returns 0.5 if either class is absent.
+double Auc(const std::vector<float>& scores, const std::vector<float>& labels);
+
+// Mean binary cross entropy evaluated on raw logits (numerically stable;
+// Equation 9 of the paper).
+double LogLoss(const std::vector<float>& logits,
+               const std::vector<float>& labels);
+
+// Fraction of examples where sign(logit - threshold_logit) matches label.
+double Accuracy(const std::vector<float>& logits,
+                const std::vector<float>& labels, float threshold_logit = 0);
+
+// Root mean squared error of predictions against targets (regression).
+double Rmse(const std::vector<float>& predictions,
+            const std::vector<float>& targets);
+
+}  // namespace armnet::metrics
+
+#endif  // ARMNET_METRICS_METRICS_H_

@@ -1,0 +1,66 @@
+#ifndef ARMNET_MODELS_AFM_H_
+#define ARMNET_MODELS_AFM_H_
+
+#include <memory>
+#include <string>
+
+#include "core/tabular.h"
+#include "nn/linear.h"
+
+namespace armnet::models {
+
+// Attentional Factorization Machine (Xiao et al. 2017): second-order cross
+// features weighted by an attention network over the element-wise products
+// of embedding pairs.
+class Afm : public TabularModel {
+ public:
+  Afm(int64_t num_features, int num_fields, int64_t embed_dim,
+      int64_t attention_dim, Rng& rng, float dropout = 0.0f)
+      : linear_(num_features, rng),
+        embedding_(num_features, embed_dim, rng),
+        attention_(embed_dim, attention_dim, rng),
+        projection_(attention_dim, 1, rng, /*bias=*/false),
+        output_(embed_dim, 1, rng, /*bias=*/false),
+        pairs_(MakePairIndices(num_fields)),
+        dropout_(dropout) {
+    RegisterModule(&linear_);
+    RegisterModule(&embedding_);
+    RegisterModule(&attention_);
+    RegisterModule(&projection_);
+    RegisterModule(&output_);
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    Variable e = embedding_.Forward(batch);                  // [B, m, ne]
+    Variable left = ag::IndexSelect(e, 1, pairs_.left);      // [B, P, ne]
+    Variable right = ag::IndexSelect(e, 1, pairs_.right);    // [B, P, ne]
+    Variable products = ag::Mul(left, right);                // [B, P, ne]
+
+    // Attention scores over the P pairs.
+    Variable hidden = ag::Relu(attention_.Forward(products));    // [B, P, d]
+    Variable scores = projection_.Forward(hidden);               // [B, P, 1]
+    Variable weights =
+        ag::Softmax(ag::Transpose(scores, 1, 2));                // [B, 1, P]
+    Variable pooled = ag::MatMul(weights, products);             // [B, 1, ne]
+    pooled = ag::Reshape(pooled, Shape({batch.batch_size, -1}));
+    pooled = ag::Dropout(pooled, dropout_, training(), rng);
+
+    Variable second = SqueezeLogit(output_.Forward(pooled));     // [B]
+    return ag::Add(linear_.Forward(batch), second);
+  }
+
+  std::string name() const override { return "AFM"; }
+
+ private:
+  FeaturesLinear linear_;
+  FeaturesEmbedding embedding_;
+  nn::Linear attention_;
+  nn::Linear projection_;
+  nn::Linear output_;
+  PairIndices pairs_;
+  float dropout_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_AFM_H_

@@ -1,0 +1,84 @@
+#ifndef ARMNET_MODELS_AFN_H_
+#define ARMNET_MODELS_AFN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tabular.h"
+#include "nn/batchnorm.h"
+#include "nn/mlp.h"
+
+namespace armnet::models {
+
+// Adaptive Factorization Network (Cheng, Shen, Huang — AAAI 2020), the
+// closest prior work to ARM-Net. Logarithmic neurons capture arbitrary-order
+// cross features with *static* learned exponents:
+//   LNN_h = exp( Σ_j W_hj · ln |e_j| )
+// Inputs must be positive, hence the abs + clamp — the very limitation
+// ARM-Net's exponential neurons remove (Section 3.2.2 of the paper).
+class AfnLogTransform : public nn::Module {
+ public:
+  AfnLogTransform(int num_fields, int64_t num_neurons, int64_t embed_dim,
+                  Rng& rng)
+      : num_neurons_(num_neurons), embed_dim_(embed_dim) {
+    // Exponent matrix [H, m]; init near uniform small weights as in the
+    // reference implementation.
+    weights_ = RegisterParameter(
+        "exponents",
+        Tensor::Normal(Shape({num_neurons, num_fields}), 0.0f, 0.1f, rng));
+  }
+
+  // embeddings [B, m, ne] -> cross-feature stack [B, H, ne].
+  Variable Forward(const Variable& embeddings) const {
+    Variable log_e =
+        ag::Log(ag::ClampMin(ag::Abs(embeddings), 1e-4f));  // [B, m, ne]
+    // [H, m] x [B, m, ne] -> [B, H, ne]; exp converts back from log space.
+    return ag::Exp(ag::MatMul(weights_, log_e));
+  }
+
+  int64_t num_neurons() const { return num_neurons_; }
+  int64_t embed_dim() const { return embed_dim_; }
+
+ private:
+  int64_t num_neurons_;
+  int64_t embed_dim_;
+  Variable weights_;
+};
+
+// AFN single model: embeddings -> logarithmic transform -> batch norm ->
+// MLP head. (AFN+ in afn_plus.h adds the DNN ensemble.)
+class Afn : public TabularModel {
+ public:
+  Afn(int64_t num_features, int num_fields, int64_t embed_dim,
+      int64_t num_neurons, const std::vector<int64_t>& hidden, Rng& rng,
+      float dropout = 0.0f)
+      : embedding_(num_features, embed_dim, rng),
+        lnn_(num_fields, num_neurons, embed_dim, rng),
+        norm_(num_neurons * embed_dim),
+        mlp_(num_neurons * embed_dim, hidden, 1, rng, dropout) {
+    RegisterModule(&embedding_);
+    RegisterModule(&lnn_);
+    RegisterModule(&norm_);
+    RegisterModule(&mlp_);
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    Variable cross = lnn_.Forward(embedding_.Forward(batch));  // [B, H, ne]
+    Variable flat =
+        ag::Reshape(cross, Shape({batch.batch_size, -1}));     // [B, H*ne]
+    flat = norm_.Forward(flat);
+    return SqueezeLogit(mlp_.Forward(flat, rng));
+  }
+
+  std::string name() const override { return "AFN"; }
+
+ private:
+  FeaturesEmbedding embedding_;
+  AfnLogTransform lnn_;
+  nn::BatchNorm1d norm_;
+  nn::Mlp mlp_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_AFN_H_

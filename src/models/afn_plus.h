@@ -1,0 +1,44 @@
+#ifndef ARMNET_MODELS_AFN_PLUS_H_
+#define ARMNET_MODELS_AFN_PLUS_H_
+
+#include <string>
+#include <vector>
+
+#include "models/afn.h"
+#include "models/dnn.h"
+#include "models/ensemble.h"
+
+namespace armnet::models {
+
+// AFN+ (Cheng et al. 2020): AFN ensembled with a DNN that owns a separate
+// embedding table, combined with learned weights (paper Equation 10).
+class AfnPlus : public TabularModel {
+ public:
+  AfnPlus(int64_t num_features, int num_fields, int64_t embed_dim,
+          int64_t num_neurons, const std::vector<int64_t>& afn_hidden,
+          const std::vector<int64_t>& dnn_hidden, Rng& rng,
+          float dropout = 0.0f)
+      : afn_(num_features, num_fields, embed_dim, num_neurons, afn_hidden,
+             rng, dropout),
+        dnn_(num_features, num_fields, embed_dim, dnn_hidden, rng, dropout) {
+    RegisterModule(&afn_);
+    RegisterModule(&dnn_);
+    RegisterModule(&combine_);
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    return combine_.Forward(afn_.Forward(batch, rng),
+                            dnn_.Forward(batch, rng));
+  }
+
+  std::string name() const override { return "AFN+"; }
+
+ private:
+  Afn afn_;
+  Dnn dnn_;
+  LearnedEnsemble combine_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_AFN_PLUS_H_

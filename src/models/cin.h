@@ -1,0 +1,96 @@
+#ifndef ARMNET_MODELS_CIN_H_
+#define ARMNET_MODELS_CIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tabular.h"
+#include "nn/linear.h"
+
+namespace armnet::models {
+
+// Compressed Interaction Network (Lian et al. 2018, the explicit component
+// of xDeepFM). Layer k compresses the outer interactions of X^{k-1} with
+// X^0 field-wise:
+//   X^k_h = Σ_{i,j} W^k_{h,ij} (X^{k-1}_i ∘ X^0_j)
+// implemented as a [H_k, H_{k-1}·m] matmul over the stacked Hadamard
+// products. Sum-pooling each layer over n_e yields the final features.
+class CinNetwork : public nn::Module {
+ public:
+  CinNetwork(int num_fields, int64_t embed_dim,
+             const std::vector<int64_t>& layer_sizes, Rng& rng)
+      : num_fields_(num_fields), embed_dim_(embed_dim) {
+    int64_t prev = num_fields;
+    for (size_t l = 0; l < layer_sizes.size(); ++l) {
+      const int64_t h = layer_sizes[l];
+      const int64_t in = prev * num_fields;
+      weights_.push_back(RegisterParameter(
+          "w" + std::to_string(l),
+          nn::XavierUniform(Shape({h, in}), in, h, rng)));
+      prev = h;
+    }
+    output_dim_ = 0;
+    for (int64_t h : layer_sizes) output_dim_ += h;
+  }
+
+  // embeddings: [B, m, ne] -> pooled features [B, sum(layer_sizes)].
+  Variable Forward(const Variable& embeddings) const {
+    const int64_t b = embeddings.shape().dim(0);
+    Variable x0 = embeddings;  // [B, m, ne]
+    Variable xk = embeddings;
+    std::vector<Variable> pooled;
+    for (const Variable& w : weights_) {
+      const int64_t hk_prev = xk.shape().dim(1);
+      // Pairwise Hadamard products: [B, H, 1, ne] * [B, 1, m, ne].
+      Variable left =
+          ag::Reshape(xk, Shape({b, hk_prev, 1, embed_dim_}));
+      Variable right =
+          ag::Reshape(x0, Shape({b, 1, num_fields_, embed_dim_}));
+      Variable z = ag::Mul(left, right);  // [B, H, m, ne]
+      z = ag::Reshape(z, Shape({b, hk_prev * num_fields_, embed_dim_}));
+      // Compress: [H_k, H·m] x [B, H·m, ne] -> [B, H_k, ne].
+      xk = ag::MatMul(w, z);
+      pooled.push_back(ag::Sum(xk, -1, /*keepdim=*/false));  // [B, H_k]
+    }
+    return ag::Concat(pooled, 1);
+  }
+
+  int64_t output_dim() const { return output_dim_; }
+
+ private:
+  int64_t num_fields_;
+  int64_t embed_dim_;
+  int64_t output_dim_;
+  std::vector<Variable> weights_;
+};
+
+// CIN with a linear head (single-model row of Table 2).
+class Cin : public TabularModel {
+ public:
+  Cin(int64_t num_features, int num_fields, int64_t embed_dim,
+      const std::vector<int64_t>& layer_sizes, Rng& rng)
+      : embedding_(num_features, embed_dim, rng),
+        cin_(num_fields, embed_dim, layer_sizes, rng),
+        output_(cin_.output_dim(), 1, rng) {
+    RegisterModule(&embedding_);
+    RegisterModule(&cin_);
+    RegisterModule(&output_);
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    (void)rng;
+    Variable features = cin_.Forward(embedding_.Forward(batch));
+    return SqueezeLogit(output_.Forward(features));
+  }
+
+  std::string name() const override { return "CIN"; }
+
+ private:
+  FeaturesEmbedding embedding_;
+  CinNetwork cin_;
+  nn::Linear output_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_CIN_H_

@@ -1,0 +1,78 @@
+#ifndef ARMNET_MODELS_DCN_H_
+#define ARMNET_MODELS_DCN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tabular.h"
+#include "nn/linear.h"
+
+namespace armnet::models {
+
+// The cross network of Deep & Cross Network (Wang et al. 2017):
+//   x_{l+1} = x_0 ∘ (x_l · w_l) + b_l + x_l
+// over the flattened embedding vector x_0 of size d = m * n_e. Reusable so
+// DCN+ can combine it with a deep tower.
+class CrossNetwork : public nn::Module {
+ public:
+  CrossNetwork(int64_t input_dim, int num_layers, Rng& rng)
+      : input_dim_(input_dim) {
+    for (int l = 0; l < num_layers; ++l) {
+      weights_.push_back(RegisterParameter(
+          "w" + std::to_string(l),
+          nn::XavierUniform(Shape({input_dim, 1}), input_dim, 1, rng)));
+      biases_.push_back(RegisterParameter(
+          "b" + std::to_string(l), Tensor::Zeros(Shape({input_dim}))));
+    }
+  }
+
+  // x0: [B, d] -> [B, d]
+  Variable Forward(const Variable& x0) const {
+    Variable x = x0;
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      Variable dot = ag::MatMul(x, weights_[l]);       // [B, 1]
+      Variable cross = ag::Mul(x0, dot);               // broadcast over d
+      x = ag::Add(ag::Add(cross, biases_[l]), x);
+    }
+    return x;
+  }
+
+  int64_t input_dim() const { return input_dim_; }
+
+ private:
+  int64_t input_dim_;
+  std::vector<Variable> weights_;
+  std::vector<Variable> biases_;
+};
+
+// DCN (cross network only, "Higher-Order" row of Table 2); the DNN ensemble
+// variant is DcnPlus in dcn_plus.h.
+class Dcn : public TabularModel {
+ public:
+  Dcn(int64_t num_features, int num_fields, int64_t embed_dim, int num_layers,
+      Rng& rng)
+      : embedding_(num_features, embed_dim, rng),
+        cross_(num_fields * embed_dim, num_layers, rng),
+        output_(num_fields * embed_dim, 1, rng) {
+    RegisterModule(&embedding_);
+    RegisterModule(&cross_);
+    RegisterModule(&output_);
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    (void)rng;
+    Variable x0 = FlattenEmbeddings(embedding_.Forward(batch));
+    return SqueezeLogit(output_.Forward(cross_.Forward(x0)));
+  }
+
+  std::string name() const override { return "DCN"; }
+
+ private:
+  FeaturesEmbedding embedding_;
+  CrossNetwork cross_;
+  nn::Linear output_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_DCN_H_

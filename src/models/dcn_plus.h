@@ -1,0 +1,51 @@
+#ifndef ARMNET_MODELS_DCN_PLUS_H_
+#define ARMNET_MODELS_DCN_PLUS_H_
+
+#include <string>
+#include <vector>
+
+#include "models/dcn.h"
+#include "nn/mlp.h"
+
+namespace armnet::models {
+
+// DCN+ (Wang et al. 2017, the full Deep & Cross Network): cross network and
+// deep tower in parallel over shared embeddings, concatenated into the
+// output layer.
+class DcnPlus : public TabularModel {
+ public:
+  DcnPlus(int64_t num_features, int num_fields, int64_t embed_dim,
+          int num_cross_layers, const std::vector<int64_t>& hidden, Rng& rng,
+          float dropout = 0.0f)
+      : embedding_(num_features, embed_dim, rng),
+        cross_(num_fields * embed_dim, num_cross_layers, rng),
+        deep_(num_fields * embed_dim, hidden,
+              hidden.empty() ? 1 : hidden.back(), rng, dropout),
+        output_(num_fields * embed_dim +
+                    (hidden.empty() ? 1 : hidden.back()),
+                1, rng) {
+    RegisterModule(&embedding_);
+    RegisterModule(&cross_);
+    RegisterModule(&deep_);
+    RegisterModule(&output_);
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    Variable x0 = FlattenEmbeddings(embedding_.Forward(batch));
+    Variable cross = cross_.Forward(x0);
+    Variable deep = ag::Relu(deep_.Forward(x0, rng));
+    return SqueezeLogit(output_.Forward(ag::Concat({cross, deep}, 1)));
+  }
+
+  std::string name() const override { return "DCN+"; }
+
+ private:
+  FeaturesEmbedding embedding_;
+  CrossNetwork cross_;
+  nn::Mlp deep_;
+  nn::Linear output_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_DCN_PLUS_H_

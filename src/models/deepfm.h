@@ -1,0 +1,43 @@
+#ifndef ARMNET_MODELS_DEEPFM_H_
+#define ARMNET_MODELS_DEEPFM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tabular.h"
+#include "nn/mlp.h"
+
+namespace armnet::models {
+
+// DeepFM (Guo et al. 2017): FM and a deep tower sharing one embedding
+// table; the logits sum.
+class DeepFm : public TabularModel {
+ public:
+  DeepFm(int64_t num_features, int num_fields, int64_t embed_dim,
+         const std::vector<int64_t>& hidden, Rng& rng, float dropout = 0.0f)
+      : linear_(num_features, rng),
+        embedding_(num_features, embed_dim, rng),
+        mlp_(num_fields * embed_dim, hidden, 1, rng, dropout) {
+    RegisterModule(&linear_);
+    RegisterModule(&embedding_);
+    RegisterModule(&mlp_);
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    Variable e = embedding_.Forward(batch);
+    Variable fm_term = ag::Sum(BiInteraction(e), -1, /*keepdim=*/false);
+    Variable deep = SqueezeLogit(mlp_.Forward(FlattenEmbeddings(e), rng));
+    return ag::Add(ag::Add(linear_.Forward(batch), fm_term), deep);
+  }
+
+  std::string name() const override { return "DeepFM"; }
+
+ private:
+  FeaturesLinear linear_;
+  FeaturesEmbedding embedding_;
+  nn::Mlp mlp_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_DEEPFM_H_

@@ -1,0 +1,38 @@
+#ifndef ARMNET_MODELS_DNN_H_
+#define ARMNET_MODELS_DNN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tabular.h"
+#include "nn/mlp.h"
+
+namespace armnet::models {
+
+// Plain deep network over flattened embeddings — the implicit-interaction
+// baseline and the deep tower reused by every "+DNN" ensemble.
+class Dnn : public TabularModel {
+ public:
+  Dnn(int64_t num_features, int num_fields, int64_t embed_dim,
+      const std::vector<int64_t>& hidden, Rng& rng, float dropout = 0.0f)
+      : embedding_(num_features, embed_dim, rng),
+        mlp_(num_fields * embed_dim, hidden, 1, rng, dropout) {
+    RegisterModule(&embedding_);
+    RegisterModule(&mlp_);
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    Variable x = FlattenEmbeddings(embedding_.Forward(batch));
+    return SqueezeLogit(mlp_.Forward(x, rng));
+  }
+
+  std::string name() const override { return "DNN"; }
+
+ private:
+  FeaturesEmbedding embedding_;
+  nn::Mlp mlp_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_DNN_H_

@@ -1,0 +1,34 @@
+#ifndef ARMNET_MODELS_ENSEMBLE_H_
+#define ARMNET_MODELS_ENSEMBLE_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace armnet::models {
+
+// Learned two-model combination (paper Equation 10):
+//   y = w1 * y_a + w2 * y_b + b
+// with scalar learnable weights, trained end-to-end with both members.
+class LearnedEnsemble : public nn::Module {
+ public:
+  LearnedEnsemble() {
+    w1_ = RegisterParameter("w1", Tensor::Full(Shape({1}), 0.5f));
+    w2_ = RegisterParameter("w2", Tensor::Full(Shape({1}), 0.5f));
+    bias_ = RegisterParameter("bias", Tensor::Zeros(Shape({1})));
+  }
+
+  Variable Forward(const Variable& logit_a, const Variable& logit_b) const {
+    Variable combined =
+        ag::Add(ag::Mul(logit_a, w1_), ag::Mul(logit_b, w2_));
+    return ag::Add(combined, bias_);
+  }
+
+ private:
+  Variable w1_;
+  Variable w2_;
+  Variable bias_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_ENSEMBLE_H_

@@ -1,0 +1,117 @@
+#include "models/factory.h"
+
+#include "core/arm_net.h"
+#include "core/arm_net_plus.h"
+#include "models/afm.h"
+#include "models/afn.h"
+#include "models/afn_plus.h"
+#include "models/cin.h"
+#include "models/dcn.h"
+#include "models/dcn_plus.h"
+#include "models/deepfm.h"
+#include "models/dnn.h"
+#include "models/fm.h"
+#include "models/gat.h"
+#include "models/gcn.h"
+#include "models/hofm.h"
+#include "models/kpnn.h"
+#include "models/lr.h"
+#include "models/nfm.h"
+#include "models/wide_deep.h"
+#include "models/xdeepfm.h"
+
+namespace armnet::models {
+
+std::vector<std::string> AllModelNames() {
+  return {"LR",   "FM",      "AFM",       "HOFM", "DCN",  "CIN",
+          "AFN",  "ARM-Net", "DNN",       "GCN",  "GAT",  "Wide&Deep",
+          "KPNN", "NFM",     "DeepFM",    "DCN+", "xDeepFM", "AFN+",
+          "ARM-Net+"};
+}
+
+std::unique_ptr<TabularModel> CreateModel(const std::string& name,
+                                          const data::Schema& schema,
+                                          const FactoryConfig& config,
+                                          Rng& rng) {
+  const int64_t features = schema.num_features();
+  const int fields = schema.num_fields();
+  const int64_t ne = config.embed_dim;
+
+  core::ArmNetConfig arm = config.arm;
+  arm.embed_dim = ne;
+
+  if (name == "LR") return std::make_unique<Lr>(features, rng);
+  if (name == "FM") return std::make_unique<Fm>(features, ne, rng);
+  if (name == "AFM") {
+    return std::make_unique<Afm>(features, fields, ne, config.attention_dim,
+                                 rng, config.dropout);
+  }
+  if (name == "HOFM") {
+    return std::make_unique<Hofm>(features, ne, config.hofm_max_order, rng);
+  }
+  if (name == "DCN") {
+    return std::make_unique<Dcn>(features, fields, ne, config.dcn_layers,
+                                 rng);
+  }
+  if (name == "CIN") {
+    return std::make_unique<Cin>(features, fields, ne, config.cin_layers,
+                                 rng);
+  }
+  if (name == "AFN") {
+    return std::make_unique<Afn>(features, fields, ne, config.afn_neurons,
+                                 config.afn_hidden, rng, config.dropout);
+  }
+  if (name == "ARM-Net") {
+    return std::make_unique<core::ArmNet>(features, fields, arm, rng);
+  }
+  if (name == "DNN") {
+    return std::make_unique<Dnn>(features, fields, ne, config.dnn_hidden,
+                                 rng, config.dropout);
+  }
+  if (name == "GCN") {
+    return std::make_unique<Gcn>(features, fields, ne, config.graph_hidden,
+                                 config.graph_layers, rng);
+  }
+  if (name == "GAT") {
+    return std::make_unique<Gat>(features, fields, ne, config.graph_hidden,
+                                 config.graph_layers, rng);
+  }
+  if (name == "Wide&Deep") {
+    return std::make_unique<WideDeep>(features, fields, ne,
+                                      config.dnn_hidden, rng, config.dropout);
+  }
+  if (name == "KPNN") {
+    return std::make_unique<Kpnn>(features, fields, ne, config.dnn_hidden,
+                                  rng, config.dropout);
+  }
+  if (name == "NFM") {
+    return std::make_unique<Nfm>(features, ne, config.dnn_hidden, rng,
+                                 config.dropout);
+  }
+  if (name == "DeepFM") {
+    return std::make_unique<DeepFm>(features, fields, ne, config.dnn_hidden,
+                                    rng, config.dropout);
+  }
+  if (name == "DCN+") {
+    return std::make_unique<DcnPlus>(features, fields, ne, config.dcn_layers,
+                                     config.dnn_hidden, rng, config.dropout);
+  }
+  if (name == "xDeepFM") {
+    return std::make_unique<XDeepFm>(features, fields, ne, config.cin_layers,
+                                     config.dnn_hidden, rng, config.dropout);
+  }
+  if (name == "AFN+") {
+    return std::make_unique<AfnPlus>(features, fields, ne,
+                                     config.afn_neurons, config.afn_hidden,
+                                     config.dnn_hidden, rng, config.dropout);
+  }
+  if (name == "ARM-Net+") {
+    return std::make_unique<core::ArmNetPlus>(features, fields, arm,
+                                              config.dnn_hidden, rng,
+                                              config.dropout);
+  }
+  ARMNET_CHECK(false) << "unknown model name: " << name;
+  return nullptr;
+}
+
+}  // namespace armnet::models

@@ -1,0 +1,47 @@
+#ifndef ARMNET_MODELS_FACTORY_H_
+#define ARMNET_MODELS_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/tabular.h"
+#include "data/schema.h"
+
+namespace armnet::models {
+
+// Construction knobs shared across the zoo; defaults follow the paper's
+// common settings (embedding size 10, one searched DNN shape shared by all
+// ensembles) scaled to single-core training.
+struct FactoryConfig {
+  int64_t embed_dim = 10;
+  std::vector<int64_t> dnn_hidden = {128, 64};
+  float dropout = 0.0f;
+  // Higher-order knobs.
+  int hofm_max_order = 3;
+  int dcn_layers = 3;
+  std::vector<int64_t> cin_layers = {32, 32};
+  int64_t afn_neurons = 64;
+  std::vector<int64_t> afn_hidden = {128};
+  int64_t attention_dim = 16;  // AFM
+  int64_t graph_hidden = 16;   // GCN / GAT
+  int graph_layers = 2;
+  // ARM-Net (overridable per dataset; Table 1 lists the searched best).
+  core::ArmNetConfig arm;
+};
+
+// Model names accepted by CreateModel, in the row order of Table 2.
+std::vector<std::string> AllModelNames();
+
+// Builds a model by Table 2 name ("LR", "FM", "AFM", "HOFM", "DCN", "CIN",
+// "AFN", "ARM-Net", "DNN", "GCN", "GAT", "Wide&Deep", "KPNN", "NFM",
+// "DeepFM", "DCN+", "xDeepFM", "AFN+", "ARM-Net+"). Aborts on unknown names.
+std::unique_ptr<TabularModel> CreateModel(const std::string& name,
+                                          const data::Schema& schema,
+                                          const FactoryConfig& config,
+                                          Rng& rng);
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_FACTORY_H_

@@ -1,0 +1,44 @@
+#ifndef ARMNET_MODELS_FM_H_
+#define ARMNET_MODELS_FM_H_
+
+#include <string>
+
+#include "core/tabular.h"
+
+namespace armnet::models {
+
+// Factorization Machine (Rendle 2010): first-order term plus factorized
+// second-order interactions sum_{i<j} <e_i, e_j>, computed in O(m n_e) via
+// the bi-interaction identity.
+class Fm : public TabularModel {
+ public:
+  Fm(int64_t num_features, int64_t embed_dim, Rng& rng)
+      : linear_(num_features, rng),
+        embedding_(num_features, embed_dim, rng) {
+    RegisterModule(&linear_);
+    RegisterModule(&embedding_);
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    (void)rng;
+    Variable first = linear_.Forward(batch);                 // [B]
+    Variable e = embedding_.Forward(batch);                  // [B, m, ne]
+    Variable second =
+        ag::Sum(BiInteraction(e), -1, /*keepdim=*/false);    // [B]
+    return ag::Add(first, second);
+  }
+
+  std::string name() const override { return "FM"; }
+
+  // Shared access for hybrid models (the Figure 5 study enhances this FM
+  // with ARM-Net exponential-neuron features).
+  const FeaturesEmbedding& embedding() const { return embedding_; }
+
+ private:
+  FeaturesLinear linear_;
+  FeaturesEmbedding embedding_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_FM_H_

@@ -1,0 +1,80 @@
+#ifndef ARMNET_MODELS_FM_ARM_H_
+#define ARMNET_MODELS_FM_ARM_H_
+
+#include <string>
+
+#include "core/arm_module.h"
+#include "core/tabular.h"
+#include "nn/batchnorm.h"
+#include "nn/linear.h"
+
+namespace armnet::models {
+
+// FM enhanced with ARM-Net exponential-neuron cross features (the Figure 5
+// study, "Enhancing FM with Exponential Neurons"): a single-head ARM module
+// runs on top of the *shared* FM embeddings, and its o cross features are
+// projected into the logit alongside the FM terms.
+class FmArm : public TabularModel {
+ public:
+  FmArm(int64_t num_features, int num_fields, int64_t embed_dim,
+        int64_t num_exponential_neurons, float alpha, Rng& rng)
+      : linear_(num_features, rng),
+        embedding_(num_features, embed_dim, rng),
+        arm_(num_fields,
+             [&] {
+               core::ArmNetConfig config;
+               config.embed_dim = embed_dim;
+               config.num_heads = 1;
+               config.neurons_per_head = num_exponential_neurons;
+               config.alpha = alpha;
+               return config;
+             }(),
+             rng),
+        norm_(num_exponential_neurons * embed_dim),
+        projection_(num_exponential_neurons * embed_dim, 1, rng),
+        num_neurons_(num_exponential_neurons) {
+    RegisterModule(&linear_);
+    RegisterModule(&embedding_);
+    RegisterModule(&arm_);
+    RegisterModule(&norm_);
+    RegisterModule(&projection_);
+    // Zero-init the projection so the ARM branch starts as a no-op and the
+    // hybrid begins exactly as the base FM, phasing the cross features in
+    // as their gradient warrants (residual-branch initialization).
+    for (Variable p : projection_.Parameters()) {
+      p.mutable_value().Fill(0.0f);
+    }
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    (void)rng;
+    Variable e = embedding_.Forward(batch);
+    Variable fm_term = ag::Sum(BiInteraction(e), -1, /*keepdim=*/false);
+    Variable base = ag::Add(linear_.Forward(batch), fm_term);
+
+    core::ArmModule::Output arm = arm_.Forward(e);
+    Variable cross = ag::Reshape(arm.cross_features,
+                                 Shape({batch.batch_size, -1}));
+    // Exponential-neuron outputs start near 1 with tiny variance; the norm
+    // makes the projected cross features train at a useful rate (same
+    // reasoning as in ArmNet's head).
+    cross = norm_.Forward(cross);
+    return ag::Add(base, SqueezeLogit(projection_.Forward(cross)));
+  }
+
+  std::string name() const override {
+    return "FM+o" + std::to_string(num_neurons_);
+  }
+
+ private:
+  FeaturesLinear linear_;
+  FeaturesEmbedding embedding_;
+  core::ArmModule arm_;
+  nn::BatchNorm1d norm_;
+  nn::Linear projection_;
+  int64_t num_neurons_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_FM_ARM_H_

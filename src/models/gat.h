@@ -1,0 +1,70 @@
+#ifndef ARMNET_MODELS_GAT_H_
+#define ARMNET_MODELS_GAT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tabular.h"
+#include "nn/linear.h"
+
+namespace armnet::models {
+
+// Graph attention network (Velickovic et al. 2018) over the complete field
+// graph. Per layer, with projected nodes h_i = W x_i:
+//   score_ij = LeakyReLU(a_srcᵀ h_i + a_dstᵀ h_j)
+//   α_i·     = softmax_j(score_ij)
+//   h'_i     = ReLU(Σ_j α_ij h_j)
+class Gat : public TabularModel {
+ public:
+  Gat(int64_t num_features, int num_fields, int64_t embed_dim,
+      int64_t hidden_dim, int num_layers, Rng& rng)
+      : embedding_(num_features, embed_dim, rng),
+        output_(num_fields * hidden_dim, 1, rng) {
+    int64_t prev = embed_dim;
+    for (int l = 0; l < num_layers; ++l) {
+      project_.push_back(
+          std::make_unique<nn::Linear>(prev, hidden_dim, rng, /*bias=*/false));
+      attn_src_.push_back(
+          std::make_unique<nn::Linear>(hidden_dim, 1, rng, /*bias=*/false));
+      attn_dst_.push_back(
+          std::make_unique<nn::Linear>(hidden_dim, 1, rng, /*bias=*/false));
+      RegisterModule(project_.back().get());
+      RegisterModule(attn_src_.back().get());
+      RegisterModule(attn_dst_.back().get());
+      prev = hidden_dim;
+    }
+    RegisterModule(&embedding_);
+    RegisterModule(&output_);
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    (void)rng;
+    Variable h = embedding_.Forward(batch);  // [B, m, ne]
+    for (size_t l = 0; l < project_.size(); ++l) {
+      Variable projected = project_[l]->Forward(h);        // [B, m, d]
+      Variable src = attn_src_[l]->Forward(projected);     // [B, m, 1]
+      Variable dst = attn_dst_[l]->Forward(projected);     // [B, m, 1]
+      // score[b, i, j] = src[b, i] + dst[b, j] via broadcast add.
+      Variable scores =
+          ag::Add(src, ag::Transpose(dst, 1, 2));          // [B, m, m]
+      Variable attention = ag::Softmax(ag::LeakyRelu(scores, 0.2f));
+      h = ag::Relu(ag::MatMul(attention, projected));      // [B, m, d]
+    }
+    return SqueezeLogit(output_.Forward(
+        ag::Reshape(h, Shape({batch.batch_size, -1}))));
+  }
+
+  std::string name() const override { return "GAT"; }
+
+ private:
+  FeaturesEmbedding embedding_;
+  std::vector<std::unique_ptr<nn::Linear>> project_;
+  std::vector<std::unique_ptr<nn::Linear>> attn_src_;
+  std::vector<std::unique_ptr<nn::Linear>> attn_dst_;
+  nn::Linear output_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_GAT_H_

@@ -1,0 +1,61 @@
+#ifndef ARMNET_MODELS_GCN_H_
+#define ARMNET_MODELS_GCN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tabular.h"
+#include "nn/linear.h"
+
+namespace armnet::models {
+
+// Graph convolutional network (Kipf & Welling 2017) over the complete graph
+// whose nodes are the attribute fields: each layer mixes a self term with
+// the mean over all field embeddings,
+//   H' = ReLU(H W_self + mean_j(H_j) W_neighbor).
+class Gcn : public TabularModel {
+ public:
+  Gcn(int64_t num_features, int num_fields, int64_t embed_dim,
+      int64_t hidden_dim, int num_layers, Rng& rng)
+      : embedding_(num_features, embed_dim, rng),
+        output_(num_fields * hidden_dim, 1, rng) {
+    int64_t prev = embed_dim;
+    for (int l = 0; l < num_layers; ++l) {
+      self_.push_back(std::make_unique<nn::Linear>(prev, hidden_dim, rng));
+      neighbor_.push_back(
+          std::make_unique<nn::Linear>(prev, hidden_dim, rng,
+                                       /*bias=*/false));
+      RegisterModule(self_.back().get());
+      RegisterModule(neighbor_.back().get());
+      prev = hidden_dim;
+    }
+    RegisterModule(&embedding_);
+    RegisterModule(&output_);
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    (void)rng;
+    Variable h = embedding_.Forward(batch);  // [B, m, ne]
+    for (size_t l = 0; l < self_.size(); ++l) {
+      Variable aggregated = ag::Mean(h, 1, /*keepdim=*/true);  // [B, 1, ne]
+      Variable mixed = ag::Add(self_[l]->Forward(h),
+                               neighbor_[l]->Forward(aggregated));
+      h = ag::Relu(mixed);
+    }
+    return SqueezeLogit(output_.Forward(
+        ag::Reshape(h, Shape({batch.batch_size, -1}))));
+  }
+
+  std::string name() const override { return "GCN"; }
+
+ private:
+  FeaturesEmbedding embedding_;
+  std::vector<std::unique_ptr<nn::Linear>> self_;
+  std::vector<std::unique_ptr<nn::Linear>> neighbor_;
+  nn::Linear output_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_GCN_H_

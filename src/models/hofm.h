@@ -1,0 +1,76 @@
+#ifndef ARMNET_MODELS_HOFM_H_
+#define ARMNET_MODELS_HOFM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tabular.h"
+
+namespace armnet::models {
+
+// Higher-Order Factorization Machine (Blondel et al. 2016): explicit
+// interactions of every order t = 2..max_order, each with its own embedding
+// table, evaluated with the ANOVA-kernel dynamic program
+//   a_t(j) = a_t(j-1) + e_j ∘ a_{t-1}(j-1)
+// which sums Π_{i1<...<it} e_{i1} ∘ ... ∘ e_{it} in O(m * t) ops.
+class Hofm : public TabularModel {
+ public:
+  Hofm(int64_t num_features, int64_t embed_dim, int max_order, Rng& rng)
+      : linear_(num_features, rng), max_order_(max_order) {
+    ARMNET_CHECK_GE(max_order, 2);
+    RegisterModule(&linear_);
+    for (int order = 2; order <= max_order; ++order) {
+      embeddings_.push_back(
+          std::make_unique<FeaturesEmbedding>(num_features, embed_dim, rng));
+      RegisterModule(embeddings_.back().get());
+    }
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    (void)rng;
+    Variable logit = linear_.Forward(batch);
+    for (int order = 2; order <= max_order_; ++order) {
+      const auto& table = embeddings_[static_cast<size_t>(order - 2)];
+      Variable e = table->Forward(batch);  // [B, m, ne]
+      Variable kernel = AnovaKernel(e, order, batch);
+      logit = ag::Add(logit, ag::Sum(kernel, -1, /*keepdim=*/false));
+    }
+    return logit;
+  }
+
+  std::string name() const override { return "HOFM"; }
+
+ private:
+  // ANOVA kernel of the given order over the field axis -> [B, ne].
+  static Variable AnovaKernel(const Variable& e, int order,
+                              const data::Batch& batch) {
+    const int m = batch.num_fields;
+    const int64_t b = batch.batch_size;
+    const int64_t ne = e.shape().dim(2);
+    // a[t] holds the order-t kernel over the fields processed so far.
+    std::vector<Variable> a(static_cast<size_t>(order + 1));
+    a[0] = ag::Constant(Tensor::Ones(Shape({b, ne})));
+    for (int t = 1; t <= order; ++t) {
+      a[static_cast<size_t>(t)] = ag::Constant(Tensor::Zeros(Shape({b, ne})));
+    }
+    for (int j = 0; j < m; ++j) {
+      Variable ej = ag::Reshape(ag::Slice(e, 1, j, 1), Shape({b, ne}));
+      // Descend so each e_j joins every subset at most once.
+      for (int t = std::min(order, j + 1); t >= 1; --t) {
+        a[static_cast<size_t>(t)] =
+            ag::Add(a[static_cast<size_t>(t)],
+                    ag::Mul(ej, a[static_cast<size_t>(t - 1)]));
+      }
+    }
+    return a[static_cast<size_t>(order)];
+  }
+
+  FeaturesLinear linear_;
+  int max_order_;
+  std::vector<std::unique_ptr<FeaturesEmbedding>> embeddings_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_HOFM_H_

@@ -1,0 +1,56 @@
+#ifndef ARMNET_MODELS_KPNN_H_
+#define ARMNET_MODELS_KPNN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tabular.h"
+#include "nn/mlp.h"
+
+namespace armnet::models {
+
+// Kernel Product Neural Network (Qu et al. 2018, PNN with kernel products):
+// pairwise kernel products p_ij = e_iᵀ K e_j with a shared learnable kernel
+// K, concatenated with the flattened embeddings and fed to a DNN.
+class Kpnn : public TabularModel {
+ public:
+  Kpnn(int64_t num_features, int num_fields, int64_t embed_dim,
+       const std::vector<int64_t>& hidden, Rng& rng, float dropout = 0.0f)
+      : embedding_(num_features, embed_dim, rng),
+        pairs_(MakePairIndices(num_fields)),
+        mlp_(num_fields * embed_dim +
+                 static_cast<int64_t>(pairs_.left.size()),
+             hidden, 1, rng, dropout) {
+    kernel_ = RegisterParameter(
+        "kernel",
+        nn::XavierUniform(Shape({embed_dim, embed_dim}), embed_dim, embed_dim,
+                          rng));
+    RegisterModule(&embedding_);
+    RegisterModule(&mlp_);
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    Variable e = embedding_.Forward(batch);                   // [B, m, ne]
+    Variable left = ag::IndexSelect(e, 1, pairs_.left);       // [B, P, ne]
+    Variable right = ag::IndexSelect(e, 1, pairs_.right);     // [B, P, ne]
+    // e_iᵀ K e_j = sum over ne of (e_i K) ∘ e_j.
+    Variable projected = ag::MatMul(left, kernel_);           // [B, P, ne]
+    Variable products =
+        ag::Sum(ag::Mul(projected, right), -1, /*keepdim=*/false);  // [B, P]
+    Variable features =
+        ag::Concat({FlattenEmbeddings(e), products}, 1);
+    return SqueezeLogit(mlp_.Forward(features, rng));
+  }
+
+  std::string name() const override { return "KPNN"; }
+
+ private:
+  FeaturesEmbedding embedding_;
+  PairIndices pairs_;
+  nn::Mlp mlp_;
+  Variable kernel_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_KPNN_H_

@@ -1,0 +1,31 @@
+#ifndef ARMNET_MODELS_LR_H_
+#define ARMNET_MODELS_LR_H_
+
+#include <string>
+
+#include "core/tabular.h"
+
+namespace armnet::models {
+
+// Logistic regression: first-order aggregation of raw features, no
+// interactions (Table 2, "First-Order").
+class Lr : public TabularModel {
+ public:
+  Lr(int64_t num_features, Rng& rng) : linear_(num_features, rng) {
+    RegisterModule(&linear_);
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    (void)rng;
+    return linear_.Forward(batch);
+  }
+
+  std::string name() const override { return "LR"; }
+
+ private:
+  FeaturesLinear linear_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_LR_H_

@@ -1,0 +1,42 @@
+#ifndef ARMNET_MODELS_NFM_H_
+#define ARMNET_MODELS_NFM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tabular.h"
+#include "nn/mlp.h"
+
+namespace armnet::models {
+
+// Neural Factorization Machine (He & Chua 2017): the FM bi-interaction
+// pooling vector fed through a DNN, plus the first-order term.
+class Nfm : public TabularModel {
+ public:
+  Nfm(int64_t num_features, int64_t embed_dim,
+      const std::vector<int64_t>& hidden, Rng& rng, float dropout = 0.0f)
+      : linear_(num_features, rng),
+        embedding_(num_features, embed_dim, rng),
+        mlp_(embed_dim, hidden, 1, rng, dropout) {
+    RegisterModule(&linear_);
+    RegisterModule(&embedding_);
+    RegisterModule(&mlp_);
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    Variable pooled = BiInteraction(embedding_.Forward(batch));  // [B, ne]
+    Variable deep = SqueezeLogit(mlp_.Forward(pooled, rng));
+    return ag::Add(linear_.Forward(batch), deep);
+  }
+
+  std::string name() const override { return "NFM"; }
+
+ private:
+  FeaturesLinear linear_;
+  FeaturesEmbedding embedding_;
+  nn::Mlp mlp_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_NFM_H_

@@ -1,0 +1,42 @@
+#ifndef ARMNET_MODELS_WIDE_DEEP_H_
+#define ARMNET_MODELS_WIDE_DEEP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tabular.h"
+#include "nn/mlp.h"
+
+namespace armnet::models {
+
+// Wide & Deep (Cheng et al. 2016): a linear "wide" part summed with a deep
+// tower over embeddings.
+class WideDeep : public TabularModel {
+ public:
+  WideDeep(int64_t num_features, int num_fields, int64_t embed_dim,
+           const std::vector<int64_t>& hidden, Rng& rng, float dropout = 0.0f)
+      : linear_(num_features, rng),
+        embedding_(num_features, embed_dim, rng),
+        mlp_(num_fields * embed_dim, hidden, 1, rng, dropout) {
+    RegisterModule(&linear_);
+    RegisterModule(&embedding_);
+    RegisterModule(&mlp_);
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    Variable deep = SqueezeLogit(
+        mlp_.Forward(FlattenEmbeddings(embedding_.Forward(batch)), rng));
+    return ag::Add(linear_.Forward(batch), deep);
+  }
+
+  std::string name() const override { return "Wide&Deep"; }
+
+ private:
+  FeaturesLinear linear_;
+  FeaturesEmbedding embedding_;
+  nn::Mlp mlp_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_WIDE_DEEP_H_

@@ -1,0 +1,52 @@
+#ifndef ARMNET_MODELS_XDEEPFM_H_
+#define ARMNET_MODELS_XDEEPFM_H_
+
+#include <string>
+#include <vector>
+
+#include "models/cin.h"
+#include "nn/mlp.h"
+
+namespace armnet::models {
+
+// xDeepFM (Lian et al. 2018): linear + CIN + DNN over shared embeddings.
+class XDeepFm : public TabularModel {
+ public:
+  XDeepFm(int64_t num_features, int num_fields, int64_t embed_dim,
+          const std::vector<int64_t>& cin_layers,
+          const std::vector<int64_t>& hidden, Rng& rng, float dropout = 0.0f)
+      : linear_(num_features, rng),
+        embedding_(num_features, embed_dim, rng),
+        cin_(num_fields, embed_dim, cin_layers, rng),
+        cin_output_(cin_.output_dim(), 1, rng),
+        mlp_(num_fields * embed_dim, hidden, 1, rng, dropout) {
+    RegisterModule(&linear_);
+    RegisterModule(&embedding_);
+    RegisterModule(&cin_);
+    RegisterModule(&cin_output_);
+    RegisterModule(&mlp_);
+  }
+
+  Variable Forward(const data::Batch& batch, Rng& rng) override {
+    Variable e = embedding_.Forward(batch);
+    Variable explicit_term =
+        SqueezeLogit(cin_output_.Forward(cin_.Forward(e)));
+    Variable implicit_term =
+        SqueezeLogit(mlp_.Forward(FlattenEmbeddings(e), rng));
+    return ag::Add(ag::Add(linear_.Forward(batch), explicit_term),
+                   implicit_term);
+  }
+
+  std::string name() const override { return "xDeepFM"; }
+
+ private:
+  FeaturesLinear linear_;
+  FeaturesEmbedding embedding_;
+  CinNetwork cin_;
+  nn::Linear cin_output_;
+  nn::Mlp mlp_;
+};
+
+}  // namespace armnet::models
+
+#endif  // ARMNET_MODELS_XDEEPFM_H_

@@ -1,0 +1,65 @@
+#ifndef ARMNET_NN_BATCHNORM_H_
+#define ARMNET_NN_BATCHNORM_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "tensor/tensor_ops.h"
+
+namespace armnet::nn {
+
+// Batch normalization over the feature dimension of a [B, F] input.
+//
+// Training mode normalizes by batch statistics (gradients flow through
+// them) and updates exponential running estimates; eval mode normalizes by
+// the running estimates. Used by AFN's logarithmic transformation layer,
+// which is numerically fragile without it (Cheng et al. 2020).
+class BatchNorm1d : public Module {
+ public:
+  BatchNorm1d(int64_t features, float momentum = 0.1f, float eps = 1e-5f)
+      : features_(features), momentum_(momentum), eps_(eps) {
+    gamma_ = RegisterParameter("gamma", Tensor::Ones(Shape({1, features})));
+    beta_ = RegisterParameter("beta", Tensor::Zeros(Shape({1, features})));
+    running_mean_ =
+        RegisterBuffer("running_mean", Tensor::Zeros(Shape({1, features})));
+    running_var_ =
+        RegisterBuffer("running_var", Tensor::Ones(Shape({1, features})));
+  }
+
+  Variable Forward(const Variable& x) {
+    ARMNET_CHECK_EQ(x.shape().dim(-1), features_);
+    ARMNET_CHECK_EQ(x.value().rank(), 2) << "BatchNorm1d expects [B, F]";
+    Variable centered, inv_std;
+    if (training()) {
+      Variable mean = ag::Mean(x, 0, /*keepdim=*/true);
+      centered = ag::Sub(x, mean);
+      Variable var = ag::Mean(ag::Square(centered), 0, /*keepdim=*/true);
+      inv_std = ag::PowScalar(ag::AddScalar(var, eps_), -0.5f);
+      UpdateRunningStats(mean.value(), var.value());
+    } else {
+      centered = ag::Sub(x, ag::Constant(running_mean_));
+      inv_std = ag::Constant(
+          tmath::PowScalar(tmath::AddScalar(running_var_, eps_), -0.5f));
+    }
+    return ag::Add(ag::Mul(ag::Mul(centered, inv_std), gamma_), beta_);
+  }
+
+ private:
+  void UpdateRunningStats(const Tensor& mean, const Tensor& var) {
+    for (int64_t i = 0; i < features_; ++i) {
+      running_mean_[i] += momentum_ * (mean[i] - running_mean_[i]);
+      running_var_[i] += momentum_ * (var[i] - running_var_[i]);
+    }
+  }
+
+  int64_t features_;
+  float momentum_;
+  float eps_;
+  Variable gamma_;
+  Variable beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+};
+
+}  // namespace armnet::nn
+
+#endif  // ARMNET_NN_BATCHNORM_H_

@@ -1,0 +1,42 @@
+#ifndef ARMNET_NN_EMBEDDING_H_
+#define ARMNET_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "nn/module.h"
+
+namespace armnet::nn {
+
+// Embedding table: maps integer feature ids to dense rows.
+//
+// The tabular models index one global table over all (field, category)
+// pairs — the paper's preprocessing module (Section 3.2.1). Lookups take a
+// flat id vector; callers reshape the [n, width] result to [B, m, width].
+class Embedding : public Module {
+ public:
+  Embedding(int64_t num_rows, int64_t width, Rng& rng)
+      : num_rows_(num_rows), width_(width) {
+    table_ = RegisterParameter("table",
+                               EmbeddingInit(Shape({num_rows, width}), rng));
+  }
+
+  // -> [ids.size(), width]
+  Variable Forward(const std::vector<int64_t>& ids) const {
+    return ag::EmbeddingLookup(table_, ids);
+  }
+
+  int64_t num_rows() const { return num_rows_; }
+  int64_t width() const { return width_; }
+  const Variable& table() const { return table_; }
+
+ private:
+  int64_t num_rows_;
+  int64_t width_;
+  Variable table_;
+};
+
+}  // namespace armnet::nn
+
+#endif  // ARMNET_NN_EMBEDDING_H_

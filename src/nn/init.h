@@ -1,0 +1,32 @@
+#ifndef ARMNET_NN_INIT_H_
+#define ARMNET_NN_INIT_H_
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+
+namespace armnet::nn {
+
+// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+inline Tensor XavierUniform(Shape shape, int64_t fan_in, int64_t fan_out,
+                            Rng& rng) {
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Uniform(std::move(shape), -a, a, rng);
+}
+
+// He/Kaiming normal for ReLU networks: N(0, sqrt(2 / fan_in)).
+inline Tensor HeNormal(Shape shape, int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::Normal(std::move(shape), 0.0f, stddev, rng);
+}
+
+// Small-scale normal used for embedding tables (matches the reference
+// PyTorch implementation's init scale).
+inline Tensor EmbeddingInit(Shape shape, Rng& rng) {
+  return Tensor::Normal(std::move(shape), 0.0f, 0.01f, rng);
+}
+
+}  // namespace armnet::nn
+
+#endif  // ARMNET_NN_INIT_H_

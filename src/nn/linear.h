@@ -1,0 +1,44 @@
+#ifndef ARMNET_NN_LINEAR_H_
+#define ARMNET_NN_LINEAR_H_
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "nn/module.h"
+
+namespace armnet::nn {
+
+// Affine map y = x W + b with W stored [in, out] (no transpose at runtime).
+// Accepts inputs of any rank; the last dimension must equal `in`.
+class Linear : public Module {
+ public:
+  Linear(int64_t in, int64_t out, Rng& rng, bool bias = true)
+      : in_(in), out_(out) {
+    weight_ = RegisterParameter(
+        "weight", XavierUniform(Shape({in, out}), in, out, rng));
+    if (bias) {
+      bias_ = RegisterParameter("bias", Tensor::Zeros(Shape({out})));
+    }
+  }
+
+  Variable Forward(const Variable& x) const {
+    ARMNET_CHECK_EQ(x.shape().dim(-1), in_)
+        << "Linear expected last dim " << in_;
+    Variable y = ag::MatMul(x, weight_);
+    if (bias_.defined()) y = ag::Add(y, bias_);
+    return y;
+  }
+
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+  const Variable& weight() const { return weight_; }
+
+ private:
+  int64_t in_;
+  int64_t out_;
+  Variable weight_;
+  Variable bias_;
+};
+
+}  // namespace armnet::nn
+
+#endif  // ARMNET_NN_LINEAR_H_

@@ -1,0 +1,47 @@
+#ifndef ARMNET_NN_MLP_H_
+#define ARMNET_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+
+namespace armnet::nn {
+
+// Multilayer perceptron: [Linear -> ReLU -> Dropout]* -> Linear.
+//
+// The shared "deep" component of every ensemble model in the paper and the
+// prediction module phi_MLP of ARM-Net (Equation 7). Dropout is applied
+// after each hidden activation when dropout > 0 and the module is training.
+class Mlp : public Module {
+ public:
+  // `hidden` lists hidden layer widths (possibly empty = single affine map).
+  Mlp(int64_t in, const std::vector<int64_t>& hidden, int64_t out, Rng& rng,
+      float dropout = 0.0f)
+      : dropout_(dropout) {
+    int64_t prev = in;
+    for (int64_t width : hidden) {
+      layers_.push_back(std::make_unique<Linear>(prev, width, rng));
+      RegisterModule(layers_.back().get());
+      prev = width;
+    }
+    layers_.push_back(std::make_unique<Linear>(prev, out, rng));
+    RegisterModule(layers_.back().get());
+  }
+
+  Variable Forward(Variable x, Rng& rng) const {
+    for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+      x = ag::Relu(layers_[i]->Forward(x));
+      x = ag::Dropout(x, dropout_, training(), rng);
+    }
+    return layers_.back()->Forward(x);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  float dropout_;
+};
+
+}  // namespace armnet::nn
+
+#endif  // ARMNET_NN_MLP_H_

@@ -1,0 +1,103 @@
+#ifndef ARMNET_NN_MODULE_H_
+#define ARMNET_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace armnet::nn {
+
+// Base class for neural network building blocks.
+//
+// A Module owns parameters (Variables with requires_grad) and registers
+// child modules so that Parameters() can walk the whole tree for the
+// optimizer and ParameterCount() can report inference-time model size (the
+// "Param" columns of the paper's Table 2).
+//
+// There is no virtual Forward() — input signatures differ per block; each
+// concrete module exposes its own typed Forward.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All parameters of this module and its registered children.
+  std::vector<Variable> Parameters() const {
+    std::vector<Variable> all;
+    CollectParameters(&all);
+    return all;
+  }
+
+  // All non-learnable state tensors (e.g. batch-norm running statistics)
+  // of this module and its children. Anything that must be saved/restored
+  // together with the parameters belongs here.
+  std::vector<Tensor> Buffers() const {
+    std::vector<Tensor> all;
+    CollectBuffers(&all);
+    return all;
+  }
+
+  // Total number of learnable scalars.
+  int64_t ParameterCount() const {
+    int64_t total = 0;
+    for (const Variable& p : Parameters()) total += p.numel();
+    return total;
+  }
+
+  // Training vs inference mode (affects dropout and batch norm), applied
+  // recursively.
+  void SetTraining(bool training) {
+    training_ = training;
+    for (Module* child : children_) child->SetTraining(training);
+  }
+  bool training() const { return training_; }
+
+ protected:
+  Module() = default;
+
+  // Wraps `init` as a learnable parameter tracked by this module.
+  Variable RegisterParameter(std::string name, Tensor init) {
+    Variable p(std::move(init), /*requires_grad=*/true);
+    params_.emplace_back(std::move(name), p);
+    return p;
+  }
+
+  // Tracks a non-learnable state tensor. The returned handle shares
+  // storage with the tracked buffer (Tensors are shared handles), so the
+  // module mutates its copy and Buffers() sees the updates.
+  Tensor RegisterBuffer(std::string name, Tensor init) {
+    buffers_.emplace_back(std::move(name), init);
+    return init;
+  }
+
+  // Registers a child whose lifetime the caller guarantees (typically a
+  // member object of the subclass).
+  void RegisterModule(Module* child) {
+    ARMNET_CHECK(child != nullptr);
+    children_.push_back(child);
+  }
+
+ private:
+  void CollectParameters(std::vector<Variable>* out) const {
+    for (const auto& [name, p] : params_) out->push_back(p);
+    for (const Module* child : children_) child->CollectParameters(out);
+  }
+
+  void CollectBuffers(std::vector<Tensor>* out) const {
+    for (const auto& [name, b] : buffers_) out->push_back(b);
+    for (const Module* child : children_) child->CollectBuffers(out);
+  }
+
+  std::vector<std::pair<std::string, Variable>> params_;
+  std::vector<std::pair<std::string, Tensor>> buffers_;
+  std::vector<Module*> children_;
+  bool training_ = true;
+};
+
+}  // namespace armnet::nn
+
+#endif  // ARMNET_NN_MODULE_H_

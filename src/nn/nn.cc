@@ -1,0 +1,7 @@
+// Translation unit anchoring the otherwise header-only nn library so it
+// builds as a normal static archive.
+#include "nn/batchnorm.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/module.h"

@@ -1,0 +1,135 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace armnet::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'R', 'M', 'S'};
+constexpr uint32_t kVersion = 1;
+
+void WriteTensor(std::ofstream& out, const Tensor& tensor) {
+  const uint32_t rank = static_cast<uint32_t>(tensor.rank());
+  out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (int d = 0; d < tensor.rank(); ++d) {
+    const int64_t dim = tensor.dim(d);
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  }
+  out.write(reinterpret_cast<const char*>(tensor.data()),
+            static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+}
+
+// Reads one tensor; returns an error on EOF or absurd ranks.
+StatusOr<Tensor> ReadTensor(std::ifstream& in, const std::string& path) {
+  uint32_t rank = 0;
+  in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  if (!in || rank > 16) {
+    return Status::Error("corrupt tensor header in " + path);
+  }
+  std::vector<int64_t> dims(rank);
+  for (uint32_t d = 0; d < rank; ++d) {
+    in.read(reinterpret_cast<char*>(&dims[d]), sizeof(int64_t));
+    if (!in || dims[d] < 0) {
+      return Status::Error("corrupt tensor dims in " + path);
+    }
+  }
+  Tensor tensor{Shape(std::move(dims))};
+  in.read(reinterpret_cast<char*>(tensor.data()),
+          static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  if (!in) return Status::Error("truncated tensor data in " + path);
+  return tensor;
+}
+
+}  // namespace
+
+Status SaveState(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Error("cannot open for writing: " + path);
+
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+
+  const std::vector<Variable> params = module.Parameters();
+  const std::vector<Tensor> buffers = module.Buffers();
+  const uint64_t param_count = params.size();
+  const uint64_t buffer_count = buffers.size();
+  out.write(reinterpret_cast<const char*>(&param_count), sizeof(param_count));
+  out.write(reinterpret_cast<const char*>(&buffer_count),
+            sizeof(buffer_count));
+  for (const Variable& p : params) WriteTensor(out, p.value());
+  for (const Tensor& b : buffers) WriteTensor(out, b);
+
+  if (!out) return Status::Error("short write to: " + path);
+  return Status::Ok();
+}
+
+Status LoadState(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Error("cannot open: " + path);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Error("not an ARM-Net state file: " + path);
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kVersion) {
+    return Status::Error(
+        StrFormat("unsupported state version %u in %s", version,
+                  path.c_str()));
+  }
+
+  std::vector<Variable> params = module.Parameters();
+  std::vector<Tensor> buffers = module.Buffers();
+  uint64_t param_count = 0;
+  uint64_t buffer_count = 0;
+  in.read(reinterpret_cast<char*>(&param_count), sizeof(param_count));
+  in.read(reinterpret_cast<char*>(&buffer_count), sizeof(buffer_count));
+  if (!in || param_count != params.size() ||
+      buffer_count != buffers.size()) {
+    return Status::Error(StrFormat(
+        "state count mismatch in %s: file has %llu params / %llu buffers, "
+        "module has %zu / %zu",
+        path.c_str(), static_cast<unsigned long long>(param_count),
+        static_cast<unsigned long long>(buffer_count), params.size(),
+        buffers.size()));
+  }
+
+  // Stage everything first so a mid-file error leaves the module intact.
+  std::vector<Tensor> staged;
+  staged.reserve(params.size() + buffers.size());
+  for (size_t i = 0; i < params.size() + buffers.size(); ++i) {
+    StatusOr<Tensor> tensor = ReadTensor(in, path);
+    if (!tensor.ok()) return tensor.status();
+    const Shape& expected = i < params.size()
+                                ? params[i].shape()
+                                : buffers[i - params.size()].shape();
+    if (tensor.value().shape() != expected) {
+      return Status::Error(StrFormat(
+          "shape mismatch for tensor %zu in %s: file %s, module %s", i,
+          path.c_str(), tensor.value().shape().ToString().c_str(),
+          expected.ToString().c_str()));
+    }
+    staged.push_back(std::move(tensor).value());
+  }
+
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& dst = params[i].mutable_value();
+    std::copy(staged[i].data(), staged[i].data() + staged[i].numel(),
+              dst.data());
+  }
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    const Tensor& src = staged[params.size() + i];
+    std::copy(src.data(), src.data() + src.numel(), buffers[i].data());
+  }
+  return Status::Ok();
+}
+
+}  // namespace armnet::nn

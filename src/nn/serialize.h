@@ -1,0 +1,32 @@
+#ifndef ARMNET_NN_SERIALIZE_H_
+#define ARMNET_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace armnet::nn {
+
+// Binary model-state persistence.
+//
+// SaveState writes every parameter and buffer of `module` (in the
+// deterministic Parameters()/Buffers() traversal order) to `path`;
+// LoadState reads them back into an identically constructed module. The
+// format is a self-describing little-endian stream:
+//
+//   magic "ARMS", version u32, param_count u64, buffer_count u64,
+//   then per tensor: rank u32, dims i64[rank], data f32[numel].
+//
+// LoadState fails (Status) on magic/version mismatch, tensor-count
+// mismatch, or any shape mismatch — it never partially applies a file:
+// validation happens against a staging copy before any module state is
+// touched.
+
+Status SaveState(const Module& module, const std::string& path);
+
+Status LoadState(Module& module, const std::string& path);
+
+}  // namespace armnet::nn
+
+#endif  // ARMNET_NN_SERIALIZE_H_

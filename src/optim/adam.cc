@@ -1,0 +1,38 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+namespace armnet::optim {
+
+void Adam::Step() {
+  if (m_.empty()) {
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const Variable& p : params_) {
+      m_.push_back(Tensor::Zeros(p.shape()));
+      v_.push_back(Tensor::Zeros(p.shape()));
+    }
+  }
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  const float step_size = learning_rate_ / bc1;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    Tensor& w = p.mutable_value();
+    const Tensor& g = p.grad();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    const int64_t n = w.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
+      const float denom = std::sqrt(v[j] / bc2) + eps_;
+      w[j] -= step_size * m[j] / denom;
+    }
+  }
+}
+
+}  // namespace armnet::optim

@@ -1,0 +1,37 @@
+#ifndef ARMNET_OPTIM_ADAM_H_
+#define ARMNET_OPTIM_ADAM_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+
+namespace armnet::optim {
+
+// Adam (Kingma & Ba 2015) with bias correction and optional decoupled L2
+// weight decay. The paper trains every model with Adam (Section 4.1.5).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, float learning_rate,
+       float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f,
+       float weight_decay = 0.0f)
+      : Optimizer(std::move(params), learning_rate),
+        beta1_(beta1),
+        beta2_(beta2),
+        eps_(eps),
+        weight_decay_(weight_decay) {}
+
+  void Step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;  // first moment, lazily sized
+  std::vector<Tensor> v_;  // second moment, lazily sized
+};
+
+}  // namespace armnet::optim
+
+#endif  // ARMNET_OPTIM_ADAM_H_

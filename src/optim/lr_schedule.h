@@ -1,0 +1,72 @@
+#ifndef ARMNET_OPTIM_LR_SCHEDULE_H_
+#define ARMNET_OPTIM_LR_SCHEDULE_H_
+
+#include <cmath>
+
+#include "optim/optimizer.h"
+
+namespace armnet::optim {
+
+// Learning-rate schedules. Each is a small value type queried per epoch;
+// apply with `optimizer.set_learning_rate(schedule.At(epoch))`.
+
+// lr * decay^(epoch / step) with integer division: a staircase.
+class StepDecay {
+ public:
+  StepDecay(float base_lr, int step_epochs, float decay)
+      : base_lr_(base_lr), step_epochs_(step_epochs), decay_(decay) {
+    ARMNET_CHECK_GT(step_epochs, 0);
+  }
+  float At(int epoch) const {
+    return base_lr_ *
+           std::pow(decay_, static_cast<float>(epoch / step_epochs_));
+  }
+
+ private:
+  float base_lr_;
+  int step_epochs_;
+  float decay_;
+};
+
+// Cosine annealing from base_lr to min_lr over total_epochs.
+class CosineDecay {
+ public:
+  CosineDecay(float base_lr, int total_epochs, float min_lr = 0.0f)
+      : base_lr_(base_lr), total_epochs_(total_epochs), min_lr_(min_lr) {
+    ARMNET_CHECK_GT(total_epochs, 0);
+  }
+  float At(int epoch) const {
+    if (epoch >= total_epochs_) return min_lr_;
+    const float progress =
+        static_cast<float>(epoch) / static_cast<float>(total_epochs_);
+    return min_lr_ + 0.5f * (base_lr_ - min_lr_) *
+                         (1.0f + std::cos(progress * static_cast<float>(M_PI)));
+  }
+
+ private:
+  float base_lr_;
+  int total_epochs_;
+  float min_lr_;
+};
+
+// Linear warmup to base_lr over warmup_epochs, then constant.
+class LinearWarmup {
+ public:
+  LinearWarmup(float base_lr, int warmup_epochs)
+      : base_lr_(base_lr), warmup_epochs_(warmup_epochs) {
+    ARMNET_CHECK_GT(warmup_epochs, 0);
+  }
+  float At(int epoch) const {
+    if (epoch >= warmup_epochs_) return base_lr_;
+    return base_lr_ * static_cast<float>(epoch + 1) /
+           static_cast<float>(warmup_epochs_);
+  }
+
+ private:
+  float base_lr_;
+  int warmup_epochs_;
+};
+
+}  // namespace armnet::optim
+
+#endif  // ARMNET_OPTIM_LR_SCHEDULE_H_

@@ -1,0 +1,31 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+namespace armnet::optim {
+
+double ClipGradNorm(const std::vector<Variable>& params, double max_norm) {
+  double total_sq = 0;
+  for (const Variable& p : params) {
+    if (!p.has_grad()) continue;
+    const Tensor& g = p.grad();
+    for (int64_t j = 0; j < g.numel(); ++j) {
+      total_sq += static_cast<double>(g[j]) * g[j];
+    }
+  }
+  const double norm = std::sqrt(total_sq);
+  if (norm > max_norm && norm > 0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (const Variable& p : params) {
+      if (!p.has_grad()) continue;
+      // Tensors are shared handles: this copy aliases the gradient storage,
+      // so scaling through it updates the parameter's gradient in place.
+      Tensor g = p.grad();
+      float* pg = g.data();
+      for (int64_t j = 0; j < g.numel(); ++j) pg[j] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace armnet::optim

@@ -1,0 +1,50 @@
+#ifndef ARMNET_OPTIM_OPTIMIZER_H_
+#define ARMNET_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace armnet::optim {
+
+// Base class for gradient-descent optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params, float learning_rate)
+      : params_(std::move(params)), learning_rate_(learning_rate) {
+    for (const Variable& p : params_) {
+      ARMNET_CHECK(p.requires_grad())
+          << "optimizer parameter does not require grad";
+    }
+  }
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update from the currently accumulated gradients. Parameters
+  // without a gradient (unused this step) are skipped.
+  virtual void Step() = 0;
+
+  // Clears all parameter gradients.
+  void ZeroGrad() {
+    for (Variable& p : params_) p.ZeroGrad();
+  }
+
+  float learning_rate() const { return learning_rate_; }
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+
+  const std::vector<Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<Variable> params_;
+  float learning_rate_;
+};
+
+// Rescales all gradients so their global L2 norm is at most `max_norm`.
+// Returns the pre-clip norm. No-op for parameters without gradients.
+double ClipGradNorm(const std::vector<Variable>& params, double max_norm);
+
+}  // namespace armnet::optim
+
+#endif  // ARMNET_OPTIM_OPTIMIZER_H_

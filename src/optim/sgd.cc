@@ -1,0 +1,34 @@
+#include "optim/sgd.h"
+
+namespace armnet::optim {
+
+void Sgd::Step() {
+  if (velocity_.empty() && momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const Variable& p : params_) {
+      velocity_.push_back(Tensor::Zeros(p.shape()));
+    }
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    Tensor& w = p.mutable_value();
+    const Tensor& g = p.grad();
+    const int64_t n = w.numel();
+    if (momentum_ == 0.0f) {
+      for (int64_t j = 0; j < n; ++j) {
+        const float grad = g[j] + weight_decay_ * w[j];
+        w[j] -= learning_rate_ * grad;
+      }
+    } else {
+      Tensor& v = velocity_[i];
+      for (int64_t j = 0; j < n; ++j) {
+        const float grad = g[j] + weight_decay_ * w[j];
+        v[j] = momentum_ * v[j] + grad;
+        w[j] -= learning_rate_ * v[j];
+      }
+    }
+  }
+}
+
+}  // namespace armnet::optim

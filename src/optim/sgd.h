@@ -1,0 +1,31 @@
+#ifndef ARMNET_OPTIM_SGD_H_
+#define ARMNET_OPTIM_SGD_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+
+namespace armnet::optim {
+
+// Stochastic gradient descent with optional classical momentum and L2
+// weight decay:
+//   v <- momentum * v + (grad + weight_decay * w);  w <- w - lr * v
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float learning_rate,
+      float momentum = 0.0f, float weight_decay = 0.0f)
+      : Optimizer(std::move(params), learning_rate),
+        momentum_(momentum),
+        weight_decay_(weight_decay) {}
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;  // lazily sized to params_
+};
+
+}  // namespace armnet::optim
+
+#endif  // ARMNET_OPTIM_SGD_H_

@@ -1,0 +1,33 @@
+#ifndef ARMNET_TENSOR_BACKEND_H_
+#define ARMNET_TENSOR_BACKEND_H_
+
+namespace armnet {
+
+// Execution backend for the numeric kernels.
+//
+// kScalar is a straightforward reference implementation compiled with
+// auto-vectorization disabled; kSimd uses AVX2+FMA intrinsics. The Table 3
+// throughput experiment uses this switch as the "CPU vs accelerated device"
+// axis (the paper used CPU vs GPU; see DESIGN.md §3 Substitutions).
+enum class Backend {
+  kScalar,
+  kSimd,
+};
+
+// Returns the process-wide active backend (default: kSimd when the CPU
+// supports AVX2+FMA, otherwise kScalar).
+Backend GetBackend();
+
+// Switches the active backend. Aborts if kSimd is requested on a CPU
+// without AVX2 support.
+void SetBackend(Backend backend);
+
+// True if this binary can execute the SIMD kernels on this machine.
+bool SimdAvailable();
+
+// Human-readable backend name, e.g. for experiment output.
+const char* BackendName(Backend backend);
+
+}  // namespace armnet
+
+#endif  // ARMNET_TENSOR_BACKEND_H_

@@ -1,0 +1,83 @@
+#include "tensor/kernels.h"
+
+#include <atomic>
+
+#include "util/check.h"
+
+namespace armnet {
+
+namespace {
+
+std::atomic<Backend>& ActiveBackend() {
+  static std::atomic<Backend> backend{SimdAvailable() ? Backend::kSimd
+                                                      : Backend::kScalar};
+  return backend;
+}
+
+}  // namespace
+
+bool SimdAvailable() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+Backend GetBackend() { return ActiveBackend().load(std::memory_order_relaxed); }
+
+void SetBackend(Backend backend) {
+  if (backend == Backend::kSimd) {
+    ARMNET_CHECK(SimdAvailable()) << "AVX2+FMA not available on this CPU";
+  }
+  ActiveBackend().store(backend, std::memory_order_relaxed);
+}
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSimd:
+      return "simd";
+  }
+  return "unknown";
+}
+
+namespace kernels {
+
+#define ARMNET_DISPATCH(fn, ...)                \
+  if (GetBackend() == Backend::kSimd) {         \
+    return simd::fn(__VA_ARGS__);               \
+  }                                             \
+  return scalar::fn(__VA_ARGS__)
+
+void VecAdd(const float* a, const float* b, float* out, int64_t n) {
+  ARMNET_DISPATCH(VecAdd, a, b, out, n);
+}
+void VecSub(const float* a, const float* b, float* out, int64_t n) {
+  ARMNET_DISPATCH(VecSub, a, b, out, n);
+}
+void VecMul(const float* a, const float* b, float* out, int64_t n) {
+  ARMNET_DISPATCH(VecMul, a, b, out, n);
+}
+void VecDiv(const float* a, const float* b, float* out, int64_t n) {
+  ARMNET_DISPATCH(VecDiv, a, b, out, n);
+}
+void VecScale(const float* a, float s, float* out, int64_t n) {
+  ARMNET_DISPATCH(VecScale, a, s, out, n);
+}
+void VecAxpy(float alpha, const float* x, float* y, int64_t n) {
+  ARMNET_DISPATCH(VecAxpy, alpha, x, y, n);
+}
+void VecExp(const float* a, float* out, int64_t n) {
+  ARMNET_DISPATCH(VecExp, a, out, n);
+}
+float VecDot(const float* a, const float* b, int64_t n) {
+  ARMNET_DISPATCH(VecDot, a, b, n);
+}
+float VecSum(const float* a, int64_t n) { ARMNET_DISPATCH(VecSum, a, n); }
+void Gemm(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+          float beta, float* c) {
+  ARMNET_DISPATCH(Gemm, m, n, k, a, b, beta, c);
+}
+
+#undef ARMNET_DISPATCH
+
+}  // namespace kernels
+}  // namespace armnet

@@ -1,0 +1,62 @@
+#ifndef ARMNET_TENSOR_KERNELS_H_
+#define ARMNET_TENSOR_KERNELS_H_
+
+#include <cstdint>
+
+#include "tensor/backend.h"
+
+// Low-level contiguous-array kernels with two implementations each: a scalar
+// reference (kernels_scalar.cc, vectorization disabled) and an AVX2+FMA
+// version (kernels_simd.cc). The dispatching wrappers in namespace
+// armnet::kernels select by the active Backend.
+//
+// Only the kernels that dominate model runtime are dualized; everything else
+// in tensor_ops.cc is plain portable C++.
+
+namespace armnet::kernels {
+
+namespace scalar {
+void VecAdd(const float* a, const float* b, float* out, int64_t n);
+void VecSub(const float* a, const float* b, float* out, int64_t n);
+void VecMul(const float* a, const float* b, float* out, int64_t n);
+void VecDiv(const float* a, const float* b, float* out, int64_t n);
+void VecScale(const float* a, float s, float* out, int64_t n);
+void VecAxpy(float alpha, const float* x, float* y, int64_t n);
+void VecExp(const float* a, float* out, int64_t n);
+float VecDot(const float* a, const float* b, int64_t n);
+float VecSum(const float* a, int64_t n);
+// C[M,N] = beta * C + A[M,K] * B[K,N] (all row-major, contiguous).
+void Gemm(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+          float beta, float* c);
+}  // namespace scalar
+
+namespace simd {
+void VecAdd(const float* a, const float* b, float* out, int64_t n);
+void VecSub(const float* a, const float* b, float* out, int64_t n);
+void VecMul(const float* a, const float* b, float* out, int64_t n);
+void VecDiv(const float* a, const float* b, float* out, int64_t n);
+void VecScale(const float* a, float s, float* out, int64_t n);
+void VecAxpy(float alpha, const float* x, float* y, int64_t n);
+void VecExp(const float* a, float* out, int64_t n);
+float VecDot(const float* a, const float* b, int64_t n);
+float VecSum(const float* a, int64_t n);
+void Gemm(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+          float beta, float* c);
+}  // namespace simd
+
+// Dispatching wrappers.
+void VecAdd(const float* a, const float* b, float* out, int64_t n);
+void VecSub(const float* a, const float* b, float* out, int64_t n);
+void VecMul(const float* a, const float* b, float* out, int64_t n);
+void VecDiv(const float* a, const float* b, float* out, int64_t n);
+void VecScale(const float* a, float s, float* out, int64_t n);
+void VecAxpy(float alpha, const float* x, float* y, int64_t n);
+void VecExp(const float* a, float* out, int64_t n);
+float VecDot(const float* a, const float* b, int64_t n);
+float VecSum(const float* a, int64_t n);
+void Gemm(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+          float beta, float* c);
+
+}  // namespace armnet::kernels
+
+#endif  // ARMNET_TENSOR_KERNELS_H_

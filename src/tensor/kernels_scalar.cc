@@ -1,0 +1,69 @@
+// Scalar reference kernels. This translation unit is compiled with
+// auto-vectorization disabled (see CMakeLists.txt) so that it is an honest
+// "plain CPU" baseline for the backend comparison in the Table 3 bench.
+
+#include <cmath>
+
+#include "tensor/kernels.h"
+
+namespace armnet::kernels::scalar {
+
+void VecAdd(const float* a, const float* b, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void VecSub(const float* a, const float* b, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void VecMul(const float* a, const float* b, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void VecDiv(const float* a, const float* b, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] / b[i];
+}
+
+void VecScale(const float* a, float s, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] * s;
+}
+
+void VecAxpy(float alpha, const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void VecExp(const float* a, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = std::exp(a[i]);
+}
+
+float VecDot(const float* a, const float* b, int64_t n) {
+  float acc = 0;
+  for (int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float VecSum(const float* a, int64_t n) {
+  float acc = 0;
+  for (int64_t i = 0; i < n; ++i) acc += a[i];
+  return acc;
+}
+
+void Gemm(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+          float beta, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (beta == 0.0f) {
+      for (int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    const float* arow = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace armnet::kernels::scalar

@@ -1,0 +1,183 @@
+// AVX2+FMA kernels. Compiled with -mavx2 -mfma (see CMakeLists.txt); callers
+// must check SimdAvailable() before routing work here, which the dispatcher
+// in kernels.cc guarantees.
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "tensor/kernels.h"
+
+namespace armnet::kernels::simd {
+
+namespace {
+
+// Vectorized expf with Cephes-style polynomial, accurate to ~1 ulp over the
+// range the models produce. Falls back to clamping for extreme inputs the
+// same way scalar expf saturates.
+inline __m256 Exp256(__m256 x) {
+  const __m256 kExpHi = _mm256_set1_ps(88.3762626647950f);
+  const __m256 kExpLo = _mm256_set1_ps(-88.3762626647949f);
+  const __m256 kLog2E = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 kC1 = _mm256_set1_ps(0.693359375f);
+  const __m256 kC2 = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 kP0 = _mm256_set1_ps(1.9875691500e-4f);
+  const __m256 kP1 = _mm256_set1_ps(1.3981999507e-3f);
+  const __m256 kP2 = _mm256_set1_ps(8.3334519073e-3f);
+  const __m256 kP3 = _mm256_set1_ps(4.1665795894e-2f);
+  const __m256 kP4 = _mm256_set1_ps(1.6666665459e-1f);
+  const __m256 kP5 = _mm256_set1_ps(5.0000001201e-1f);
+  const __m256 kOne = _mm256_set1_ps(1.0f);
+
+  x = _mm256_min_ps(x, kExpHi);
+  x = _mm256_max_ps(x, kExpLo);
+
+  // Express exp(x) as 2^n * exp(r) with r in [-ln2/2, ln2/2].
+  __m256 fx = _mm256_fmadd_ps(x, kLog2E, _mm256_set1_ps(0.5f));
+  fx = _mm256_floor_ps(fx);
+  x = _mm256_fnmadd_ps(fx, kC1, x);
+  x = _mm256_fnmadd_ps(fx, kC2, x);
+
+  const __m256 x2 = _mm256_mul_ps(x, x);
+  __m256 y = kP0;
+  y = _mm256_fmadd_ps(y, x, kP1);
+  y = _mm256_fmadd_ps(y, x, kP2);
+  y = _mm256_fmadd_ps(y, x, kP3);
+  y = _mm256_fmadd_ps(y, x, kP4);
+  y = _mm256_fmadd_ps(y, x, kP5);
+  y = _mm256_fmadd_ps(y, x2, _mm256_add_ps(x, kOne));
+
+  // Scale by 2^n via exponent bit manipulation.
+  const __m256i n = _mm256_cvtps_epi32(fx);
+  const __m256i pow2n =
+      _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(0x7f)), 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(pow2n));
+}
+
+inline float HSum256(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_hadd_ps(lo, lo);
+  lo = _mm_hadd_ps(lo, lo);
+  return _mm_cvtss_f32(lo);
+}
+
+}  // namespace
+
+void VecAdd(const float* a, const float* b, float* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void VecSub(const float* a, const float* b, float* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void VecMul(const float* a, const float* b, float* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void VecDiv(const float* a, const float* b, float* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_div_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] / b[i];
+}
+
+void VecScale(const float* a, float s, float* out, int64_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), vs));
+  }
+  for (; i < n; ++i) out[i] = a[i] * s;
+}
+
+void VecAxpy(float alpha, const float* x, float* y, int64_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void VecExp(const float* a, float* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, Exp256(_mm256_loadu_ps(a + i)));
+  }
+  for (; i < n; ++i) out[i] = std::exp(a[i]);
+}
+
+float VecDot(const float* a, const float* b, int64_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc);
+  }
+  float total = HSum256(acc);
+  for (; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+float VecSum(const float* a, int64_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_add_ps(acc, _mm256_loadu_ps(a + i));
+  }
+  float total = HSum256(acc);
+  for (; i < n; ++i) total += a[i];
+  return total;
+}
+
+void Gemm(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+          float beta, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (beta == 0.0f) {
+      int64_t j = 0;
+      const __m256 z = _mm256_setzero_ps();
+      for (; j + 8 <= n; j += 8) _mm256_storeu_ps(crow + j, z);
+      for (; j < n; ++j) crow[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      VecScale(crow, beta, crow, n);
+    }
+    const float* arow = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      const __m256 vav = _mm256_set1_ps(av);
+      int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        _mm256_storeu_ps(
+            crow + j, _mm256_fmadd_ps(vav, _mm256_loadu_ps(brow + j),
+                                      _mm256_loadu_ps(crow + j)));
+      }
+      for (; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace armnet::kernels::simd

@@ -1,0 +1,111 @@
+#ifndef ARMNET_TENSOR_SHAPE_H_
+#define ARMNET_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace armnet {
+
+// Dimension sizes of a row-major tensor. Rank 0 denotes a scalar.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { Validate(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+    Validate();
+  }
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+
+  int64_t dim(int i) const {
+    // Negative indices count from the end, python-style.
+    const int r = rank();
+    if (i < 0) i += r;
+    ARMNET_DCHECK(i >= 0 && i < r);
+    return dims_[static_cast<size_t>(i)];
+  }
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  int64_t numel() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string ToString() const {
+    std::string s = "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+  // Row-major strides (in elements) for this shape.
+  std::vector<int64_t> Strides() const {
+    std::vector<int64_t> strides(dims_.size());
+    int64_t acc = 1;
+    for (int i = rank() - 1; i >= 0; --i) {
+      strides[static_cast<size_t>(i)] = acc;
+      acc *= dims_[static_cast<size_t>(i)];
+    }
+    return strides;
+  }
+
+  // NumPy-style broadcast of two shapes; aborts on incompatibility.
+  static Shape Broadcast(const Shape& a, const Shape& b);
+
+  // True if `a` can be broadcast to exactly `target`.
+  static bool BroadcastableTo(const Shape& a, const Shape& target);
+
+ private:
+  void Validate() const {
+    // -1 is the "infer me" placeholder accepted by Tensor::Reshape; at most
+    // one is allowed and it must be resolved before allocation.
+    int inferred = 0;
+    for (int64_t d : dims_) {
+      ARMNET_CHECK_GE(d, -1) << "negative dimension in shape " << ToString();
+      if (d == -1) ++inferred;
+    }
+    ARMNET_CHECK_LE(inferred, 1)
+        << "multiple -1 dimensions in shape " << ToString();
+  }
+
+  std::vector<int64_t> dims_;
+};
+
+inline Shape Shape::Broadcast(const Shape& a, const Shape& b) {
+  const int rank = a.rank() > b.rank() ? a.rank() : b.rank();
+  std::vector<int64_t> dims(static_cast<size_t>(rank));
+  for (int i = 0; i < rank; ++i) {
+    const int64_t da = i < a.rank() ? a.dim(a.rank() - 1 - i) : 1;
+    const int64_t db = i < b.rank() ? b.dim(b.rank() - 1 - i) : 1;
+    ARMNET_CHECK(da == db || da == 1 || db == 1)
+        << "cannot broadcast shapes " << a.ToString() << " and "
+        << b.ToString();
+    dims[static_cast<size_t>(rank - 1 - i)] = da > db ? da : db;
+  }
+  return Shape(std::move(dims));
+}
+
+inline bool Shape::BroadcastableTo(const Shape& a, const Shape& target) {
+  if (a.rank() > target.rank()) return false;
+  for (int i = 0; i < a.rank(); ++i) {
+    const int64_t da = a.dim(a.rank() - 1 - i);
+    const int64_t dt = target.dim(target.rank() - 1 - i);
+    if (da != dt && da != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace armnet
+
+#endif  // ARMNET_TENSOR_SHAPE_H_

@@ -1,0 +1,71 @@
+#ifndef ARMNET_UTIL_CHECK_H_
+#define ARMNET_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// Assertion and logging macros.
+//
+// The project does not use exceptions (Google style). Programmer errors —
+// shape mismatches, out-of-range indices, violated invariants — abort the
+// process with a message via ARMNET_CHECK*. Recoverable errors (file I/O,
+// malformed input data) flow through armnet::Status instead (see status.h).
+
+namespace armnet::internal {
+
+// Accumulates a failure message and aborts on destruction. Streaming extra
+// context onto a failed check is supported:
+//   ARMNET_CHECK(a == b) << "while merging " << name;
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace armnet::internal
+
+#define ARMNET_CHECK(condition)                                       \
+  if (condition) {                                                    \
+  } else                                                              \
+    ::armnet::internal::CheckFailure(__FILE__, __LINE__, #condition)
+
+#define ARMNET_CHECK_OP(op, a, b)                                          \
+  if ((a)op(b)) {                                                          \
+  } else                                                                   \
+    ::armnet::internal::CheckFailure(__FILE__, __LINE__, #a " " #op " " #b) \
+        << "(" << (a) << " vs " << (b) << ") "
+
+#define ARMNET_CHECK_EQ(a, b) ARMNET_CHECK_OP(==, a, b)
+#define ARMNET_CHECK_NE(a, b) ARMNET_CHECK_OP(!=, a, b)
+#define ARMNET_CHECK_LT(a, b) ARMNET_CHECK_OP(<, a, b)
+#define ARMNET_CHECK_LE(a, b) ARMNET_CHECK_OP(<=, a, b)
+#define ARMNET_CHECK_GT(a, b) ARMNET_CHECK_OP(>, a, b)
+#define ARMNET_CHECK_GE(a, b) ARMNET_CHECK_OP(>=, a, b)
+
+// Cheap debug-only check for hot paths; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define ARMNET_DCHECK(condition) \
+  if (true) {                    \
+  } else                         \
+    ::armnet::internal::CheckFailure(__FILE__, __LINE__, #condition)
+#else
+#define ARMNET_DCHECK(condition) ARMNET_CHECK(condition)
+#endif
+
+#endif  // ARMNET_UTIL_CHECK_H_

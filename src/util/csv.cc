@@ -1,0 +1,60 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace armnet {
+
+StatusOr<CsvTable> ReadCsv(const std::string& path, char delim,
+                           bool has_header) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::Error("cannot open CSV file: " + path);
+  }
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto cells = Split(line, delim);
+    if (first && has_header) {
+      table.header = std::move(cells);
+      first = false;
+      continue;
+    }
+    first = false;
+    if (!table.rows.empty() && cells.size() != table.rows.front().size()) {
+      return Status::Error(StrFormat(
+          "ragged CSV row in %s: expected %zu cells, got %zu", path.c_str(),
+          table.rows.front().size(), cells.size()));
+    }
+    table.rows.push_back(std::move(cells));
+  }
+  return table;
+}
+
+std::string CsvRow(const std::vector<std::string>& cells, char delim) {
+  std::string row;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) row += delim;
+    row += cells[i];
+  }
+  return row;
+}
+
+Status WriteLines(const std::string& path,
+                  const std::vector<std::string>& lines) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Error("cannot open file for writing: " + path);
+  }
+  for (const auto& line : lines) out << line << "\n";
+  if (!out) {
+    return Status::Error("short write to: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace armnet

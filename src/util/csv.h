@@ -1,0 +1,32 @@
+#ifndef ARMNET_UTIL_CSV_H_
+#define ARMNET_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace armnet {
+
+// Reads an entire CSV file into rows of string cells. Supports a header row
+// and ignores blank lines. Does not support quoted fields containing the
+// delimiter (none of the project's data formats need it).
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+StatusOr<CsvTable> ReadCsv(const std::string& path, char delim = ',',
+                           bool has_header = true);
+
+// Appends one CSV row to `out`, escaping nothing (caller guarantees cells
+// contain no delimiter). Used by experiment binaries to emit result series.
+std::string CsvRow(const std::vector<std::string>& cells, char delim = ',');
+
+// Writes lines to a file, creating or truncating it.
+Status WriteLines(const std::string& path,
+                  const std::vector<std::string>& lines);
+
+}  // namespace armnet
+
+#endif  // ARMNET_UTIL_CSV_H_

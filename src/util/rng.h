@@ -1,0 +1,150 @@
+#ifndef ARMNET_UTIL_RNG_H_
+#define ARMNET_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace armnet {
+
+// Deterministic, seedable pseudo-random generator (xoshiro256**).
+//
+// All randomness in the library flows through explicitly seeded Rng
+// instances so that every experiment is reproducible bit-for-bit. We do not
+// use std::mt19937 because its distributions are not guaranteed identical
+// across standard library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // Expand the seed with splitmix64 so nearby seeds give unrelated streams.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+    has_cached_gaussian_ = false;
+  }
+
+  // Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  // Uniform float in [lo, hi).
+  float UniformF(float lo, float hi) {
+    return static_cast<float>(Uniform(lo, hi));
+  }
+
+  // Uniform integer in [0, n). Requires n > 0.
+  int64_t UniformInt(int64_t n) {
+    ARMNET_DCHECK(n > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t un = static_cast<uint64_t>(n);
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+    uint64_t r = Next();
+    while (r >= limit) r = Next();
+    return static_cast<int64_t>(r % un);
+  }
+
+  // Standard normal via Box-Muller (cached pair).
+  double Gaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = Uniform();
+    while (u1 <= 1e-300) u1 = Uniform();
+    const double u2 = Uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = radius * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return radius * std::cos(theta);
+  }
+
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  // Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  // Zipf-distributed integer in [0, n) with exponent `s` (s=0 is uniform).
+  // Used to generate skewed categorical value frequencies like real CTR data.
+  // O(log n) per sample after O(n) table build via ZipfTable.
+  class ZipfTable {
+   public:
+    ZipfTable(int64_t n, double s) : cdf_(static_cast<size_t>(n)) {
+      ARMNET_CHECK_GT(n, 0);
+      double total = 0;
+      for (int64_t i = 0; i < n; ++i) {
+        total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf_[static_cast<size_t>(i)] = total;
+      }
+      for (auto& c : cdf_) c /= total;
+    }
+    int64_t Sample(Rng& rng) const {
+      const double u = rng.Uniform();
+      // Binary search for the first cdf entry >= u.
+      size_t lo = 0, hi = cdf_.size() - 1;
+      while (lo < hi) {
+        const size_t mid = (lo + hi) / 2;
+        if (cdf_[mid] < u) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      return static_cast<int64_t>(lo);
+    }
+
+   private:
+    std::vector<double> cdf_;
+  };
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j =
+          static_cast<size_t>(UniformInt(static_cast<int64_t>(i)));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derives an unrelated child stream; useful to give each subsystem its own
+  // generator from one experiment seed.
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0;
+};
+
+}  // namespace armnet
+
+#endif  // ARMNET_UTIL_RNG_H_

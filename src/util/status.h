@@ -1,0 +1,72 @@
+#ifndef ARMNET_UTIL_STATUS_H_
+#define ARMNET_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace armnet {
+
+// Lightweight error propagation for recoverable failures (I/O, parsing).
+// Mirrors the absl::Status / absl::StatusOr API surface that the rest of the
+// codebase needs, without pulling in a dependency.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+// Holds either a value or an error Status. `value()` aborts if not ok.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}        // NOLINT: implicit
+  StatusOr(Status status) : value_(std::move(status)) {  // NOLINT: implicit
+    ARMNET_CHECK(!std::get<Status>(value_).ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const T& value() const& {
+    ARMNET_CHECK(ok()) << status().message();
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    ARMNET_CHECK(ok()) << status().message();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    ARMNET_CHECK(ok()) << status().message();
+    return std::get<T>(std::move(value_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(value_);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace armnet
+
+#endif  // ARMNET_UTIL_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef ARMNET_UTIL_STOPWATCH_H_
+#define ARMNET_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace armnet {
+
+// Monotonic wall-clock stopwatch for throughput measurements.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace armnet
+
+#endif  // ARMNET_UTIL_STOPWATCH_H_

@@ -1,0 +1,89 @@
+#include "util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace armnet {
+
+std::vector<std::string> Split(std::string_view text, char delim) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(text.substr(start));
+      break;
+    }
+    pieces.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+    ++begin;
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])))
+    --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int size = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string result(static_cast<size_t>(size), '\0');
+  std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+  va_end(args_copy);
+  return result;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) result += separator;
+    result += pieces[i];
+  }
+  return result;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string FlagValue(int argc, char** argv, std::string_view name,
+                      std::string_view default_value) {
+  const std::string key = "--" + std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (StartsWith(argv[i], key)) {
+      return std::string(argv[i] + key.size());
+    }
+  }
+  return std::string(default_value);
+}
+
+double FlagDouble(int argc, char** argv, std::string_view name,
+                  double default_value) {
+  const std::string v = FlagValue(argc, argv, name, "");
+  if (v.empty()) return default_value;
+  return std::strtod(v.c_str(), nullptr);
+}
+
+int64_t FlagInt(int argc, char** argv, std::string_view name,
+                int64_t default_value) {
+  const std::string v = FlagValue(argc, argv, name, "");
+  if (v.empty()) return default_value;
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+}  // namespace armnet

@@ -1,0 +1,39 @@
+#ifndef ARMNET_UTIL_STRING_UTIL_H_
+#define ARMNET_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace armnet {
+
+// Splits `text` on `delim`, keeping empty pieces (CSV semantics).
+std::vector<std::string> Split(std::string_view text, char delim);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Parses command-line style flags of the form --name=value. Returns the
+// value for `name` if present, otherwise `default_value`. Used by the bench
+// and example binaries for workload scaling knobs.
+std::string FlagValue(int argc, char** argv, std::string_view name,
+                      std::string_view default_value);
+double FlagDouble(int argc, char** argv, std::string_view name,
+                  double default_value);
+int64_t FlagInt(int argc, char** argv, std::string_view name,
+                int64_t default_value);
+
+}  // namespace armnet
+
+#endif  // ARMNET_UTIL_STRING_UTIL_H_

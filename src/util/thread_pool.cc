@@ -1,0 +1,82 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace armnet {
+
+ThreadPool::ThreadPool(int num_threads) {
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t total,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (total <= 0) return;
+  const int workers = num_threads();
+  // Inline execution when parallelism cannot help.
+  if (workers == 0 || total < 1024) {
+    fn(0, total);
+    return;
+  }
+  const int chunks = std::min<int64_t>(workers + 1, total);
+  const int64_t chunk_size = (total + chunks - 1) / chunks;
+  std::atomic<int> remaining{chunks - 1};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  for (int c = 1; c < chunks; ++c) {
+    const int64_t begin = c * chunk_size;
+    const int64_t end = std::min<int64_t>(begin + chunk_size, total);
+    Submit([&, begin, end] {
+      fn(begin, end);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_one();
+      }
+    });
+  }
+  // The calling thread processes the first chunk.
+  fn(0, std::min<int64_t>(chunk_size, total));
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max(0, static_cast<int>(std::thread::hardware_concurrency()) - 1));
+  return *pool;
+}
+
+}  // namespace armnet

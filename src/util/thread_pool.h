@@ -1,0 +1,53 @@
+#ifndef ARMNET_UTIL_THREAD_POOL_H_
+#define ARMNET_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace armnet {
+
+// Fixed-size worker pool with a ParallelFor convenience.
+//
+// Kernels call ParallelFor for large batch dimensions; on single-core
+// machines (num_threads <= 1) work runs inline with zero overhead, so the
+// scalar-vs-SIMD backend comparison in the Table 3 bench is not polluted by
+// threading noise.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Runs fn(begin, end) over [0, total) split into roughly equal chunks, one
+  // per worker, and blocks until all chunks complete. Runs inline when the
+  // pool has no workers or the range is tiny.
+  void ParallelFor(int64_t total,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  // Process-wide pool sized to the hardware concurrency (minus one, since
+  // the caller participates). Never destroyed (static lifetime).
+  static ThreadPool& Global();
+
+ private:
+  void Submit(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace armnet
+
+#endif  // ARMNET_UTIL_THREAD_POOL_H_

@@ -1,0 +1,330 @@
+// Unit tests for the autograd engine: tape mechanics, per-op gradients
+// validated against finite differences, and graph edge cases.
+
+#include "autograd/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "tensor/tensor_ops.h"
+
+namespace armnet {
+namespace {
+
+// Tolerance for float32 central differences.
+constexpr double kTol = 2e-2;
+
+Variable Param(Shape shape, Rng& rng, float scale = 1.0f) {
+  return Variable(Tensor::Normal(std::move(shape), 0, scale, rng),
+                  /*requires_grad=*/true);
+}
+
+TEST(VariableTest, LeafBasics) {
+  Variable v(Tensor::Ones(Shape({2, 2})), true);
+  EXPECT_TRUE(v.defined());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_FALSE(v.has_grad());
+  v.AccumulateGrad(Tensor::Full(Shape({2, 2}), 3.0f));
+  EXPECT_TRUE(v.has_grad());
+  EXPECT_FLOAT_EQ(v.grad()[0], 3.0f);
+  v.AccumulateGrad(Tensor::Ones(Shape({2, 2})));
+  EXPECT_FLOAT_EQ(v.grad()[0], 4.0f);
+  v.ZeroGrad();
+  EXPECT_FALSE(v.has_grad());
+}
+
+TEST(VariableTest, NoGradNoTape) {
+  Variable a = ag::Constant(Tensor::Ones(Shape({3})));
+  Variable b = ag::Constant(Tensor::Ones(Shape({3})));
+  Variable c = ag::Add(a, b);
+  EXPECT_FALSE(c.requires_grad());
+  // Backward on a constant graph is a no-op beyond seeding.
+  Variable s = ag::SumAll(c);
+  s.Backward();
+  EXPECT_FALSE(a.has_grad());
+}
+
+TEST(VariableTest, BackwardSimpleChain) {
+  Variable x(Tensor::Full(Shape({1}), 2.0f), true);
+  // y = (3x)^2 -> dy/dx = 18x = 36 at x=2.
+  Variable y = ag::Square(ag::MulScalar(x, 3.0f));
+  ag::SumAll(y).Backward();
+  EXPECT_NEAR(x.grad()[0], 36.0f, 1e-4);
+}
+
+TEST(VariableTest, GradientAccumulatesAcrossBackwards) {
+  Variable x(Tensor::Full(Shape({1}), 1.0f), true);
+  Variable y1 = ag::MulScalar(x, 2.0f);
+  ag::SumAll(y1).Backward();
+  Variable y2 = ag::MulScalar(x, 5.0f);
+  ag::SumAll(y2).Backward();
+  EXPECT_NEAR(x.grad()[0], 7.0f, 1e-5);
+}
+
+TEST(VariableTest, DiamondGraphAccumulates) {
+  // y = x*x + x  reuses x twice; dy/dx = 2x + 1.
+  Variable x(Tensor::Full(Shape({1}), 3.0f), true);
+  Variable y = ag::Add(ag::Mul(x, x), x);
+  ag::SumAll(y).Backward();
+  EXPECT_NEAR(x.grad()[0], 7.0f, 1e-4);
+}
+
+TEST(VariableTest, ReusedSubexpression) {
+  // z = sigmoid(x); y = z * z. dy/dx = 2 z z'(x).
+  Variable x(Tensor::Full(Shape({1}), 0.7f), true);
+  Variable z = ag::Sigmoid(x);
+  Variable y = ag::Mul(z, z);
+  ag::SumAll(y).Backward();
+  const double s = 1.0 / (1.0 + std::exp(-0.7));
+  EXPECT_NEAR(x.grad()[0], 2 * s * s * (1 - s), 1e-4);
+}
+
+struct OpCase {
+  const char* name;
+  std::function<Variable(std::vector<Variable>&)> fn;
+  std::vector<Shape> shapes;
+  float scale = 1.0f;
+};
+
+class OpGradTest : public ::testing::TestWithParam<int> {};
+
+std::vector<OpCase> AllOpCases() {
+  std::vector<OpCase> cases;
+  cases.push_back({"add_broadcast",
+                   [](std::vector<Variable>& in) {
+                     return ag::SumAll(
+                         ag::Tanh(ag::Add(in[0], in[1])));
+                   },
+                   {Shape({3, 4}), Shape({4})}});
+  cases.push_back({"sub_broadcast",
+                   [](std::vector<Variable>& in) {
+                     return ag::SumAll(
+                         ag::Tanh(ag::Sub(in[0], in[1])));
+                   },
+                   {Shape({2, 3}), Shape({2, 1})}});
+  cases.push_back({"mul_broadcast",
+                   [](std::vector<Variable>& in) {
+                     return ag::SumAll(ag::Mul(in[0], in[1]));
+                   },
+                   {Shape({2, 3, 2}), Shape({3, 1})}});
+  cases.push_back({"div",
+                   [](std::vector<Variable>& in) {
+                     Variable denom = ag::AddScalar(
+                         ag::Square(in[1]), 1.0f);  // keep away from 0
+                     return ag::SumAll(ag::Div(in[0], denom));
+                   },
+                   {Shape({3, 3}), Shape({3, 3})}});
+  cases.push_back({"exp",
+                   [](std::vector<Variable>& in) {
+                     return ag::SumAll(ag::Exp(in[0]));
+                   },
+                   {Shape({2, 4})},
+                   0.5f});
+  cases.push_back({"log",
+                   [](std::vector<Variable>& in) {
+                     return ag::SumAll(
+                         ag::Log(ag::AddScalar(ag::Square(in[0]), 1.0f)));
+                   },
+                   {Shape({5})}});
+  cases.push_back({"sqrt",
+                   [](std::vector<Variable>& in) {
+                     return ag::SumAll(
+                         ag::Sqrt(ag::AddScalar(ag::Square(in[0]), 1.0f)));
+                   },
+                   {Shape({5})}});
+  cases.push_back({"pow_scalar",
+                   [](std::vector<Variable>& in) {
+                     Variable positive =
+                         ag::AddScalar(ag::Square(in[0]), 0.5f);
+                     return ag::SumAll(ag::PowScalar(positive, 1.7f));
+                   },
+                   {Shape({4})}});
+  cases.push_back({"sigmoid_tanh",
+                   [](std::vector<Variable>& in) {
+                     return ag::SumAll(ag::Tanh(ag::Sigmoid(in[0])));
+                   },
+                   {Shape({6})}});
+  cases.push_back({"matmul_chain",
+                   [](std::vector<Variable>& in) {
+                     return ag::MeanAll(
+                         ag::Tanh(ag::MatMul(in[0], in[1])));
+                   },
+                   {Shape({3, 4}), Shape({4, 5})},
+                   0.5f});
+  cases.push_back({"batched_matmul_broadcast",
+                   [](std::vector<Variable>& in) {
+                     // [2,1,3,4] x [2,4,2]-as-[K,4,2]: exercises SumTo on
+                     // both operands' batch dims.
+                     return ag::MeanAll(
+                         ag::Tanh(ag::MatMul(in[0], in[1])));
+                   },
+                   {Shape({2, 1, 3, 4}), Shape({2, 4, 2})},
+                   0.5f});
+  cases.push_back({"transpose",
+                   [](std::vector<Variable>& in) {
+                     Variable t = ag::Transpose(in[0], -2, -1);
+                     return ag::SumAll(ag::Mul(t, t));
+                   },
+                   {Shape({2, 3, 4})}});
+  cases.push_back({"reshape_sum_axis",
+                   [](std::vector<Variable>& in) {
+                     Variable r = ag::Reshape(in[0], Shape({4, 3}));
+                     Variable s = ag::Sum(r, 0, false);
+                     return ag::SumAll(ag::Square(s));
+                   },
+                   {Shape({2, 6})}});
+  cases.push_back({"mean_axis_keepdim",
+                   [](std::vector<Variable>& in) {
+                     Variable mu = ag::Mean(in[0], 1, true);
+                     Variable centered = ag::Sub(in[0], mu);
+                     return ag::SumAll(ag::Square(centered));
+                   },
+                   {Shape({3, 5})}});
+  cases.push_back({"concat_slice",
+                   [](std::vector<Variable>& in) {
+                     Variable c = ag::Concat({in[0], in[1]}, 1);
+                     Variable s = ag::Slice(c, 1, 1, 3);
+                     return ag::SumAll(ag::Square(s));
+                   },
+                   {Shape({2, 2}), Shape({2, 2})}});
+  cases.push_back({"index_select_duplicates",
+                   [](std::vector<Variable>& in) {
+                     Variable s = ag::IndexSelect(in[0], 1, {0, 2, 0});
+                     return ag::SumAll(ag::Square(s));
+                   },
+                   {Shape({2, 3, 2})}});
+  cases.push_back({"relu_leaky_abs_clamp",
+                   [](std::vector<Variable>& in) {
+                     Variable a = ag::Relu(in[0]);
+                     Variable b = ag::LeakyRelu(in[0], 0.1f);
+                     Variable c = ag::Abs(in[0]);
+                     Variable d = ag::ClampMin(in[0], 0.25f);
+                     return ag::SumAll(
+                         ag::Add(ag::Add(a, b), ag::Add(c, d)));
+                   },
+                   // Offset from 0 so the kink is not sampled.
+                   {Shape({7})}});
+  cases.push_back({"softmax",
+                   [](std::vector<Variable>& in) {
+                     Variable p = ag::Softmax(in[0]);
+                     Variable w = ag::Constant(Tensor::FromVector(
+                         Shape({4}), {0.1f, -0.4f, 0.7f, 0.2f}));
+                     return ag::SumAll(ag::Mul(p, w));
+                   },
+                   {Shape({3, 4})}});
+  cases.push_back({"embedding",
+                   [](std::vector<Variable>& in) {
+                     Variable rows =
+                         ag::EmbeddingLookup(in[0], {0, 2, 1, 2});
+                     return ag::SumAll(ag::Square(rows));
+                   },
+                   {Shape({3, 4})}});
+  return cases;
+}
+
+TEST_P(OpGradTest, MatchesFiniteDifferences) {
+  const OpCase test_case = AllOpCases()[static_cast<size_t>(GetParam())];
+  Rng rng(100 + static_cast<uint64_t>(GetParam()));
+  std::vector<Variable> inputs;
+  for (const Shape& shape : test_case.shapes) {
+    inputs.push_back(Param(shape, rng, test_case.scale));
+  }
+  const double err = ag::GradCheckMaxError(test_case.fn, inputs, 1e-2f);
+  EXPECT_LT(err, kTol) << "op case: " << test_case.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, OpGradTest,
+    ::testing::Range(0, static_cast<int>(AllOpCases().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return AllOpCases()[static_cast<size_t>(info.param)].name;
+    });
+
+TEST(LossTest, BceMatchesManual) {
+  Variable logits(Tensor::FromVector(Shape({3}), {0.5f, -1.0f, 2.0f}), true);
+  Tensor targets = Tensor::FromVector(Shape({3}), {1.0f, 0.0f, 1.0f});
+  Variable loss = ag::BceWithLogits(logits, targets);
+  double expected = 0;
+  const double xs[] = {0.5, -1.0, 2.0};
+  const double ys[] = {1.0, 0.0, 1.0};
+  for (int i = 0; i < 3; ++i) {
+    const double p = 1.0 / (1.0 + std::exp(-xs[i]));
+    expected += -(ys[i] * std::log(p) + (1 - ys[i]) * std::log(1 - p));
+  }
+  EXPECT_NEAR(loss.value().item(), expected / 3, 1e-5);
+
+  loss.Backward();
+  for (int i = 0; i < 3; ++i) {
+    const double p = 1.0 / (1.0 + std::exp(-xs[i]));
+    EXPECT_NEAR(logits.grad()[i], (p - ys[i]) / 3, 1e-5);
+  }
+}
+
+TEST(LossTest, BceStableForExtremeLogits) {
+  Variable logits(Tensor::FromVector(Shape({2}), {80.0f, -80.0f}), true);
+  Tensor targets = Tensor::FromVector(Shape({2}), {1.0f, 0.0f});
+  Variable loss = ag::BceWithLogits(logits, targets);
+  EXPECT_FALSE(std::isnan(loss.value().item()));
+  EXPECT_NEAR(loss.value().item(), 0.0f, 1e-4);
+  loss.Backward();
+  EXPECT_FALSE(std::isnan(logits.grad()[0]));
+}
+
+TEST(LossTest, BceGradCheck) {
+  Rng rng(55);
+  std::vector<Variable> inputs{Param(Shape({6}), rng)};
+  Tensor targets = Tensor::FromVector(Shape({6}), {1, 0, 1, 1, 0, 0});
+  auto fn = [&targets](std::vector<Variable>& in) {
+    return ag::BceWithLogits(in[0], targets);
+  };
+  EXPECT_LT(ag::GradCheckMaxError(fn, inputs, 1e-2f), kTol);
+}
+
+TEST(LossTest, MseBasics) {
+  Variable pred(Tensor::FromVector(Shape({2}), {1.0f, 3.0f}), true);
+  Tensor target = Tensor::FromVector(Shape({2}), {0.0f, 1.0f});
+  Variable loss = ag::MseLoss(pred, target);
+  EXPECT_NEAR(loss.value().item(), (1.0 + 4.0) / 2, 1e-5);
+}
+
+TEST(DropoutTest, EvalIsIdentityTrainRescales) {
+  Rng rng(9);
+  Variable x(Tensor::Ones(Shape({1000})), true);
+  Variable eval_out = ag::Dropout(x, 0.5f, /*training=*/false, rng);
+  EXPECT_TRUE(eval_out.value().AllClose(x.value()));
+
+  Variable train_out = ag::Dropout(x, 0.5f, /*training=*/true, rng);
+  double total = 0;
+  int zeros = 0;
+  for (int64_t i = 0; i < 1000; ++i) {
+    const float v = train_out.value()[i];
+    EXPECT_TRUE(v == 0.0f || std::abs(v - 2.0f) < 1e-6);
+    zeros += v == 0.0f;
+    total += v;
+  }
+  // Keep rate ~0.5, inverted scaling keeps the expectation ~1.
+  EXPECT_NEAR(static_cast<double>(zeros) / 1000, 0.5, 0.08);
+  EXPECT_NEAR(total / 1000, 1.0, 0.15);
+}
+
+TEST(GradCheckTest, DetectsWrongGradient) {
+  // Sanity check that the checker itself can fail: compare d(x^2) against
+  // an intentionally wrong function (x^2 vs its finite differences are
+  // fine; instead perturb the analytic result by checking a mismatched fn).
+  Rng rng(77);
+  std::vector<Variable> inputs{Param(Shape({3}), rng)};
+  int call = 0;
+  auto inconsistent = [&call](std::vector<Variable>& in) {
+    // First call (analytic pass) computes sum(x^2); later numeric calls
+    // compute sum(3x), so gradients cannot match.
+    ++call;
+    if (call == 1) return ag::SumAll(ag::Square(in[0]));
+    return ag::SumAll(ag::MulScalar(in[0], 3.0f));
+  };
+  EXPECT_GT(ag::GradCheckMaxError(inconsistent, inputs, 1e-2f), 0.1);
+}
+
+}  // namespace
+}  // namespace armnet

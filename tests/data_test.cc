@@ -1,0 +1,351 @@
+// Unit tests for the data pipeline: schema / global feature-id space,
+// dataset storage, batching, splits, loaders, and the synthetic generator
+// with planted interactions.
+
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/batcher.h"
+#include "data/loader.h"
+#include "data/presets.h"
+#include "data/split.h"
+#include "util/csv.h"
+
+namespace armnet::data {
+namespace {
+
+Schema SmallSchema() {
+  return Schema({{"color", FieldType::kCategorical, 3},
+                 {"size", FieldType::kCategorical, 2},
+                 {"price", FieldType::kNumerical, 1}});
+}
+
+TEST(SchemaTest, OffsetsAndGlobalIds) {
+  Schema schema = SmallSchema();
+  EXPECT_EQ(schema.num_fields(), 3);
+  EXPECT_EQ(schema.num_features(), 6);
+  EXPECT_EQ(schema.offset(0), 0);
+  EXPECT_EQ(schema.offset(1), 3);
+  EXPECT_EQ(schema.offset(2), 5);
+  EXPECT_EQ(schema.GlobalId(0, 2), 2);
+  EXPECT_EQ(schema.GlobalId(1, 1), 4);
+  EXPECT_EQ(schema.GlobalId(2, 0), 5);
+}
+
+TEST(SchemaTest, FieldOfGlobalIdInvertsGlobalId) {
+  Schema schema = SmallSchema();
+  for (int f = 0; f < schema.num_fields(); ++f) {
+    for (int64_t c = 0; c < schema.field(f).cardinality; ++c) {
+      EXPECT_EQ(schema.FieldOfGlobalId(schema.GlobalId(f, c)), f);
+    }
+  }
+}
+
+TEST(DatasetTest, AppendGatherSubset) {
+  Dataset dataset(SmallSchema());
+  dataset.Append({0, 3, 5}, {1, 1, 0.5f}, 1.0f);
+  dataset.Append({1, 4, 5}, {1, 1, 0.9f}, 0.0f);
+  dataset.Append({2, 3, 5}, {1, 1, 0.1f}, 1.0f);
+  EXPECT_EQ(dataset.size(), 3);
+  EXPECT_EQ(dataset.id_at(1, 1), 4);
+  EXPECT_FLOAT_EQ(dataset.value_at(0, 2), 0.5f);
+  EXPECT_FLOAT_EQ(dataset.label_at(2), 1.0f);
+  EXPECT_NEAR(dataset.PositiveRate(), 2.0 / 3.0, 1e-9);
+
+  Batch batch;
+  dataset.Gather({2, 0}, &batch);
+  EXPECT_EQ(batch.batch_size, 2);
+  EXPECT_EQ(batch.ids[0], 2);
+  EXPECT_EQ(batch.ids[3], 0);
+  EXPECT_FLOAT_EQ(batch.labels[0], 1.0f);
+  Tensor values = batch.ValuesTensor();
+  EXPECT_EQ(values.shape(), Shape({2, 3}));
+  EXPECT_FLOAT_EQ(values.at({0, 2}), 0.1f);
+
+  Dataset subset = dataset.Subset({1});
+  EXPECT_EQ(subset.size(), 1);
+  EXPECT_EQ(subset.id_at(0, 0), 1);
+}
+
+TEST(BatcherTest, CoversEveryRowExactlyOnce) {
+  Dataset dataset(SmallSchema());
+  for (int i = 0; i < 23; ++i) {
+    dataset.Append({static_cast<int64_t>(i % 3), 3, 5}, {1, 1, 0.5f},
+                   static_cast<float>(i % 2));
+  }
+  Batcher batcher(dataset, 5, /*shuffle=*/true, Rng(3));
+  Batch batch;
+  int64_t total = 0;
+  int batches = 0;
+  while (batcher.Next(&batch)) {
+    total += batch.batch_size;
+    ++batches;
+  }
+  EXPECT_EQ(total, 23);
+  EXPECT_EQ(batches, 5);  // 4 full + 1 short batch
+  EXPECT_EQ(batcher.batches_per_epoch(), 5);
+
+  // Second epoch works after Reset and reshuffles deterministically.
+  batcher.Reset();
+  total = 0;
+  while (batcher.Next(&batch)) total += batch.batch_size;
+  EXPECT_EQ(total, 23);
+}
+
+TEST(BatcherTest, NoShuffleKeepsRowOrder) {
+  Dataset dataset(SmallSchema());
+  for (int i = 0; i < 7; ++i) {
+    dataset.Append({static_cast<int64_t>(i % 3), 3, 5}, {1, 1, 1.0f},
+                   static_cast<float>(i));
+  }
+  Batcher batcher(dataset, 3, /*shuffle=*/false, Rng(0));
+  Batch batch;
+  std::vector<float> seen;
+  while (batcher.Next(&batch)) {
+    seen.insert(seen.end(), batch.labels.begin(), batch.labels.end());
+  }
+  for (int i = 0; i < 7; ++i) EXPECT_FLOAT_EQ(seen[static_cast<size_t>(i)], i);
+}
+
+TEST(SplitTest, ProportionsAndDisjointness) {
+  Dataset dataset(SmallSchema());
+  for (int i = 0; i < 1000; ++i) {
+    dataset.Append({static_cast<int64_t>(i % 3), 3, 5}, {1, 1, 1.0f},
+                   static_cast<float>(i));  // label = row id (tracer)
+  }
+  Rng rng(5);
+  Splits splits = SplitDataset(dataset, rng);
+  EXPECT_EQ(splits.train.size(), 800);
+  EXPECT_EQ(splits.validation.size(), 100);
+  EXPECT_EQ(splits.test.size(), 100);
+
+  std::set<float> seen;
+  auto collect = [&seen](const Dataset& d) {
+    for (int64_t i = 0; i < d.size(); ++i) {
+      EXPECT_TRUE(seen.insert(d.label_at(i)).second)
+          << "row appears in two splits";
+    }
+  };
+  collect(splits.train);
+  collect(splits.validation);
+  collect(splits.test);
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(LoaderTest, LibsvmRoundTrip) {
+  SyntheticSpec spec = FrappePreset();
+  spec.num_tuples = 200;
+  Dataset original = GenerateSynthetic(spec).dataset;
+  const std::string path = ::testing::TempDir() + "/roundtrip.libsvm";
+  ASSERT_TRUE(SaveLibsvm(original, path).ok());
+  StatusOr<Dataset> reloaded = LoadLibsvm(path, original.schema());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().message();
+  ASSERT_EQ(reloaded.value().size(), original.size());
+  for (int64_t row = 0; row < original.size(); ++row) {
+    EXPECT_FLOAT_EQ(reloaded.value().label_at(row), original.label_at(row));
+    for (int f = 0; f < original.num_fields(); ++f) {
+      EXPECT_EQ(reloaded.value().id_at(row, f), original.id_at(row, f));
+      EXPECT_NEAR(reloaded.value().value_at(row, f),
+                  original.value_at(row, f), 1e-5);
+    }
+  }
+}
+
+TEST(LoaderTest, LibsvmRejectsOutOfRangeIds) {
+  const std::string path = ::testing::TempDir() + "/bad.libsvm";
+  ASSERT_TRUE(WriteLines(path, {"1 0:1 2:1 5:0.5", "0 0:1 9:1 5:0.5"}).ok());
+  StatusOr<Dataset> result = LoadLibsvm(path, SmallSchema());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(LoaderTest, LibsvmRejectsMissingFields) {
+  const std::string path = ::testing::TempDir() + "/short.libsvm";
+  ASSERT_TRUE(WriteLines(path, {"1 0:1 3:1"}).ok());
+  EXPECT_FALSE(LoadLibsvm(path, SmallSchema()).ok());
+}
+
+TEST(LoaderTest, CsvBuildsVocabAndRescalesNumerics) {
+  const std::string path = ::testing::TempDir() + "/table.csv";
+  ASSERT_TRUE(WriteLines(path, {"label,city,temp", "1,sf,10", "0,nyc,30",
+                                "1,sf,20"})
+                  .ok());
+  StatusOr<Dataset> result =
+      LoadCsvWithVocab(path, {false, true});
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  const Dataset& dataset = result.value();
+  EXPECT_EQ(dataset.size(), 3);
+  EXPECT_EQ(dataset.schema().field(0).name, "city");
+  EXPECT_EQ(dataset.schema().field(0).cardinality, 2);
+  EXPECT_EQ(dataset.schema().field(1).type, FieldType::kNumerical);
+  // Same category maps to the same id.
+  EXPECT_EQ(dataset.id_at(0, 0), dataset.id_at(2, 0));
+  EXPECT_NE(dataset.id_at(0, 0), dataset.id_at(1, 0));
+  // Numerics rescaled into (0, 1], monotone.
+  EXPECT_LT(dataset.value_at(0, 1), dataset.value_at(2, 1));
+  EXPECT_LT(dataset.value_at(2, 1), dataset.value_at(1, 1));
+  EXPECT_GT(dataset.value_at(0, 1), 0.0f);
+  EXPECT_LE(dataset.value_at(1, 1), 1.0f);
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  SyntheticSpec spec = MovieLensPreset();
+  spec.num_tuples = 100;
+  SyntheticDataset a = GenerateSynthetic(spec);
+  SyntheticDataset b = GenerateSynthetic(spec);
+  ASSERT_EQ(a.dataset.size(), b.dataset.size());
+  for (int64_t row = 0; row < a.dataset.size(); ++row) {
+    EXPECT_EQ(a.dataset.label_at(row), b.dataset.label_at(row));
+    for (int f = 0; f < a.dataset.num_fields(); ++f) {
+      EXPECT_EQ(a.dataset.id_at(row, f), b.dataset.id_at(row, f));
+    }
+  }
+  spec.seed += 1;
+  SyntheticDataset c = GenerateSynthetic(spec);
+  int differing = 0;
+  for (int64_t row = 0; row < a.dataset.size(); ++row) {
+    differing += a.dataset.id_at(row, 0) != c.dataset.id_at(row, 0);
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(SyntheticTest, IdsStayInFieldRanges) {
+  SyntheticSpec spec = CriteoPreset();
+  spec.num_tuples = 300;
+  SyntheticDataset synthetic = GenerateSynthetic(spec);
+  const Schema& schema = synthetic.dataset.schema();
+  for (int64_t row = 0; row < synthetic.dataset.size(); ++row) {
+    for (int f = 0; f < schema.num_fields(); ++f) {
+      const int64_t id = synthetic.dataset.id_at(row, f);
+      EXPECT_GE(id, schema.offset(f));
+      EXPECT_LT(id, schema.offset(f) + schema.field(f).cardinality);
+      if (schema.field(f).type == FieldType::kNumerical) {
+        EXPECT_GT(synthetic.dataset.value_at(row, f), 0.0f);
+        EXPECT_LE(synthetic.dataset.value_at(row, f), 1.0f);
+      } else {
+        EXPECT_FLOAT_EQ(synthetic.dataset.value_at(row, f), 1.0f);
+      }
+    }
+  }
+}
+
+TEST(SyntheticTest, PlantedInteractionsRaiseBayesCeiling) {
+  // With interactions removed, the noiseless logit explains less of the
+  // label: the interacting generator must have higher self-consistency.
+  SyntheticSpec with = FrappePreset();
+  with.num_tuples = 4000;
+  SyntheticSpec without = with;
+  without.interactions.clear();
+
+  // Inline AUC via counting concordant pairs on a sample (brute force).
+  auto brute_auc = [](const SyntheticDataset& synthetic) {
+    const auto& logits = synthetic.truth.true_logits;
+    int64_t concordant = 0, pairs = 0;
+    for (int64_t i = 0; i < synthetic.dataset.size(); i += 7) {
+      for (int64_t j = 0; j < synthetic.dataset.size(); j += 11) {
+        const float yi = synthetic.dataset.label_at(i);
+        const float yj = synthetic.dataset.label_at(j);
+        if (yi == yj) continue;
+        ++pairs;
+        const float positive_logit =
+            yi > yj ? logits[static_cast<size_t>(i)]
+                    : logits[static_cast<size_t>(j)];
+        const float negative_logit =
+            yi > yj ? logits[static_cast<size_t>(j)]
+                    : logits[static_cast<size_t>(i)];
+        concordant += positive_logit > negative_logit;
+      }
+    }
+    return static_cast<double>(concordant) / static_cast<double>(pairs);
+  };
+  EXPECT_GT(brute_auc(GenerateSynthetic(with)), 0.9);
+  // Field importance of planted fields exceeds non-planted ones on average.
+  SyntheticDataset synthetic = GenerateSynthetic(with);
+  const auto& importance = synthetic.truth.field_importance;
+  // is_free (field 6) joins five interactions; daytime (field 2) none.
+  EXPECT_GT(importance[6], importance[2]);
+}
+
+TEST(SyntheticTest, RegressionLabelsTrackTrueLogits) {
+  SyntheticSpec spec = FrappePreset();
+  spec.num_tuples = 2000;
+  spec.regression = true;
+  spec.noise_stddev = 0.3f;
+  SyntheticDataset synthetic = GenerateSynthetic(spec);
+  // Labels are continuous (not all in {0,1}) ...
+  int binary = 0;
+  for (int64_t i = 0; i < synthetic.dataset.size(); ++i) {
+    const float y = synthetic.dataset.label_at(i);
+    binary += y == 0.0f || y == 1.0f;
+  }
+  EXPECT_LT(binary, synthetic.dataset.size() / 10);
+  // ... and equal the noiseless logit plus bounded noise.
+  double sq_err = 0;
+  for (int64_t i = 0; i < synthetic.dataset.size(); ++i) {
+    const double d =
+        synthetic.dataset.label_at(i) -
+        synthetic.truth.true_logits[static_cast<size_t>(i)];
+    sq_err += d * d;
+  }
+  const double noise_rms =
+      std::sqrt(sq_err / static_cast<double>(synthetic.dataset.size()));
+  EXPECT_NEAR(noise_rms, 0.3, 0.05);
+}
+
+TEST(SyntheticTest, ZipfSkewsCategoryFrequencies) {
+  SyntheticSpec spec;
+  spec.name = "skew";
+  spec.fields = {{"c", FieldType::kCategorical, 50}};
+  spec.num_tuples = 5000;
+  spec.zipf_exponent = 1.2;
+  SyntheticDataset synthetic = GenerateSynthetic(spec);
+  std::vector<int> counts(50, 0);
+  for (int64_t row = 0; row < synthetic.dataset.size(); ++row) {
+    counts[static_cast<size_t>(synthetic.dataset.id_at(row, 0))]++;
+  }
+  // Category 0 should be far more frequent than category 40.
+  EXPECT_GT(counts[0], 8 * std::max(1, counts[40]));
+}
+
+TEST(PresetsTest, MirrorPaperSchemas) {
+  const std::vector<SyntheticSpec> presets = AllPresets();
+  ASSERT_EQ(presets.size(), 5u);
+  EXPECT_EQ(presets[0].fields.size(), 10u);  // frappe
+  EXPECT_EQ(presets[1].fields.size(), 3u);   // movielens
+  EXPECT_EQ(presets[2].fields.size(), 22u);  // avazu
+  EXPECT_EQ(presets[3].fields.size(), 39u);  // criteo
+  EXPECT_EQ(presets[4].fields.size(), 43u);  // diabetes130
+
+  // Criteo: 13 numerical + 26 categorical, in the original order.
+  int numerical = 0;
+  for (int f = 0; f < 13; ++f) {
+    numerical += presets[3].fields[static_cast<size_t>(f)].type ==
+                 FieldType::kNumerical;
+  }
+  EXPECT_EQ(numerical, 13);
+  EXPECT_EQ(presets[3].fields[13].type, FieldType::kCategorical);
+
+  // Frappe interactions reference valid fields and match Table 4 names.
+  const SyntheticSpec& frappe = presets[0];
+  EXPECT_EQ(frappe.fields[6].name, "is_free");
+  for (const auto& interaction : frappe.interactions) {
+    for (int f : interaction.fields) {
+      ASSERT_GE(f, 0);
+      ASSERT_LT(f, 10);
+    }
+  }
+  EXPECT_EQ(PresetByName("diabetes130").name, "diabetes130");
+}
+
+TEST(PresetsTest, ScaleMultipliesTuples) {
+  EXPECT_EQ(FrappePreset(1.0).num_tuples, 30000);
+  EXPECT_EQ(FrappePreset(0.1).num_tuples, 3000);
+  EXPECT_GE(FrappePreset(0.0001).num_tuples, 64);  // floor
+}
+
+}  // namespace
+}  // namespace armnet::data

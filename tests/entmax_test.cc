@@ -1,0 +1,208 @@
+// Property and correctness tests for the α-entmax family (paper Eq. 2/5):
+// simplex membership, sparsity monotone in α, agreement between exact and
+// bisection solvers, limiting cases, invariances, and Jacobian checks.
+
+#include "autograd/entmax.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace armnet {
+namespace {
+
+int CountZeros(const Tensor& p) {
+  int zeros = 0;
+  for (int64_t i = 0; i < p.numel(); ++i) zeros += p[i] == 0.0f;
+  return zeros;
+}
+
+// Parameterized over alpha (x10 to keep the parameter integral).
+class EntmaxPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  float alpha() const { return static_cast<float>(GetParam()) / 10.0f; }
+};
+
+TEST_P(EntmaxPropertyTest, OutputsLieOnSimplex) {
+  Rng rng(31);
+  Tensor z = Tensor::Normal(Shape({16, 9}), 0, 2, rng);
+  Tensor p = ag::EntmaxLastDimValue(z, alpha());
+  for (int r = 0; r < 16; ++r) {
+    double total = 0;
+    for (int j = 0; j < 9; ++j) {
+      const float v = p.at({r, j});
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f + 1e-6f);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-4);
+  }
+}
+
+TEST_P(EntmaxPropertyTest, PreservesRanking) {
+  Rng rng(32);
+  Tensor z = Tensor::Normal(Shape({8, 7}), 0, 2, rng);
+  Tensor p = ag::EntmaxLastDimValue(z, alpha());
+  for (int r = 0; r < 8; ++r) {
+    for (int i = 0; i < 7; ++i) {
+      for (int j = 0; j < 7; ++j) {
+        if (z.at({r, i}) > z.at({r, j})) {
+          EXPECT_GE(p.at({r, i}), p.at({r, j}) - 1e-6f);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(EntmaxPropertyTest, ShiftInvariant) {
+  Rng rng(33);
+  Tensor z = Tensor::Normal(Shape({4, 6}), 0, 1, rng);
+  Tensor shifted = tmath::AddScalar(z, 5.0f);
+  Tensor p1 = ag::EntmaxLastDimValue(z, alpha());
+  Tensor p2 = ag::EntmaxLastDimValue(shifted, alpha());
+  EXPECT_TRUE(p1.AllClose(p2, 2e-3f));
+}
+
+TEST_P(EntmaxPropertyTest, PermutationEquivariant) {
+  Rng rng(34);
+  Tensor z = Tensor::Normal(Shape({1, 6}), 0, 2, rng);
+  // Reverse the coordinates.
+  Tensor reversed(Shape({1, 6}));
+  for (int j = 0; j < 6; ++j) reversed[j] = z[5 - j];
+  Tensor p = ag::EntmaxLastDimValue(z, alpha());
+  Tensor p_rev = ag::EntmaxLastDimValue(reversed, alpha());
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_NEAR(p[j], p_rev[5 - j], 2e-4);
+  }
+}
+
+TEST_P(EntmaxPropertyTest, UniformInputGivesUniformOutput) {
+  Tensor z = Tensor::Full(Shape({1, 5}), 1.3f);
+  Tensor p = ag::EntmaxLastDimValue(z, alpha());
+  for (int j = 0; j < 5; ++j) EXPECT_NEAR(p[j], 0.2f, 1e-4);
+}
+
+TEST_P(EntmaxPropertyTest, JacobianMatchesFiniteDifferences) {
+  Rng rng(35 + GetParam());
+  std::vector<Variable> inputs{
+      Variable(Tensor::Normal(Shape({3, 6}), 0, 1, rng), true)};
+  const float a = alpha();
+  auto fn = [a](std::vector<Variable>& in) {
+    Variable p = ag::Entmax(in[0], a);
+    Variable w = ag::Constant(Tensor::FromVector(
+        Shape({6}), {0.3f, -0.2f, 0.5f, 0.1f, -0.4f, 0.25f}));
+    return ag::SumAll(ag::Mul(p, w));
+  };
+  EXPECT_LT(ag::GradCheckMaxError(fn, inputs, 1e-2f), 3e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, EntmaxPropertyTest,
+                         ::testing::Values(10, 13, 15, 17, 20, 25, 30),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "alpha" + std::to_string(info.param);
+                         });
+
+TEST(EntmaxTest, AlphaOneIsSoftmax) {
+  Rng rng(36);
+  Tensor z = Tensor::Normal(Shape({5, 8}), 0, 2, rng);
+  EXPECT_TRUE(ag::EntmaxLastDimValue(z, 1.0f)
+                  .AllClose(tmath::SoftmaxLastDim(z), 1e-6f));
+}
+
+TEST(EntmaxTest, SparsityIncreasesWithAlpha) {
+  Rng rng(37);
+  Tensor z = Tensor::Normal(Shape({32, 10}), 0, 2, rng);
+  int previous_zeros = -1;
+  for (float alpha : {1.0f, 1.5f, 2.0f, 3.0f}) {
+    const int zeros = CountZeros(ag::EntmaxLastDimValue(z, alpha));
+    EXPECT_GE(zeros, previous_zeros);
+    previous_zeros = zeros;
+  }
+  EXPECT_EQ(CountZeros(ag::EntmaxLastDimValue(z, 1.0f)), 0);
+  EXPECT_GT(CountZeros(ag::EntmaxLastDimValue(z, 2.0f)), 0);
+}
+
+TEST(EntmaxTest, SparsemaxMatchesQuadraticProgramBruteForce) {
+  // For d = 2, sparsemax has the closed form:
+  // p1 = clamp(0.5 + (z1 - z2)/2, 0, 1).
+  for (float delta : {-3.0f, -0.6f, 0.0f, 0.4f, 2.5f}) {
+    Tensor z = Tensor::FromVector(Shape({1, 2}), {delta, 0.0f});
+    Tensor p = ag::SparsemaxLastDimValue(z);
+    const float expected = std::clamp(0.5f + delta / 2.0f, 0.0f, 1.0f);
+    EXPECT_NEAR(p[0], expected, 1e-5) << "delta=" << delta;
+    EXPECT_NEAR(p[1], 1.0f - expected, 1e-5);
+  }
+}
+
+TEST(EntmaxTest, BisectionMatchesExactSolvers) {
+  Rng rng(38);
+  Tensor z = Tensor::Normal(Shape({64, 11}), 0, 3, rng);
+  // alpha just off 1.5/2.0 routes through the bisection path.
+  Tensor b15 = ag::EntmaxLastDimValue(z, 1.5f + 1e-6f);
+  Tensor e15 = ag::Entmax15ExactLastDimValue(z);
+  EXPECT_TRUE(b15.AllClose(e15, 5e-4f));
+
+  Tensor b20 = ag::EntmaxLastDimValue(z, 2.0f + 1e-6f);
+  Tensor e20 = ag::SparsemaxLastDimValue(z);
+  EXPECT_TRUE(b20.AllClose(e20, 5e-4f));
+}
+
+TEST(EntmaxTest, LargeAlphaApproachesArgmax) {
+  Tensor z = Tensor::FromVector(Shape({1, 4}), {0.1f, 2.0f, 0.3f, 0.2f});
+  Tensor p = ag::EntmaxLastDimValue(z, 3.0f);
+  EXPECT_GT(p[1], 0.95f);
+}
+
+TEST(EntmaxTest, WinnerTakesAllWhenGapIsLarge) {
+  Tensor z = Tensor::FromVector(Shape({1, 3}), {10.0f, 0.0f, -5.0f});
+  for (float alpha : {1.5f, 1.7f, 2.0f}) {
+    Tensor p = ag::EntmaxLastDimValue(z, alpha);
+    EXPECT_NEAR(p[0], 1.0f, 1e-4) << "alpha=" << alpha;
+    EXPECT_NEAR(p[1], 0.0f, 1e-4);
+  }
+}
+
+TEST(EntmaxTest, SparsemaxGradientZeroOutsideSupport) {
+  // With a large gap, entries off the support must get zero gradient.
+  Variable z(Tensor::FromVector(Shape({1, 3}), {5.0f, 0.0f, -5.0f}), true);
+  Variable p = ag::Entmax(z, 2.0f);
+  ag::SumAll(ag::Mul(
+                 p, ag::Constant(Tensor::FromVector(Shape({3}),
+                                                    {1.0f, 2.0f, 3.0f}))))
+      .Backward();
+  EXPECT_FLOAT_EQ(z.grad()[2], 0.0f);
+}
+
+TEST(EntmaxTest, HandlesWideRowsAndSingletons) {
+  Rng rng(39);
+  // m = 43 exercises the heap path of the bisection active-set buffer
+  // boundary (43 < 64 stays on stack; also try 100).
+  for (int64_t d : {1, 43, 100}) {
+    Tensor z = Tensor::Normal(Shape({4, d}), 0, 2, rng);
+    for (float alpha : {1.0f, 1.5f, 1.7f, 2.0f}) {
+      Tensor p = ag::EntmaxLastDimValue(z, alpha);
+      for (int r = 0; r < 4; ++r) {
+        double total = 0;
+        for (int64_t j = 0; j < d; ++j) total += p.at({r, j});
+        EXPECT_NEAR(total, 1.0, 1e-4) << "d=" << d << " alpha=" << alpha;
+      }
+    }
+  }
+  // A single-element row always maps to probability 1.
+  Tensor one = Tensor::FromVector(Shape({1, 1}), {-7.5f});
+  EXPECT_NEAR(ag::EntmaxLastDimValue(one, 1.7f)[0], 1.0f, 1e-6);
+}
+
+TEST(EntmaxTest, BatchedShapePreserved) {
+  Rng rng(40);
+  Tensor z = Tensor::Normal(Shape({2, 3, 4, 5}), 0, 1, rng);
+  Tensor p = ag::EntmaxLastDimValue(z, 1.5f);
+  EXPECT_EQ(p.shape(), z.shape());
+}
+
+}  // namespace
+}  // namespace armnet

@@ -1,0 +1,120 @@
+// Unit tests for evaluation metrics: exact AUC (vs brute-force pair
+// counting, including ties), stable Logloss, and accuracy.
+
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace armnet::metrics {
+namespace {
+
+// O(n^2) reference: concordant pairs + half credit for ties.
+double BruteForceAuc(const std::vector<float>& scores,
+                     const std::vector<float>& labels) {
+  double credit = 0;
+  int64_t pairs = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    for (size_t j = 0; j < scores.size(); ++j) {
+      if (labels[i] > 0.5f && labels[j] <= 0.5f) {
+        ++pairs;
+        if (scores[i] > scores[j]) {
+          credit += 1;
+        } else if (scores[i] == scores[j]) {
+          credit += 0.5;
+        }
+      }
+    }
+  }
+  return pairs > 0 ? credit / static_cast<double>(pairs) : 0.5;
+}
+
+TEST(AucTest, PerfectAndInvertedRankings) {
+  const std::vector<float> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Auc({0.1f, 0.2f, 0.8f, 0.9f}, labels), 1.0);
+  EXPECT_DOUBLE_EQ(Auc({0.9f, 0.8f, 0.2f, 0.1f}, labels), 0.0);
+}
+
+TEST(AucTest, ConstantScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(Auc({0.5f, 0.5f, 0.5f, 0.5f}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(AucTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(Auc({0.1f, 0.9f}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({0.1f, 0.9f}, {0, 0}), 0.5);
+}
+
+TEST(AucTest, MonotoneTransformInvariant) {
+  Rng rng(2);
+  std::vector<float> scores, labels, transformed;
+  for (int i = 0; i < 200; ++i) {
+    scores.push_back(rng.UniformF(-3, 3));
+    labels.push_back(rng.Bernoulli(0.4) ? 1.0f : 0.0f);
+    transformed.push_back(std::tanh(scores.back()) * 10 + 5);
+  }
+  EXPECT_NEAR(Auc(scores, labels), Auc(transformed, labels), 1e-12);
+}
+
+TEST(AucTest, MatchesBruteForceWithTies) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> scores, labels;
+    const int n = 30 + trial * 5;
+    for (int i = 0; i < n; ++i) {
+      // Quantized scores produce plenty of ties.
+      scores.push_back(
+          static_cast<float>(rng.UniformInt(6)) / 5.0f);
+      labels.push_back(rng.Bernoulli(0.5) ? 1.0f : 0.0f);
+    }
+    EXPECT_NEAR(Auc(scores, labels), BruteForceAuc(scores, labels), 1e-10)
+        << "trial " << trial;
+  }
+}
+
+TEST(LogLossTest, KnownValues) {
+  // logit 0 -> p = 0.5 -> loss ln 2 regardless of label.
+  EXPECT_NEAR(LogLoss({0.0f}, {1.0f}), std::log(2.0), 1e-7);
+  EXPECT_NEAR(LogLoss({0.0f}, {0.0f}), std::log(2.0), 1e-7);
+  // Confident correct prediction -> near-zero loss.
+  EXPECT_NEAR(LogLoss({20.0f}, {1.0f}), 0.0, 1e-6);
+  // Confident wrong prediction -> ~|logit|.
+  EXPECT_NEAR(LogLoss({-20.0f}, {1.0f}), 20.0, 1e-4);
+}
+
+TEST(LogLossTest, StableForHugeLogits) {
+  const double loss = LogLoss({500.0f, -500.0f}, {1.0f, 0.0f});
+  EXPECT_FALSE(std::isnan(loss));
+  EXPECT_FALSE(std::isinf(loss));
+  EXPECT_NEAR(loss, 0.0, 1e-6);
+}
+
+TEST(LogLossTest, MatchesManualCrossEntropy) {
+  const std::vector<float> logits = {0.3f, -1.2f, 2.5f};
+  const std::vector<float> labels = {1.0f, 0.0f, 0.0f};
+  double expected = 0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    const double p = 1.0 / (1.0 + std::exp(-logits[i]));
+    expected +=
+        -(labels[i] * std::log(p) + (1 - labels[i]) * std::log(1 - p));
+  }
+  EXPECT_NEAR(LogLoss(logits, labels), expected / 3.0, 1e-6);
+}
+
+TEST(RmseTest, KnownValuesAndPerfectFit) {
+  EXPECT_DOUBLE_EQ(Rmse({1.0f, 2.0f}, {1.0f, 2.0f}), 0.0);
+  // Errors 3 and 4 -> RMSE = sqrt((9 + 16) / 2).
+  EXPECT_NEAR(Rmse({3.0f, 0.0f}, {0.0f, 4.0f}), std::sqrt(12.5), 1e-9);
+}
+
+TEST(AccuracyTest, ThresholdAtZeroLogit) {
+  EXPECT_DOUBLE_EQ(
+      Accuracy({1.0f, -1.0f, 2.0f, -2.0f}, {1, 0, 0, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(
+      Accuracy({1.0f, -1.0f, 2.0f, -2.0f}, {1, 0, 1, 0}), 1.0);
+}
+
+}  // namespace
+}  // namespace armnet::metrics

@@ -1,0 +1,191 @@
+// Unit tests for the nn module library: parameter registration, Linear,
+// Embedding, Mlp, BatchNorm1d, and initializers.
+
+#include "nn/mlp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "nn/batchnorm.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+
+namespace armnet {
+namespace {
+
+TEST(ModuleTest, ParameterCollectionAndCounts) {
+  Rng rng(1);
+  nn::Linear layer(4, 3, rng);
+  EXPECT_EQ(layer.Parameters().size(), 2u);  // weight + bias
+  EXPECT_EQ(layer.ParameterCount(), 4 * 3 + 3);
+
+  nn::Linear no_bias(4, 3, rng, /*bias=*/false);
+  EXPECT_EQ(no_bias.Parameters().size(), 1u);
+  EXPECT_EQ(no_bias.ParameterCount(), 12);
+
+  nn::Mlp mlp(8, {16, 4}, 1, rng);
+  // (8*16+16) + (16*4+4) + (4*1+1)
+  EXPECT_EQ(mlp.ParameterCount(), 8 * 16 + 16 + 16 * 4 + 4 + 4 + 1);
+}
+
+TEST(ModuleTest, TrainingModePropagates) {
+  Rng rng(2);
+  nn::Mlp mlp(4, {8}, 1, rng, /*dropout=*/0.5f);
+  EXPECT_TRUE(mlp.training());
+  mlp.SetTraining(false);
+  EXPECT_FALSE(mlp.training());
+}
+
+TEST(LinearTest, ComputesAffineMap) {
+  Rng rng(3);
+  nn::Linear layer(2, 2, rng);
+  // Overwrite weights for a deterministic check: y = x W + b. Variables
+  // are shared handles, so mutating through a copy updates the layer.
+  Variable weight = layer.weight();
+  const float values[] = {1, 2, 3, 4};
+  std::copy(values, values + 4, weight.mutable_value().data());
+
+  Variable x = ag::Constant(Tensor::FromVector(Shape({1, 2}), {1, 1}));
+  Tensor y = layer.Forward(x).value();
+  // b initialized to zero: y = [1+3, 2+4].
+  EXPECT_NEAR(y[0], 4.0f, 1e-5);
+  EXPECT_NEAR(y[1], 6.0f, 1e-5);
+}
+
+TEST(LinearTest, SupportsBatchedLeadingDims) {
+  Rng rng(4);
+  nn::Linear layer(5, 3, rng);
+  Variable x = ag::Constant(Tensor::Ones(Shape({2, 7, 5})));
+  Variable y = layer.Forward(x);
+  EXPECT_EQ(y.shape(), Shape({2, 7, 3}));
+}
+
+TEST(LinearTest, GradientsFlowToParameters) {
+  Rng rng(5);
+  nn::Linear layer(3, 2, rng);
+  Variable x = ag::Constant(Tensor::Ones(Shape({4, 3})));
+  Variable loss = ag::SumAll(ag::Square(layer.Forward(x)));
+  loss.Backward();
+  for (const Variable& p : layer.Parameters()) {
+    EXPECT_TRUE(p.has_grad());
+  }
+}
+
+TEST(EmbeddingTest, LookupAndScatterGrad) {
+  Rng rng(6);
+  nn::Embedding table(5, 3, rng);
+  Variable rows = table.Forward({1, 3, 1});
+  EXPECT_EQ(rows.shape(), Shape({3, 3}));
+  // Row 1 appears twice -> identical values.
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(rows.value().at({0, j}), rows.value().at({2, j}));
+  }
+  ag::SumAll(rows).Backward();
+  const Tensor& g = table.table().grad();
+  // Row 1 used twice, row 3 once, others unused.
+  EXPECT_FLOAT_EQ(g.at({1, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(g.at({3, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(g.at({0, 0}), 0.0f);
+}
+
+TEST(MlpTest, ForwardShapeAndDeterminismInEval) {
+  Rng rng(7);
+  nn::Mlp mlp(6, {12, 8}, 1, rng, /*dropout=*/0.3f);
+  mlp.SetTraining(false);
+  Variable x = ag::Constant(Tensor::Ones(Shape({5, 6})));
+  Rng d1(1), d2(2);
+  Tensor y1 = mlp.Forward(x, d1).value();
+  Tensor y2 = mlp.Forward(x, d2).value();
+  EXPECT_EQ(y1.shape(), Shape({5, 1}));
+  // Eval mode ignores the dropout RNG entirely.
+  EXPECT_TRUE(y1.AllClose(y2, 0.0f));
+}
+
+TEST(MlpTest, EndToEndGradCheck) {
+  Rng rng(8);
+  nn::Mlp mlp(4, {6}, 1, rng);
+  mlp.SetTraining(false);
+  std::vector<Variable> inputs = mlp.Parameters();
+  Tensor x_data = Tensor::Normal(Shape({3, 4}), 0, 1, rng);
+  Rng dropout(0);
+  auto fn = [&](std::vector<Variable>&) {
+    return ag::MeanAll(
+        ag::Tanh(mlp.Forward(ag::Constant(x_data), dropout)));
+  };
+  EXPECT_LT(ag::GradCheckMaxError(fn, inputs, 1e-2f), 2e-2);
+}
+
+TEST(BatchNormTest, NormalizesInTraining) {
+  Rng rng(9);
+  nn::BatchNorm1d bn(3);
+  bn.SetTraining(true);
+  Tensor x(Shape({64, 3}));
+  for (int64_t i = 0; i < 64; ++i) {
+    x.at({i, 0}) = static_cast<float>(rng.Gaussian(5.0, 2.0));
+    x.at({i, 1}) = static_cast<float>(rng.Gaussian(-3.0, 0.5));
+    x.at({i, 2}) = static_cast<float>(rng.Gaussian(0.0, 1.0));
+  }
+  Tensor y = bn.Forward(ag::Constant(x)).value();
+  for (int f = 0; f < 3; ++f) {
+    double mean = 0, var = 0;
+    for (int64_t i = 0; i < 64; ++i) mean += y.at({i, f});
+    mean /= 64;
+    for (int64_t i = 0; i < 64; ++i) {
+      var += (y.at({i, f}) - mean) * (y.at({i, f}) - mean);
+    }
+    var /= 64;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  Rng rng(10);
+  nn::BatchNorm1d bn(2);
+  bn.SetTraining(true);
+  // Feed several batches with mean 4 so running stats converge toward it.
+  for (int step = 0; step < 60; ++step) {
+    Tensor x(Shape({32, 2}));
+    for (int64_t i = 0; i < x.numel(); ++i) {
+      x[i] = static_cast<float>(rng.Gaussian(4.0, 1.0));
+    }
+    bn.Forward(ag::Constant(x));
+  }
+  bn.SetTraining(false);
+  // In eval, an input at the running mean maps near gamma*0+beta = 0.
+  Tensor probe = Tensor::Full(Shape({1, 2}), 4.0f);
+  Tensor y = bn.Forward(ag::Constant(probe)).value();
+  EXPECT_NEAR(y[0], 0.0f, 0.2f);
+  EXPECT_NEAR(y[1], 0.0f, 0.2f);
+}
+
+TEST(BatchNormTest, GradCheckThroughNormalization) {
+  Rng rng(11);
+  nn::BatchNorm1d bn(3);
+  bn.SetTraining(true);
+  std::vector<Variable> inputs{
+      Variable(Tensor::Normal(Shape({8, 3}), 0, 1, rng), true)};
+  auto fn = [&bn](std::vector<Variable>& in) {
+    return ag::SumAll(ag::Square(bn.Forward(in[0])));
+  };
+  EXPECT_LT(ag::GradCheckMaxError(fn, inputs, 1e-2f), 2e-2);
+}
+
+TEST(InitTest, XavierBoundsAndHeScale) {
+  Rng rng(12);
+  Tensor xavier = nn::XavierUniform(Shape({50, 50}), 50, 50, rng);
+  const float bound = std::sqrt(6.0f / 100.0f);
+  for (int64_t i = 0; i < xavier.numel(); ++i) {
+    EXPECT_LE(std::abs(xavier[i]), bound);
+  }
+  Tensor he = nn::HeNormal(Shape({2000}), 50, rng);
+  double var = 0;
+  for (int64_t i = 0; i < he.numel(); ++i) var += he[i] * he[i];
+  var /= static_cast<double>(he.numel());
+  EXPECT_NEAR(var, 2.0 / 50.0, 0.01);
+}
+
+}  // namespace
+}  // namespace armnet

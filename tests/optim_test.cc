@@ -1,0 +1,162 @@
+// Unit tests for the optimizers: convergence on quadratics, momentum,
+// Adam bias correction, weight decay, and gradient clipping.
+
+#include "optim/adam.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "optim/sgd.h"
+
+namespace armnet {
+namespace {
+
+// One SGD/Adam problem: minimize ||x - target||^2.
+Variable MakeParam(float init) {
+  return Variable(Tensor::Full(Shape({4}), init), /*requires_grad=*/true);
+}
+
+Tensor Target() {
+  return Tensor::FromVector(Shape({4}), {1.0f, -2.0f, 0.5f, 3.0f});
+}
+
+float Distance(const Variable& x) {
+  const Tensor target = Target();
+  float total = 0;
+  for (int64_t i = 0; i < 4; ++i) {
+    const float d = x.value()[i] - target[i];
+    total += d * d;
+  }
+  return total;
+}
+
+template <typename Opt>
+void RunSteps(Opt& optimizer, Variable& x, int steps) {
+  for (int s = 0; s < steps; ++s) {
+    Variable loss = ag::MseLoss(x, Target());
+    optimizer.ZeroGrad();
+    loss.Backward();
+    optimizer.Step();
+  }
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Variable x = MakeParam(0.0f);
+  optim::Sgd sgd({x}, /*learning_rate=*/0.5f);
+  RunSteps(sgd, x, 100);
+  EXPECT_LT(Distance(x), 1e-4f);
+}
+
+TEST(SgdTest, MomentumAcceleratesConvergence) {
+  Variable plain = MakeParam(0.0f);
+  optim::Sgd sgd_plain({plain}, 0.05f);
+  RunSteps(sgd_plain, plain, 40);
+
+  Variable with_momentum = MakeParam(0.0f);
+  optim::Sgd sgd_momentum({with_momentum}, 0.05f, /*momentum=*/0.9f);
+  RunSteps(sgd_momentum, with_momentum, 40);
+
+  EXPECT_LT(Distance(with_momentum), Distance(plain));
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  // With zero gradient signal (loss constant in x via 0-weight), decay
+  // alone must shrink the parameter. Use a loss of 0 * x.
+  Variable x = MakeParam(2.0f);
+  optim::Sgd sgd({x}, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  for (int s = 0; s < 10; ++s) {
+    Variable loss = ag::SumAll(ag::MulScalar(x, 0.0f));
+    sgd.ZeroGrad();
+    loss.Backward();
+    sgd.Step();
+  }
+  EXPECT_LT(std::abs(x.value()[0]), 2.0f * std::pow(0.95f, 10) + 1e-4f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Variable x = MakeParam(0.0f);
+  optim::Adam adam({x}, 0.1f);
+  RunSteps(adam, x, 300);
+  EXPECT_LT(Distance(x), 1e-3f);
+}
+
+TEST(AdamTest, FirstStepSizeIsLearningRate) {
+  // With bias correction, the very first Adam step has magnitude ~lr
+  // regardless of gradient scale.
+  for (float scale : {0.01f, 100.0f}) {
+    Variable x(Tensor::Zeros(Shape({1})), true);
+    optim::Adam adam({x}, 0.1f);
+    Variable loss = ag::SumAll(ag::MulScalar(x, scale));
+    adam.ZeroGrad();
+    loss.Backward();
+    adam.Step();
+    EXPECT_NEAR(std::abs(x.value()[0]), 0.1f, 1e-3f) << "scale=" << scale;
+  }
+}
+
+TEST(AdamTest, SkipsParametersWithoutGradients) {
+  Variable used = MakeParam(0.0f);
+  Variable unused = MakeParam(5.0f);
+  optim::Adam adam({used, unused}, 0.1f);
+  Variable loss = ag::MseLoss(used, Target());
+  adam.ZeroGrad();
+  loss.Backward();
+  adam.Step();
+  EXPECT_FLOAT_EQ(unused.value()[0], 5.0f);
+  EXPECT_NE(used.value()[0], 0.0f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAll) {
+  Variable x = MakeParam(0.0f);
+  optim::Sgd sgd({x}, 0.1f);
+  Variable loss = ag::MseLoss(x, Target());
+  loss.Backward();
+  EXPECT_TRUE(x.has_grad());
+  sgd.ZeroGrad();
+  EXPECT_FALSE(x.has_grad());
+}
+
+TEST(ClipGradNormTest, RescalesLargeGradients) {
+  Variable x(Tensor::Zeros(Shape({3})), true);
+  x.AccumulateGrad(Tensor::FromVector(Shape({3}), {3.0f, 4.0f, 0.0f}));
+  const double norm = optim::ClipGradNorm({x}, 1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-5);
+  // Post-clip norm is 1.
+  double post = 0;
+  for (int i = 0; i < 3; ++i) post += x.grad()[i] * x.grad()[i];
+  EXPECT_NEAR(std::sqrt(post), 1.0, 1e-5);
+  // Direction preserved.
+  EXPECT_NEAR(x.grad()[0] / x.grad()[1], 0.75, 1e-5);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Variable x(Tensor::Zeros(Shape({2})), true);
+  x.AccumulateGrad(Tensor::FromVector(Shape({2}), {0.3f, 0.4f}));
+  optim::ClipGradNorm({x}, 10.0);
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.3f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 0.4f);
+}
+
+TEST(ClipGradNormTest, IgnoresGradlessParams) {
+  Variable a(Tensor::Zeros(Shape({2})), true);
+  Variable b(Tensor::Zeros(Shape({2})), true);
+  a.AccumulateGrad(Tensor::FromVector(Shape({2}), {6.0f, 8.0f}));
+  const double norm = optim::ClipGradNorm({a, b}, 5.0);
+  EXPECT_NEAR(norm, 10.0, 1e-4);
+  EXPECT_FALSE(b.has_grad());
+}
+
+TEST(AdamTest, LearningRateMutableMidTraining) {
+  Variable x = MakeParam(0.0f);
+  optim::Adam adam({x}, 0.05f);
+  EXPECT_FLOAT_EQ(adam.learning_rate(), 0.05f);
+  adam.set_learning_rate(0.2f);
+  EXPECT_FLOAT_EQ(adam.learning_rate(), 0.2f);
+  RunSteps(adam, x, 200);
+  EXPECT_LT(Distance(x), 1e-2f);
+}
+
+}  // namespace
+}  // namespace armnet

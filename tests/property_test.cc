@@ -1,0 +1,240 @@
+// Property-based tests: randomized broadcasting against a slow reference,
+// randomized autograd DAGs gradient-checked end to end, kernel accuracy
+// over wide input ranges, and algebraic identities of the tensor ops.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor_ops.h"
+
+namespace armnet {
+namespace {
+
+namespace tm = tmath;
+
+// Slow, obviously-correct broadcast reference: index arithmetic per output
+// element via full coordinate vectors.
+Tensor ReferenceBroadcastMul(const Tensor& a, const Tensor& b) {
+  const Shape out_shape = Shape::Broadcast(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const int rank = out_shape.rank();
+  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+  for (int64_t flat = 0; flat < out.numel(); ++flat) {
+    // Decompose flat -> coordinates.
+    int64_t rem = flat;
+    for (int d = rank - 1; d >= 0; --d) {
+      index[static_cast<size_t>(d)] = rem % out_shape.dim(d);
+      rem /= out_shape.dim(d);
+    }
+    auto value_at = [&](const Tensor& t) {
+      int64_t off = 0;
+      const int tr = t.rank();
+      for (int d = 0; d < tr; ++d) {
+        const int od = rank - tr + d;
+        const int64_t coord =
+            t.dim(d) == 1 ? 0 : index[static_cast<size_t>(od)];
+        off = off * t.dim(d) + coord;
+      }
+      return t[off];
+    };
+    out[flat] = value_at(a) * value_at(b);
+  }
+  return out;
+}
+
+Shape RandomShape(Rng& rng, int max_rank = 4, int64_t max_dim = 5) {
+  const int rank = 1 + static_cast<int>(rng.UniformInt(max_rank));
+  std::vector<int64_t> dims;
+  for (int d = 0; d < rank; ++d) {
+    dims.push_back(1 + rng.UniformInt(max_dim));
+  }
+  return Shape(std::move(dims));
+}
+
+// Derives a shape broadcast-compatible with `target` by dropping leading
+// dims and squashing random dims to 1.
+Shape CompatibleShape(const Shape& target, Rng& rng) {
+  const int keep = 1 + static_cast<int>(rng.UniformInt(target.rank()));
+  std::vector<int64_t> dims;
+  for (int d = target.rank() - keep; d < target.rank(); ++d) {
+    dims.push_back(rng.Bernoulli(0.4) ? 1 : target.dim(d));
+  }
+  return Shape(std::move(dims));
+}
+
+TEST(BroadcastPropertyTest, MatchesReferenceOn200RandomShapePairs) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Shape sa = RandomShape(rng);
+    const Shape sb = CompatibleShape(sa, rng);
+    Tensor a = Tensor::Normal(sa, 0, 1, rng);
+    Tensor b = Tensor::Normal(sb, 0, 1, rng);
+    // Both operand orders.
+    EXPECT_TRUE(tm::Mul(a, b).AllClose(ReferenceBroadcastMul(a, b), 1e-6f))
+        << sa.ToString() << " * " << sb.ToString();
+    EXPECT_TRUE(tm::Mul(b, a).AllClose(ReferenceBroadcastMul(b, a), 1e-6f))
+        << sb.ToString() << " * " << sa.ToString();
+  }
+}
+
+TEST(BroadcastPropertyTest, SumToIsAdjointOfBroadcastTo) {
+  // <BroadcastTo(x, S), y> == <x, SumTo(y, shape(x))> for all x, y: the
+  // defining property that makes broadcast backward correct.
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Shape big = RandomShape(rng);
+    const Shape small = CompatibleShape(big, rng);
+    Tensor x = Tensor::Normal(small, 0, 1, rng);
+    Tensor y = Tensor::Normal(big, 0, 1, rng);
+    const float lhs =
+        tm::SumAll(tm::Mul(tm::BroadcastTo(x, big), y)).item();
+    const float rhs = tm::SumAll(tm::Mul(x, tm::SumTo(y, small))).item();
+    EXPECT_NEAR(lhs, rhs, 1e-3f * (1.0f + std::abs(lhs)));
+  }
+}
+
+TEST(TensorAlgebraPropertyTest, MatMulDistributesAndTransposes) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int64_t m = 1 + rng.UniformInt(6);
+    const int64_t k = 1 + rng.UniformInt(6);
+    const int64_t n = 1 + rng.UniformInt(6);
+    Tensor a = Tensor::Normal(Shape({m, k}), 0, 1, rng);
+    Tensor b = Tensor::Normal(Shape({k, n}), 0, 1, rng);
+    Tensor c = Tensor::Normal(Shape({k, n}), 0, 1, rng);
+    // A(B + C) == AB + AC
+    Tensor lhs = tm::MatMul(a, tm::Add(b, c));
+    Tensor rhs = tm::Add(tm::MatMul(a, b), tm::MatMul(a, c));
+    EXPECT_TRUE(lhs.AllClose(rhs, 1e-4f));
+    // (AB)^T == B^T A^T
+    Tensor t1 = tm::Transpose(tm::MatMul(a, b), 0, 1);
+    Tensor t2 = tm::MatMul(tm::Transpose(b, 0, 1), tm::Transpose(a, 0, 1));
+    EXPECT_TRUE(t1.AllClose(t2, 1e-4f));
+  }
+}
+
+TEST(TensorAlgebraPropertyTest, ConcatSliceRoundTrip) {
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    Shape shape = RandomShape(rng, 3, 6);
+    const int axis = static_cast<int>(rng.UniformInt(shape.rank()));
+    Tensor a = Tensor::Normal(shape, 0, 1, rng);
+    Tensor b = Tensor::Normal(shape, 0, 1, rng);
+    Tensor joined = tm::Concat({a, b}, axis);
+    EXPECT_TRUE(tm::Slice(joined, axis, 0, shape.dim(axis)).AllClose(a));
+    EXPECT_TRUE(
+        tm::Slice(joined, axis, shape.dim(axis), shape.dim(axis))
+            .AllClose(b));
+  }
+}
+
+TEST(KernelPropertyTest, SimdExpAccurateAcrossRange) {
+  if (!SimdAvailable()) GTEST_SKIP() << "no AVX2";
+  // Dense sweep over the numerically interesting range plus extremes.
+  std::vector<float> inputs;
+  for (float x = -87.0f; x <= 87.0f; x += 0.37f) inputs.push_back(x);
+  inputs.insert(inputs.end(), {-200.0f, -88.7f, 0.0f, 88.3f, 1e-30f});
+  std::vector<float> out(inputs.size());
+  kernels::simd::VecExp(inputs.data(), out.data(),
+                        static_cast<int64_t>(inputs.size()));
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const double expected = std::exp(static_cast<double>(inputs[i]));
+    const double tolerance = 3e-6 * std::max(1.0, expected);
+    EXPECT_NEAR(out[i], expected, tolerance) << "x=" << inputs[i];
+  }
+}
+
+TEST(KernelPropertyTest, GemmBackendsAgreeOnRandomSizes) {
+  if (!SimdAvailable()) GTEST_SKIP() << "no AVX2";
+  Rng rng(17);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int64_t m = 1 + rng.UniformInt(24);
+    const int64_t k = 1 + rng.UniformInt(24);
+    const int64_t n = 1 + rng.UniformInt(24);
+    Tensor a = Tensor::Normal(Shape({m, k}), 0, 1, rng);
+    Tensor b = Tensor::Normal(Shape({k, n}), 0, 1, rng);
+    Tensor c1 = Tensor::Normal(Shape({m, n}), 0, 1, rng);
+    Tensor c2 = c1.Clone();
+    const float beta = trial % 3 == 0 ? 0.0f : (trial % 3 == 1 ? 1.0f : 0.5f);
+    kernels::scalar::Gemm(m, n, k, a.data(), b.data(), beta, c1.data());
+    kernels::simd::Gemm(m, n, k, a.data(), b.data(), beta, c2.data());
+    EXPECT_TRUE(c1.AllClose(c2, 1e-3f))
+        << m << "x" << k << "x" << n << " beta=" << beta;
+  }
+}
+
+TEST(AutogradPropertyTest, RandomDagsPassGradCheck) {
+  // Builds random 6-node DAGs from a pool of binary/unary ops and checks
+  // gradients end to end. Smooth ops only (no kinks near sampled points).
+  Rng rng(23);
+  for (int trial = 0; trial < 15; ++trial) {
+    const uint64_t seed = 1000 + static_cast<uint64_t>(trial);
+    auto fn = [seed](std::vector<Variable>& in) {
+      Rng graph_rng(seed);
+      std::vector<Variable> nodes = {in[0], in[1]};
+      for (int step = 0; step < 6; ++step) {
+        const Variable& x =
+            nodes[static_cast<size_t>(graph_rng.UniformInt(
+                static_cast<int64_t>(nodes.size())))];
+        const Variable& y =
+            nodes[static_cast<size_t>(graph_rng.UniformInt(
+                static_cast<int64_t>(nodes.size())))];
+        switch (graph_rng.UniformInt(6)) {
+          case 0:
+            nodes.push_back(ag::Add(x, y));
+            break;
+          case 1:
+            nodes.push_back(ag::Mul(x, y));
+            break;
+          case 2:
+            nodes.push_back(ag::Sub(x, y));
+            break;
+          case 3:
+            nodes.push_back(ag::Tanh(x));
+            break;
+          case 4:
+            nodes.push_back(ag::Sigmoid(x));
+            break;
+          default:
+            nodes.push_back(ag::MulScalar(x, 0.5f));
+            break;
+        }
+      }
+      return ag::MeanAll(nodes.back());
+    };
+    Rng data_rng(seed * 7);
+    std::vector<Variable> inputs{
+        Variable(Tensor::Normal(Shape({3, 4}), 0, 0.8f, data_rng), true),
+        Variable(Tensor::Normal(Shape({3, 4}), 0, 0.8f, data_rng), true)};
+    EXPECT_LT(ag::GradCheckMaxError(fn, inputs, 1e-2f), 2e-2)
+        << "trial " << trial;
+  }
+}
+
+TEST(AutogradPropertyTest, LinearityOfBackward) {
+  // Backward of (a*f + b*g) equals a*grad(f) + b*grad(g).
+  Rng rng(29);
+  Tensor x0 = Tensor::Normal(Shape({5}), 0, 1, rng);
+
+  auto grad_of = [&x0](float fw, float gw) {
+    Variable x(x0.Clone(), true);
+    Variable f = ag::SumAll(ag::Square(x));
+    Variable g = ag::SumAll(ag::Tanh(x));
+    Variable mix = ag::Add(ag::MulScalar(f, fw), ag::MulScalar(g, gw));
+    mix.Backward();
+    return x.grad().Clone();
+  };
+  Tensor grad_f = grad_of(1.0f, 0.0f);
+  Tensor grad_g = grad_of(0.0f, 1.0f);
+  Tensor grad_mix = grad_of(2.0f, -3.0f);
+  Tensor expected = tm::Add(tm::MulScalar(grad_f, 2.0f),
+                            tm::MulScalar(grad_g, -3.0f));
+  EXPECT_TRUE(grad_mix.AllClose(expected, 1e-4f));
+}
+
+}  // namespace
+}  // namespace armnet
