@@ -147,6 +147,7 @@ Variable Relu(const Variable& a) {
   Tensor out = tm::Relu(a.value());
   return MakeFromOp(std::move(out), {a}, [a](const Tensor& g) mutable {
     if (!a.requires_grad()) return;
+    ARMNET_DCHECK(g.shape() == a.shape());
     Tensor da(g.shape());
     const float* pg = g.data();
     const float* pa = a.value().data();
@@ -167,6 +168,7 @@ Variable LeakyRelu(const Variable& a, float slope) {
   }
   return MakeFromOp(std::move(out), {a}, [a, slope](const Tensor& g) {
     if (!a.requires_grad()) return;
+    ARMNET_DCHECK(g.shape() == a.shape());
     Tensor da(g.shape());
     const float* pg = g.data();
     const float* pa = a.value().data();
@@ -181,6 +183,7 @@ Variable Abs(const Variable& a) {
   Tensor out = tm::Abs(a.value());
   return MakeFromOp(std::move(out), {a}, [a](const Tensor& g) {
     if (!a.requires_grad()) return;
+    ARMNET_DCHECK(g.shape() == a.shape());
     Tensor da(g.shape());
     const float* pg = g.data();
     const float* pa = a.value().data();
@@ -197,6 +200,7 @@ Variable ClampMin(const Variable& a, float lo) {
   Tensor out = tm::ClampMin(a.value(), lo);
   return MakeFromOp(std::move(out), {a}, [a, lo](const Tensor& g) mutable {
     if (!a.requires_grad()) return;
+    ARMNET_DCHECK(g.shape() == a.shape());
     Tensor da(g.shape());
     const float* pg = g.data();
     const float* pa = a.value().data();
@@ -369,6 +373,7 @@ Variable BceWithLogits(const Variable& logits, const Tensor& targets) {
       std::move(out), {logits},
       [logits, targets_copy, n](const Tensor& g) mutable {
         if (!logits.requires_grad()) return;
+        ARMNET_DCHECK_EQ(g.numel(), 1);
         // dx_i = (sigmoid(x_i) - y_i) / n * g
         const float scale = g.item() / static_cast<float>(n);
         Tensor dx(logits.shape());

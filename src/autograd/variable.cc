@@ -66,12 +66,18 @@ void Variable::Backward(const Tensor& seed) {
     // it, or by the root; a dead output means its grad can't affect the
     // result, as can an output that never received a gradient.
     if (output == nullptr || !output->grad.defined()) continue;
+    // Backward-boundary shape contract: the gradient flowing into an op's
+    // backward must match the shape its forward produced.
+    ARMNET_DCHECK(output->grad.shape() == output->value.shape());
     node->backward(output->grad);
   }
 }
 
 Variable MakeFromOp(Tensor value, const std::vector<Variable>& inputs,
                     std::function<void(const Tensor& grad_out)> backward) {
+  // Forward-boundary contract: ops must produce a real tensor and may only
+  // consume real variables.
+  ARMNET_DCHECK(value.defined());
   bool needs_grad = false;
   for (const Variable& input : inputs) {
     ARMNET_CHECK(input.defined()) << "op input is a null Variable";

@@ -47,37 +47,68 @@ namespace kernels {
   }                                             \
   return scalar::fn(__VA_ARGS__)
 
+// Every dispatcher DCHECKs its pointer/size preconditions before entering the
+// raw-pointer implementations; the scalar/simd bodies themselves stay
+// check-free so the backend comparison measures arithmetic only. Null
+// pointers are tolerated for empty ranges (a zero-element tensor has no
+// storage to point at).
+#define ARMNET_KERNEL_PRECONDITIONS2(a, b, n)                     \
+  ARMNET_DCHECK_GE(n, 0);                                         \
+  ARMNET_DCHECK((n) == 0 || ((a) != nullptr && (b) != nullptr))
+
+#define ARMNET_KERNEL_PRECONDITIONS3(a, b, out, n) \
+  ARMNET_KERNEL_PRECONDITIONS2(a, b, n);           \
+  ARMNET_DCHECK((n) == 0 || (out) != nullptr)
+
 void VecAdd(const float* a, const float* b, float* out, int64_t n) {
+  ARMNET_KERNEL_PRECONDITIONS3(a, b, out, n);
   ARMNET_DISPATCH(VecAdd, a, b, out, n);
 }
 void VecSub(const float* a, const float* b, float* out, int64_t n) {
+  ARMNET_KERNEL_PRECONDITIONS3(a, b, out, n);
   ARMNET_DISPATCH(VecSub, a, b, out, n);
 }
 void VecMul(const float* a, const float* b, float* out, int64_t n) {
+  ARMNET_KERNEL_PRECONDITIONS3(a, b, out, n);
   ARMNET_DISPATCH(VecMul, a, b, out, n);
 }
 void VecDiv(const float* a, const float* b, float* out, int64_t n) {
+  ARMNET_KERNEL_PRECONDITIONS3(a, b, out, n);
   ARMNET_DISPATCH(VecDiv, a, b, out, n);
 }
 void VecScale(const float* a, float s, float* out, int64_t n) {
+  ARMNET_KERNEL_PRECONDITIONS2(a, out, n);
   ARMNET_DISPATCH(VecScale, a, s, out, n);
 }
 void VecAxpy(float alpha, const float* x, float* y, int64_t n) {
+  ARMNET_KERNEL_PRECONDITIONS2(x, y, n);
   ARMNET_DISPATCH(VecAxpy, alpha, x, y, n);
 }
 void VecExp(const float* a, float* out, int64_t n) {
+  ARMNET_KERNEL_PRECONDITIONS2(a, out, n);
   ARMNET_DISPATCH(VecExp, a, out, n);
 }
 float VecDot(const float* a, const float* b, int64_t n) {
+  ARMNET_KERNEL_PRECONDITIONS2(a, b, n);
   ARMNET_DISPATCH(VecDot, a, b, n);
 }
-float VecSum(const float* a, int64_t n) { ARMNET_DISPATCH(VecSum, a, n); }
+float VecSum(const float* a, int64_t n) {
+  ARMNET_DCHECK_GE(n, 0);
+  ARMNET_DCHECK(n == 0 || a != nullptr);
+  ARMNET_DISPATCH(VecSum, a, n);
+}
 void Gemm(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
           float beta, float* c) {
+  ARMNET_DCHECK(m >= 0 && n >= 0 && k >= 0);
+  ARMNET_DCHECK(m == 0 || n == 0 || c != nullptr);
+  ARMNET_DCHECK(m == 0 || n == 0 || k == 0 ||
+                (a != nullptr && b != nullptr));
   ARMNET_DISPATCH(Gemm, m, n, k, a, b, beta, c);
 }
 
 #undef ARMNET_DISPATCH
+#undef ARMNET_KERNEL_PRECONDITIONS2
+#undef ARMNET_KERNEL_PRECONDITIONS3
 
 }  // namespace kernels
 }  // namespace armnet

@@ -102,6 +102,7 @@ std::string Tensor::ToString(int64_t max_elements) const {
 }
 
 int64_t Tensor::FlatIndex(std::initializer_list<int64_t> indices) const {
+  ARMNET_DCHECK(defined());
   ARMNET_CHECK_EQ(static_cast<int>(indices.size()), rank());
   int64_t flat = 0;
   int i = 0;
@@ -112,6 +113,7 @@ int64_t Tensor::FlatIndex(std::initializer_list<int64_t> indices) const {
     flat = flat * d + idx;
     ++i;
   }
+  ARMNET_DCHECK(flat >= 0 && flat < numel());
   return flat;
 }
 

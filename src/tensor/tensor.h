@@ -74,12 +74,26 @@ class Tensor {
     return (*storage_)[static_cast<size_t>(i)];
   }
 
-  // Multi-index access (rank must match the number of indices).
+  // Multi-index access (rank must match the number of indices). Debug builds
+  // bounds-check every index; negative indices count from the end.
   float& at(std::initializer_list<int64_t> indices) {
-    return (*storage_)[static_cast<size_t>(FlatIndex(indices))];
+    // FlatIndex first: it checks storage liveness before we dereference.
+    const int64_t flat = FlatIndex(indices);
+    return (*storage_)[static_cast<size_t>(flat)];
   }
   float at(std::initializer_list<int64_t> indices) const {
-    return (*storage_)[static_cast<size_t>(FlatIndex(indices))];
+    const int64_t flat = FlatIndex(indices);
+    return (*storage_)[static_cast<size_t>(flat)];
+  }
+
+  // Convenience forms: t.at(i, j) == t.at({i, j}).
+  template <typename... Index>
+  float& at(Index... index) {
+    return at({static_cast<int64_t>(index)...});
+  }
+  template <typename... Index>
+  float at(Index... index) const {
+    return at({static_cast<int64_t>(index)...});
   }
 
   // Value of a tensor that holds exactly one element (any rank).

@@ -31,6 +31,18 @@ std::vector<int64_t> BroadcastStrides(const Shape& shape, const Shape& out) {
   return strides;
 }
 
+// Largest flat offset an odometer walk over `shape` can reach with the given
+// per-dimension strides. Used to DCHECK that broadcast/permuted stride math
+// stays inside the source buffer before entering a raw-pointer loop.
+[[maybe_unused]] int64_t MaxOffset(const Shape& shape,
+                                   const std::vector<int64_t>& strides) {
+  int64_t off = 0;
+  for (int d = 0; d < shape.rank(); ++d) {
+    if (shape.dim(d) > 0) off += (shape.dim(d) - 1) * strides[static_cast<size_t>(d)];
+  }
+  return off;
+}
+
 // Generic broadcasting binary loop. Walks the output in row-major order with
 // an odometer, maintaining input offsets incrementally.
 template <typename Fn>
@@ -52,6 +64,8 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
   const int rank = out_shape.rank();
   const std::vector<int64_t> sa = BroadcastStrides(a.shape(), out_shape);
   const std::vector<int64_t> sb = BroadcastStrides(b.shape(), out_shape);
+  ARMNET_DCHECK_LT(MaxOffset(out_shape, sa), a.numel());
+  ARMNET_DCHECK_LT(MaxOffset(out_shape, sb), b.numel());
   std::vector<int64_t> index(static_cast<size_t>(rank), 0);
   const float* pa = a.data();
   const float* pb = b.data();
@@ -222,6 +236,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   // Per-batch strides (in matrices) with 0 on broadcast dims.
   const std::vector<int64_t> sa = BroadcastStrides(batch_a, batch);
   const std::vector<int64_t> sb = BroadcastStrides(batch_b, batch);
+  ARMNET_DCHECK_LE((MaxOffset(batch, sa) + 1) * m * k, a.numel());
+  ARMNET_DCHECK_LE((MaxOffset(batch, sb) + 1) * k * n, b.numel());
   const int brank = batch.rank();
   std::vector<int64_t> index(static_cast<size_t>(brank), 0);
   int64_t off_a = 0;
@@ -264,6 +280,7 @@ Tensor Transpose(const Tensor& a, int dim0, int dim1) {
             in_strides[static_cast<size_t>(dim1)]);
 
   const int64_t n = out.numel();
+  ARMNET_DCHECK(n == 0 || MaxOffset(out.shape(), in_strides) < a.numel());
   std::vector<int64_t> index(static_cast<size_t>(rank), 0);
   const float* pa = a.data();
   float* po = out.data();
@@ -306,6 +323,7 @@ Tensor Sum(const Tensor& a, int axis, bool keepdim) {
     }
   }
   Tensor out{Shape(out_dims)};
+  ARMNET_DCHECK_EQ(outer * reduce * inner, a.numel());
   const float* pa = a.data();
   float* po = out.data();
   for (int64_t o = 0; o < outer; ++o) {
@@ -333,6 +351,7 @@ Tensor SumTo(const Tensor& a, const Shape& target) {
   Tensor out(target);
   const int rank = a.rank();
   const std::vector<int64_t> so = BroadcastStrides(target, a.shape());
+  ARMNET_DCHECK(a.numel() == 0 || MaxOffset(a.shape(), so) < out.numel());
   std::vector<int64_t> index(static_cast<size_t>(rank), 0);
   const float* pa = a.data();
   float* po = out.data();
@@ -360,6 +379,7 @@ Tensor BroadcastTo(const Tensor& a, const Shape& target) {
   Tensor out(target);
   const int rank = target.rank();
   const std::vector<int64_t> sa = BroadcastStrides(a.shape(), target);
+  ARMNET_DCHECK(out.numel() == 0 || MaxOffset(target, sa) < a.numel());
   std::vector<int64_t> index(static_cast<size_t>(rank), 0);
   const float* pa = a.data();
   float* po = out.data();
@@ -434,6 +454,7 @@ Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t length) {
   int64_t inner = 1;
   for (int d = axis + 1; d < rank; ++d) inner *= a.dim(d);
   const int64_t in_axis = a.dim(axis);
+  ARMNET_DCHECK_EQ(outer * in_axis * inner, a.numel());
 
   for (int64_t o = 0; o < outer; ++o) {
     const float* src = a.data() + (o * in_axis + start) * inner;
@@ -561,8 +582,9 @@ void ScatterAddRows(Tensor& dest, const std::vector<int64_t>& ids,
 Tensor SoftmaxLastDim(const Tensor& a) {
   ARMNET_CHECK_GE(a.rank(), 1);
   const int64_t d = a.dim(-1);
-  const int64_t rows = a.numel() / d;
   Tensor out(a.shape());
+  if (d == 0) return out;  // avoids dividing by a zero-sized last dim
+  const int64_t rows = a.numel() / d;
   for (int64_t r = 0; r < rows; ++r) {
     const float* src = a.data() + r * d;
     float* dst = out.data() + r * d;

@@ -58,14 +58,31 @@ class CheckFailure {
 #define ARMNET_CHECK_GT(a, b) ARMNET_CHECK_OP(>, a, b)
 #define ARMNET_CHECK_GE(a, b) ARMNET_CHECK_OP(>=, a, b)
 
-// Cheap debug-only check for hot paths; compiled out in NDEBUG builds.
+// Cheap debug-only checks for hot paths; compiled out in NDEBUG builds.
+//
+// The NDEBUG expansion still *type-checks* the condition inside an
+// unevaluated sizeof so that variables referenced only by DCHECKs do not
+// become -Wunused-but-set in release builds, and the expression cannot
+// silently rot while the check is compiled out.
 #ifdef NDEBUG
-#define ARMNET_DCHECK(condition) \
-  if (true) {                    \
-  } else                         \
+#define ARMNET_DCHECK(condition)                                      \
+  if (static_cast<void>(sizeof(!(condition))), true) {                \
+  } else                                                              \
     ::armnet::internal::CheckFailure(__FILE__, __LINE__, #condition)
+#define ARMNET_DCHECK_OP(op, a, b)                                          \
+  if (static_cast<void>(sizeof(!((a)op(b)))), true) {                       \
+  } else                                                                    \
+    ::armnet::internal::CheckFailure(__FILE__, __LINE__, #a " " #op " " #b)
 #else
 #define ARMNET_DCHECK(condition) ARMNET_CHECK(condition)
+#define ARMNET_DCHECK_OP(op, a, b) ARMNET_CHECK_OP(op, a, b)
 #endif
+
+#define ARMNET_DCHECK_EQ(a, b) ARMNET_DCHECK_OP(==, a, b)
+#define ARMNET_DCHECK_NE(a, b) ARMNET_DCHECK_OP(!=, a, b)
+#define ARMNET_DCHECK_LT(a, b) ARMNET_DCHECK_OP(<, a, b)
+#define ARMNET_DCHECK_LE(a, b) ARMNET_DCHECK_OP(<=, a, b)
+#define ARMNET_DCHECK_GT(a, b) ARMNET_DCHECK_OP(>, a, b)
+#define ARMNET_DCHECK_GE(a, b) ARMNET_DCHECK_OP(>=, a, b)
 
 #endif  // ARMNET_UTIL_CHECK_H_

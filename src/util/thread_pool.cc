@@ -1,11 +1,24 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
+#include <memory>
+
+#include "util/check.h"
 
 namespace armnet {
 
+namespace {
+
+// True on threads that run ThreadPool::WorkerLoop. ParallelFor issued from a
+// worker runs inline: submitting sub-chunks back into the same queue and then
+// blocking would deadlock once every worker is a blocked submitter.
+thread_local bool tls_in_pool_worker = false;
+
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
+  ARMNET_CHECK_GE(num_threads, 0);
+  workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
@@ -29,6 +42,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_in_pool_worker = true;
   while (true) {
     std::function<void()> task;
     {
@@ -44,36 +58,55 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(int64_t total,
                              const std::function<void(int64_t, int64_t)>& fn) {
+  ARMNET_DCHECK(total >= 0);
   if (total <= 0) return;
   const int workers = num_threads();
-  // Inline execution when parallelism cannot help.
-  if (workers == 0 || total < 1024) {
+  // Inline execution when parallelism cannot help — and when called from a
+  // pool worker (nested ParallelFor), where fanning out would deadlock.
+  if (workers == 0 || total < 1024 || tls_in_pool_worker) {
     fn(0, total);
     return;
   }
-  const int chunks = std::min<int64_t>(workers + 1, total);
+  const int chunks = static_cast<int>(std::min<int64_t>(workers + 1, total));
   const int64_t chunk_size = (total + chunks - 1) / chunks;
-  std::atomic<int> remaining{chunks - 1};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+
+  // Completion latch. Shared ownership (not the caller's stack) and a plain
+  // counter guarded by the mutex: the caller's predicate can only observe
+  // remaining == 0 while holding the lock, i.e. strictly after the last
+  // worker released it, so no worker can still be touching the latch when
+  // the caller returns. An atomic counter + stack-allocated cv here is the
+  // classic use-after-free TSan flags.
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable cv;
+    int remaining;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = chunks - 1;
+
   for (int c = 1; c < chunks; ++c) {
     const int64_t begin = c * chunk_size;
     const int64_t end = std::min<int64_t>(begin + chunk_size, total);
-    Submit([&, begin, end] {
+    Submit([latch, &fn, begin, end] {
       fn(begin, end);
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done_cv.notify_one();
+      bool last;
+      {
+        std::lock_guard<std::mutex> lock(latch->mutex);
+        last = --latch->remaining == 0;
       }
+      if (last) latch->cv.notify_one();
     });
   }
   // The calling thread processes the first chunk.
   fn(0, std::min<int64_t>(chunk_size, total));
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  std::unique_lock<std::mutex> lock(latch->mutex);
+  latch->cv.wait(lock, [&] { return latch->remaining == 0; });
 }
 
 ThreadPool& ThreadPool::Global() {
+  // Intentionally leaked: workers must outlive every static destructor that
+  // might still dispatch kernels during shutdown. The leak is suppressed in
+  // tools/sanitizers/lsan.supp.
   static ThreadPool* pool = new ThreadPool(
       std::max(0, static_cast<int>(std::thread::hardware_concurrency()) - 1));
   return *pool;

@@ -29,7 +29,9 @@ class ThreadPool {
 
   // Runs fn(begin, end) over [0, total) split into roughly equal chunks, one
   // per worker, and blocks until all chunks complete. Runs inline when the
-  // pool has no workers or the range is tiny.
+  // pool has no workers, the range is tiny, or the caller is itself a pool
+  // worker (nested ParallelFor would deadlock if fanned out). Safe to call
+  // concurrently from multiple threads.
   void ParallelFor(int64_t total,
                    const std::function<void(int64_t, int64_t)>& fn);
 

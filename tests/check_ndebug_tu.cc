@@ -1,0 +1,35 @@
+// Compiled with NDEBUG defined (see tests/CMakeLists.txt) regardless of the
+// build type, to pin the release-mode semantics of ARMNET_DCHECK: the
+// condition is type-checked (so variables referenced only by a DCHECK do not
+// trip -Wunused under -Werror) but never evaluated and never aborts.
+
+#ifndef NDEBUG
+#error "this translation unit must be compiled with NDEBUG"
+#endif
+
+#include "util/check.h"
+
+namespace armnet::testonly {
+
+bool NdebugDcheckIsSwallowed(int x) {
+  // `limit` is referenced only inside DCHECKs; under the old discarded-branch
+  // idiom this produced -Wunused-but-set-variable in NDEBUG builds.
+  const int limit = x - 1;
+  ARMNET_DCHECK(x < limit);                    // false: must not abort
+  ARMNET_DCHECK(x > 1000) << "never reached";  // false: must not abort
+  ARMNET_DCHECK_EQ(x, -42);                    // false: must not abort
+  ARMNET_DCHECK_GE(limit, 1000000);            // false: must not abort
+  return true;
+}
+
+bool NdebugDcheckDoesNotEvaluate() {
+  // The side effect must not run: DCHECK conditions are unevaluated in
+  // NDEBUG builds (sizeof swallow), not merely non-fatal.
+  int evaluations = 0;
+  auto bump = [&evaluations] { return ++evaluations > 0; };
+  ARMNET_DCHECK(bump());
+  ARMNET_DCHECK_EQ(evaluations, 12345);
+  return evaluations == 0;
+}
+
+}  // namespace armnet::testonly

@@ -176,7 +176,7 @@ TEST(ThreadPoolTest, InlineForTinyRangesAndZeroWorkers) {
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch watch;
   volatile double sink = 0;
-  for (int i = 0; i < 1000000; ++i) sink += i;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
   EXPECT_GE(watch.ElapsedSeconds(), 0.0);
   EXPECT_GE(watch.ElapsedMillis(), watch.ElapsedSeconds());
   watch.Restart();

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint for armnet.
+
+Enforces the rules clang-tidy cannot express (see DESIGN.md "Correctness
+tooling"):
+
+  guard        every header under src/ has an ARMNET_<PATH>_H_ include guard
+               (#ifndef / #define pair and a commented #endif)
+  raw-abort    no raw assert()/abort() outside src/util/check.h; programmer
+               errors go through ARMNET_CHECK/ARMNET_DCHECK, recoverable
+               errors through armnet::Status
+  stdout       no std::cout / printf / puts in src/ (library code reports via
+               Status or CHECK streams; stderr logging is allowed)
+  kernel-pre   every kernel dispatcher in src/tensor/kernels.cc DCHECKs its
+               pointer/size preconditions before entering the raw-pointer
+               scalar/SIMD implementations
+  supp-policy  every entry in tools/sanitizers/*.supp carries an explanatory
+               comment directly above it (empty-by-default policy)
+
+Usage:
+  tools/lint.py                 # run all text lints on src/ and tools/
+  tools/lint.py --clang-tidy    # additionally run clang-tidy on src/**/*.cc
+                                # (requires a compile_commands.json; pass
+                                # --build-dir, default build/release)
+
+Exits non-zero if any finding is reported.
+"""
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+findings = []
+
+
+def report(path, line, rule, message):
+    findings.append(f"{path.relative_to(REPO_ROOT)}:{line}: [{rule}] {message}")
+
+
+def expected_guard(header: Path) -> str:
+    rel = header.relative_to(SRC)
+    token = re.sub(r"[^A-Za-z0-9]", "_", str(rel)).upper()
+    return f"ARMNET_{token}_"
+
+
+def check_header_guards():
+    for header in sorted(SRC.rglob("*.h")):
+        guard = expected_guard(header)
+        text = header.read_text()
+        lines = text.splitlines()
+        if f"#ifndef {guard}" not in text:
+            report(header, 1, "guard", f"missing '#ifndef {guard}'")
+            continue
+        if f"#define {guard}" not in text:
+            report(header, 1, "guard", f"missing '#define {guard}'")
+        endif_re = re.compile(rf"#endif\s*//\s*{guard}\s*$")
+        if not any(endif_re.search(line) for line in lines):
+            report(header, len(lines), "guard",
+                   f"missing closing '#endif  // {guard}'")
+
+
+ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+ABORT_RE = re.compile(r"(?<![\w:.])abort\s*\(")
+STDOUT_RE = re.compile(r"std::cout|(?<![\w.])printf\s*\(|(?<![\w.])puts\s*\(")
+
+
+def strip_comments(line: str) -> str:
+    # Good enough for lint purposes: drop // comments (string literals in this
+    # codebase do not contain '//').
+    return line.split("//", 1)[0]
+
+
+def check_source_rules():
+    check_h = SRC / "util" / "check.h"
+    for path in sorted(list(SRC.rglob("*.h")) + list(SRC.rglob("*.cc"))):
+        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+            line = strip_comments(raw)
+            if "static_assert" in line:
+                line = line.replace("static_assert", "")
+            if path != check_h:
+                if ASSERT_RE.search(line):
+                    report(path, lineno, "raw-abort",
+                           "raw assert(); use ARMNET_CHECK/ARMNET_DCHECK")
+                if ABORT_RE.search(line):
+                    report(path, lineno, "raw-abort",
+                           "raw abort(); use ARMNET_CHECK (it aborts with "
+                           "context)")
+            if STDOUT_RE.search(line):
+                report(path, lineno, "stdout",
+                       "stdout output in library code; return armnet::Status "
+                       "or stream onto a CHECK instead")
+
+
+# Function-definition opener in the dispatch layer: a kernel returns void or
+# float and is defined at namespace scope.
+KERNEL_DEF_RE = re.compile(r"^(?:void|float)\s+(\w+)\s*\(")
+
+
+def check_kernel_preconditions():
+    path = SRC / "tensor" / "kernels.cc"
+    lines = path.read_text().splitlines()
+    # Collect (name, start_line, body_text) for each top-level definition.
+    defs = []
+    for i, line in enumerate(lines):
+        m = KERNEL_DEF_RE.match(line)
+        if m:
+            defs.append((m.group(1), i))
+    for idx, (name, start) in enumerate(defs):
+        end = defs[idx + 1][1] if idx + 1 < len(defs) else len(lines)
+        body = "\n".join(lines[start:end])
+        if "ARMNET_DCHECK" not in body and "ARMNET_KERNEL_PRECONDITIONS" not in body:
+            report(path, start + 1, "kernel-pre",
+                   f"kernel dispatcher '{name}' has no ARMNET_DCHECK on its "
+                   "pointer/size preconditions")
+
+
+def check_suppression_policy():
+    supp_dir = REPO_ROOT / "tools" / "sanitizers"
+    for supp in sorted(supp_dir.glob("*.supp")):
+        lines = supp.read_text().splitlines()
+        prev_commented = False
+        for lineno, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped:
+                prev_commented = False
+                continue
+            if stripped.startswith("#"):
+                prev_commented = True
+                continue
+            # Entry line: must sit directly under an explanatory comment (or
+            # under another entry of the same commented block).
+            if not prev_commented:
+                report(supp, lineno, "supp-policy",
+                       "suppression entry without an explanatory comment "
+                       "directly above it (see tools/sanitizers/README.md)")
+            # Stay "commented" for multi-entry blocks under one comment.
+
+
+def run_clang_tidy(build_dir: Path) -> int:
+    tidy = shutil.which("clang-tidy")
+    if tidy is None:
+        print("lint.py: clang-tidy not found on PATH; skipping "
+              "(the CI lint job runs it)", file=sys.stderr)
+        return 0
+    compdb = build_dir / "compile_commands.json"
+    if not compdb.exists():
+        print(f"lint.py: {compdb} not found; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first", file=sys.stderr)
+        return 1
+    sources = [str(p) for p in sorted(SRC.rglob("*.cc"))]
+    proc = subprocess.run([tidy, "-p", str(build_dir), "--quiet"] + sources)
+    return proc.returncode
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang-tidy", action="store_true",
+                        help="also run clang-tidy over src/**/*.cc")
+    parser.add_argument("--build-dir", type=Path,
+                        default=REPO_ROOT / "build" / "release",
+                        help="build dir holding compile_commands.json")
+    args = parser.parse_args()
+
+    check_header_guards()
+    check_source_rules()
+    check_kernel_preconditions()
+    check_suppression_policy()
+
+    for finding in findings:
+        print(finding)
+    status = 1 if findings else 0
+
+    if args.clang_tidy:
+        status = max(status, run_clang_tidy(args.build_dir))
+
+    if status == 0:
+        print("lint.py: clean")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
