@@ -1,0 +1,167 @@
+#include "armor/checkpoint.h"
+
+#include <filesystem>
+
+#include "nn/serialize.h"
+#include "util/string_util.h"
+
+namespace armnet::armor {
+
+namespace {
+
+void WriteRngState(nn::StateWriter& writer, const Rng::State& state) {
+  for (uint64_t word : state.words) writer.WriteU64(word);
+  writer.WriteU32(state.has_cached_gaussian ? 1 : 0);
+  writer.WriteDouble(state.cached_gaussian);
+}
+
+Status ReadRngState(nn::StateReader& reader, Rng::State* state) {
+  for (uint64_t& word : state->words) {
+    Status status = reader.ReadU64(&word);
+    if (!status.ok()) return status;
+  }
+  uint32_t has_cached = 0;
+  Status status = reader.ReadU32(&has_cached);
+  if (!status.ok()) return status;
+  state->has_cached_gaussian = has_cached != 0;
+  return reader.ReadDouble(&state->cached_gaussian);
+}
+
+void WriteTensorList(nn::StateWriter& writer,
+                     const std::vector<Tensor>& tensors) {
+  writer.WriteU64(tensors.size());
+  for (const Tensor& t : tensors) writer.WriteTensor(t);
+}
+
+Status ReadTensorList(nn::StateReader& reader, std::vector<Tensor>* out) {
+  uint64_t count = 0;
+  Status status = reader.ReadU64(&count);
+  if (!status.ok()) return status;
+  // A checkpoint never holds more than a few thousand tensors; anything
+  // larger is corruption that slipped past the CRC (or a hostile file).
+  if (count > 1u << 20) {
+    return Status::Error(StrFormat("implausible tensor count %llu in %s",
+                                   static_cast<unsigned long long>(count),
+                                   reader.path().c_str()));
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Tensor tensor;
+    status = reader.ReadTensor(&tensor);
+    if (!status.ok()) return status;
+    out->push_back(std::move(tensor));
+  }
+  return Status::Ok();
+}
+
+void WriteI64List(nn::StateWriter& writer, const std::vector<int64_t>& v) {
+  writer.WriteU64(v.size());
+  for (int64_t x : v) writer.WriteI64(x);
+}
+
+Status ReadI64List(nn::StateReader& reader, std::vector<int64_t>* out) {
+  uint64_t count = 0;
+  Status status = reader.ReadU64(&count);
+  if (!status.ok()) return status;
+  if (count > 1ull << 40) {
+    return Status::Error(StrFormat("implausible list length %llu in %s",
+                                   static_cast<unsigned long long>(count),
+                                   reader.path().c_str()));
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t x = 0;
+    status = reader.ReadI64(&x);
+    if (!status.ok()) return status;
+    out->push_back(x);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string TrainCheckpointPath(const std::string& checkpoint_dir) {
+  return checkpoint_dir + "/train_state.armc";
+}
+
+Status SaveTrainCheckpoint(const TrainCheckpoint& checkpoint,
+                           const std::string& checkpoint_dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(checkpoint_dir, ec);
+  if (ec) {
+    return Status::Error("cannot create checkpoint dir " + checkpoint_dir +
+                         ": " + ec.message());
+  }
+
+  nn::StateWriter writer(nn::kStateKindTrainCheckpoint);
+  writer.WriteU64(checkpoint.seed);
+  writer.WriteU32(checkpoint.task);
+  writer.WriteI64(checkpoint.batch_size);
+  writer.WriteI64(checkpoint.epochs_completed);
+  writer.WriteDouble(checkpoint.learning_rate);
+  writer.WriteU32(checkpoint.has_best ? 1 : 0);
+  writer.WriteDouble(checkpoint.best_metric);
+  writer.WriteI64(checkpoint.epochs_since_best);
+  writer.WriteI64(checkpoint.divergence_recoveries);
+  writer.WriteDoubles(checkpoint.history);
+  WriteRngState(writer, checkpoint.dropout_rng);
+  WriteRngState(writer, checkpoint.batcher_rng);
+  WriteI64List(writer, checkpoint.batcher_order);
+  WriteTensorList(writer, checkpoint.params);
+  WriteTensorList(writer, checkpoint.buffers);
+  WriteTensorList(writer, checkpoint.best_params);
+  WriteTensorList(writer, checkpoint.best_buffers);
+  writer.WriteI64(checkpoint.adam_step);
+  WriteTensorList(writer, checkpoint.adam_m);
+  WriteTensorList(writer, checkpoint.adam_v);
+  return writer.Commit(TrainCheckpointPath(checkpoint_dir));
+}
+
+bool TrainCheckpointExists(const std::string& checkpoint_dir) {
+  std::error_code ec;
+  return std::filesystem::exists(TrainCheckpointPath(checkpoint_dir), ec);
+}
+
+StatusOr<TrainCheckpoint> LoadTrainCheckpoint(
+    const std::string& checkpoint_dir) {
+  StatusOr<nn::StateReader> opened = nn::StateReader::Open(
+      TrainCheckpointPath(checkpoint_dir), nn::kStateKindTrainCheckpoint);
+  if (!opened.ok()) return opened.status();
+  nn::StateReader reader = std::move(opened).value();
+
+  TrainCheckpoint ckpt;
+  uint32_t has_best = 0;
+  double learning_rate = 0;
+  Status status = reader.ReadU64(&ckpt.seed);
+  if (status.ok()) status = reader.ReadU32(&ckpt.task);
+  if (status.ok()) status = reader.ReadI64(&ckpt.batch_size);
+  if (status.ok()) status = reader.ReadI64(&ckpt.epochs_completed);
+  if (status.ok()) status = reader.ReadDouble(&learning_rate);
+  if (status.ok()) status = reader.ReadU32(&has_best);
+  if (status.ok()) status = reader.ReadDouble(&ckpt.best_metric);
+  if (status.ok()) status = reader.ReadI64(&ckpt.epochs_since_best);
+  if (status.ok()) status = reader.ReadI64(&ckpt.divergence_recoveries);
+  if (status.ok()) status = reader.ReadDoubles(&ckpt.history);
+  if (status.ok()) status = ReadRngState(reader, &ckpt.dropout_rng);
+  if (status.ok()) status = ReadRngState(reader, &ckpt.batcher_rng);
+  if (status.ok()) status = ReadI64List(reader, &ckpt.batcher_order);
+  if (status.ok()) status = ReadTensorList(reader, &ckpt.params);
+  if (status.ok()) status = ReadTensorList(reader, &ckpt.buffers);
+  if (status.ok()) status = ReadTensorList(reader, &ckpt.best_params);
+  if (status.ok()) status = ReadTensorList(reader, &ckpt.best_buffers);
+  if (status.ok()) status = reader.ReadI64(&ckpt.adam_step);
+  if (status.ok()) status = ReadTensorList(reader, &ckpt.adam_m);
+  if (status.ok()) status = ReadTensorList(reader, &ckpt.adam_v);
+  if (!status.ok()) return status;
+  if (!reader.AtEnd()) {
+    return Status::Error("trailing bytes after checkpoint payload in " +
+                         reader.path());
+  }
+  ckpt.learning_rate = static_cast<float>(learning_rate);
+  ckpt.has_best = has_best != 0;
+  return ckpt;
+}
+
+}  // namespace armnet::armor

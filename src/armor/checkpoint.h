@@ -1,0 +1,73 @@
+#ifndef ARMNET_ARMOR_CHECKPOINT_H_
+#define ARMNET_ARMOR_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace armnet::armor {
+
+// Epoch-granular training checkpoint: everything Fit() needs to continue a
+// run exactly where it stopped — model weights and buffers, the best
+// snapshot so far, Adam moments, RNG streams, and the early-stopping
+// bookkeeping. Serialized through nn::StateWriter/StateReader, so the file
+// is CRC-protected and written atomically (see nn/serialize.h).
+struct TrainCheckpoint {
+  // Config fingerprint: resume refuses a checkpoint written under a
+  // different training setup instead of silently mixing runs.
+  uint64_t seed = 0;
+  uint32_t task = 0;
+  int64_t batch_size = 0;
+
+  // Progress. `epochs_completed` counts fully finished epochs; resume
+  // continues with epoch `epochs_completed + 1`.
+  int64_t epochs_completed = 0;
+  float learning_rate = 0;  // current (possibly backed-off) LR
+  bool has_best = false;
+  double best_metric = 0;
+  int64_t epochs_since_best = 0;
+  int64_t divergence_recoveries = 0;
+  std::vector<double> history;  // validation metric per completed epoch
+
+  // RNG streams, captured after the checkpointed epoch finished.
+  Rng::State dropout_rng;
+  Rng::State batcher_rng;
+  // The batcher's row permutation at capture time. Epochs reshuffle in
+  // place, so the next epoch's visit order depends on both the RNG state
+  // and this permutation.
+  std::vector<int64_t> batcher_order;
+
+  // Model and optimizer state (deep copies, traversal order).
+  std::vector<Tensor> params;
+  std::vector<Tensor> buffers;
+  std::vector<Tensor> best_params;
+  std::vector<Tensor> best_buffers;
+  int64_t adam_step = 0;
+  std::vector<Tensor> adam_m;
+  std::vector<Tensor> adam_v;
+};
+
+// Location of the checkpoint file inside a checkpoint directory.
+std::string TrainCheckpointPath(const std::string& checkpoint_dir);
+
+// Atomically persists `checkpoint` into `checkpoint_dir` (created if
+// missing). A crash mid-save leaves the previous checkpoint intact.
+Status SaveTrainCheckpoint(const TrainCheckpoint& checkpoint,
+                           const std::string& checkpoint_dir);
+
+// True if `checkpoint_dir` holds a checkpoint file (readable or not).
+bool TrainCheckpointExists(const std::string& checkpoint_dir);
+
+// Loads and validates the checkpoint in `checkpoint_dir`. Any corruption,
+// truncation, or version mismatch yields a non-OK Status and no partial
+// data.
+StatusOr<TrainCheckpoint> LoadTrainCheckpoint(
+    const std::string& checkpoint_dir);
+
+}  // namespace armnet::armor
+
+#endif  // ARMNET_ARMOR_CHECKPOINT_H_

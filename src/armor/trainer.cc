@@ -1,10 +1,15 @@
 #include "armor/trainer.h"
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
+#include "armor/checkpoint.h"
 #include "data/batcher.h"
 #include "optim/adam.h"
+#include "util/fault_injection.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
 
 namespace armnet::armor {
 
@@ -46,6 +51,34 @@ void Restore(std::vector<Variable>& params, std::vector<Tensor>& buffers,
   }
 }
 
+// Model + optimizer state captured at the end of a good epoch; divergence
+// rollback returns the run here before retrying with a smaller LR.
+struct RunState {
+  ModelSnapshot model;
+  int64_t adam_step = 0;
+  std::vector<Tensor> adam_m;
+  std::vector<Tensor> adam_v;
+};
+
+RunState CaptureRun(const std::vector<Variable>& params,
+                    const std::vector<Tensor>& buffers,
+                    const optim::Adam& optimizer) {
+  RunState state;
+  state.model = Snapshot(params, buffers);
+  optimizer.ExportState(&state.adam_step, &state.adam_m, &state.adam_v);
+  return state;
+}
+
+void RestoreRun(std::vector<Variable>& params, std::vector<Tensor>& buffers,
+                optim::Adam& optimizer, const RunState& state) {
+  Restore(params, buffers, state.model);
+  // The state was captured from this very optimizer, so a mismatch is a
+  // programmer error, not recoverable input.
+  const Status status =
+      optimizer.ImportState(state.adam_step, state.adam_m, state.adam_v);
+  ARMNET_CHECK(status.ok()) << status.message();
+}
+
 }  // namespace
 
 TrainResult Fit(models::TabularModel& model, const data::Splits& splits,
@@ -60,33 +93,215 @@ TrainResult Fit(models::TabularModel& model, const data::Splits& splits,
 
   TrainResult result;
   std::vector<Tensor> buffers = model.Buffers();
+  float lr = config.learning_rate;
+  bool has_best = false;
   ModelSnapshot best = Snapshot(params, buffers);
   int epochs_since_best = 0;
+  int start_epoch = 0;
   Stopwatch watch;
+  // Injected clock stalls accumulate here so the watchdog sees them.
+  double stall_seconds = 0;
 
-  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+  auto incident = [&result, &config](std::string message) {
+    if (config.verbose) {
+      std::fprintf(stderr, "[trainer] %s\n", message.c_str());
+    }
+    result.incidents.push_back(std::move(message));
+  };
+
+  // Validates a loaded checkpoint against this run's config and model,
+  // then applies it. Validation happens up front so a mismatched or
+  // hostile checkpoint leaves the fresh-initialized run untouched.
+  auto apply_checkpoint = [&](TrainCheckpoint& ckpt) -> Status {
+    if (ckpt.seed != config.seed ||
+        ckpt.task != static_cast<uint32_t>(config.task) ||
+        ckpt.batch_size != config.batch_size) {
+      return Status::Error(
+          "checkpoint was written under a different seed/task/batch size");
+    }
+    if (ckpt.epochs_completed < 0 ||
+        static_cast<int64_t>(ckpt.history.size()) != ckpt.epochs_completed) {
+      return Status::Error("checkpoint epoch bookkeeping is inconsistent");
+    }
+    if (ckpt.params.size() != params.size() ||
+        ckpt.best_params.size() != params.size() ||
+        ckpt.buffers.size() != buffers.size() ||
+        ckpt.best_buffers.size() != buffers.size()) {
+      return Status::Error("checkpoint tensor counts do not match the model");
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (ckpt.params[i].shape() != params[i].shape() ||
+          ckpt.best_params[i].shape() != params[i].shape()) {
+        return Status::Error(
+            StrFormat("checkpoint shape mismatch for parameter %zu", i));
+      }
+    }
+    for (size_t i = 0; i < buffers.size(); ++i) {
+      if (ckpt.buffers[i].shape() != buffers[i].shape() ||
+          ckpt.best_buffers[i].shape() != buffers[i].shape()) {
+        return Status::Error(
+            StrFormat("checkpoint shape mismatch for buffer %zu", i));
+      }
+    }
+    if (static_cast<int64_t>(ckpt.batcher_order.size()) !=
+        splits.train.size()) {
+      return Status::Error(
+          "checkpoint batch permutation does not match the training set");
+    }
+    for (int64_t row : ckpt.batcher_order) {
+      if (row < 0 || row >= splits.train.size()) {
+        return Status::Error(
+            "checkpoint batch permutation holds an out-of-range row");
+      }
+    }
+    Status adam =
+        optimizer.ImportState(ckpt.adam_step, ckpt.adam_m, ckpt.adam_v);
+    if (!adam.ok()) return adam;
+
+    for (size_t i = 0; i < params.size(); ++i) {
+      Tensor& dst = params[i].mutable_value();
+      std::copy(ckpt.params[i].data(),
+                ckpt.params[i].data() + ckpt.params[i].numel(), dst.data());
+    }
+    for (size_t i = 0; i < buffers.size(); ++i) {
+      std::copy(ckpt.buffers[i].data(),
+                ckpt.buffers[i].data() + ckpt.buffers[i].numel(),
+                buffers[i].data());
+    }
+    best.params = std::move(ckpt.best_params);
+    best.buffers = std::move(ckpt.best_buffers);
+    lr = ckpt.learning_rate;
+    optimizer.set_learning_rate(lr);
+    dropout_rng.SetState(ckpt.dropout_rng);
+    batcher.set_rng_state(ckpt.batcher_rng);
+    batcher.set_order(std::move(ckpt.batcher_order));
+    has_best = ckpt.has_best;
+    result.best_validation_metric = ckpt.best_metric;
+    epochs_since_best = static_cast<int>(ckpt.epochs_since_best);
+    result.divergence_recoveries =
+        static_cast<int>(ckpt.divergence_recoveries);
+    result.validation_metric_history = ckpt.history;
+    start_epoch = static_cast<int>(ckpt.epochs_completed);
+    result.resumed_from_epoch = start_epoch;
+    result.epochs_run = start_epoch;
+    return Status::Ok();
+  };
+
+  if (!config.checkpoint_dir.empty() &&
+      TrainCheckpointExists(config.checkpoint_dir)) {
+    StatusOr<TrainCheckpoint> loaded =
+        LoadTrainCheckpoint(config.checkpoint_dir);
+    if (!loaded.ok()) {
+      incident("checkpoint unreadable, starting fresh: " +
+               loaded.status().message());
+    } else {
+      const Status applied = apply_checkpoint(loaded.value());
+      if (!applied.ok()) {
+        incident("checkpoint rejected, starting fresh: " + applied.message());
+      } else if (config.verbose) {
+        std::fprintf(stderr, "[trainer] resumed after epoch %d from %s\n",
+                     start_epoch,
+                     TrainCheckpointPath(config.checkpoint_dir).c_str());
+      }
+    }
+  }
+
+  RunState last_good = CaptureRun(params, buffers, optimizer);
+
+  int epoch = start_epoch;
+  while (epoch < config.max_epochs) {
     model.SetTraining(true);
     batcher.Reset();
     data::Batch batch;
     double epoch_loss = 0;
     int64_t steps = 0;
+    bool diverged = false;
+    std::string diverge_reason;
+    double norm_sum = 0;
+    int64_t norm_count = 0;
     while (batcher.Next(&batch)) {
       Variable logits = model.Forward(batch, dropout_rng);
       Variable loss =
           config.task == Task::kClassification
               ? ag::BceWithLogits(logits, batch.LabelsTensor())
               : ag::MseLoss(logits, batch.LabelsTensor());
+      if (fault::ShouldFail(fault::kSiteTrainerLoss,
+                            fault::Kind::kPoisonTensor)) {
+        Tensor value = loss.value();  // shared handle: poisons the loss
+        value.data()[0] = std::numeric_limits<float>::quiet_NaN();
+      }
+      const float loss_value = loss.value().item();
+      if (!std::isfinite(loss_value)) {
+        diverged = true;
+        diverge_reason = StrFormat("non-finite loss at step %lld",
+                                   static_cast<long long>(steps + 1));
+        break;
+      }
       optimizer.ZeroGrad();
       loss.Backward();
-      optim::ClipGradNorm(params, config.grad_clip_norm);
+      const double norm = optim::ClipGradNorm(params, config.grad_clip_norm);
+      if (!std::isfinite(norm)) {
+        diverged = true;
+        diverge_reason = StrFormat("non-finite gradient norm at step %lld",
+                                   static_cast<long long>(steps + 1));
+        break;
+      }
+      if (config.grad_spike_factor > 0 && norm_count >= 32 &&
+          norm > config.grad_spike_factor *
+                     (norm_sum / static_cast<double>(norm_count))) {
+        diverged = true;
+        diverge_reason = StrFormat(
+            "gradient norm spike at step %lld (%.3g vs running mean %.3g)",
+            static_cast<long long>(steps + 1), norm,
+            norm_sum / static_cast<double>(norm_count));
+        break;
+      }
       optimizer.Step();
-      epoch_loss += loss.value().item();
+      norm_sum += norm;
+      ++norm_count;
+      epoch_loss += loss_value;
       ++steps;
       if (config.max_batches_per_epoch > 0 &&
           steps >= config.max_batches_per_epoch) {
         break;
       }
+      stall_seconds += fault::ClockStallSeconds(fault::kSiteTrainerClock);
+      if (config.max_train_seconds > 0 &&
+          watch.ElapsedSeconds() + stall_seconds > config.max_train_seconds) {
+        result.watchdog_fired = true;
+        break;
+      }
     }
+
+    if (diverged) {
+      if (result.divergence_recoveries >= config.max_divergence_retries) {
+        result.divergence_gave_up = true;
+        RestoreRun(params, buffers, optimizer, last_good);
+        incident(StrFormat(
+            "epoch %d: %s; retry budget exhausted after %d recoveries — "
+            "stopping with the last good weights",
+            epoch + 1, diverge_reason.c_str(), result.divergence_recoveries));
+        break;
+      }
+      ++result.divergence_recoveries;
+      RestoreRun(params, buffers, optimizer, last_good);
+      lr *= config.divergence_lr_backoff;
+      optimizer.set_learning_rate(lr);
+      incident(StrFormat(
+          "epoch %d: %s; rolled back to the last good state and backed the "
+          "learning rate off to %g (recovery %d/%d)",
+          epoch + 1, diverge_reason.c_str(), static_cast<double>(lr),
+          result.divergence_recoveries, config.max_divergence_retries));
+      continue;  // retry the same epoch
+    }
+    if (result.watchdog_fired) {
+      incident(StrFormat(
+          "watchdog: wall clock exceeded %.3f s during epoch %d; stopping "
+          "with the best weights so far",
+          config.max_train_seconds, epoch + 1));
+      break;
+    }
+
     result.epochs_run = epoch + 1;
 
     const EvalResult validation =
@@ -105,15 +320,66 @@ TrainResult Fit(models::TabularModel& model, const data::Splits& splits,
                    validation.auc, validation.logloss, validation.rmse);
     }
 
-    const bool first_epoch = epoch == 0;
-    if (first_epoch || metric > result.best_validation_metric) {
+    // A non-finite metric must neither become "best" (NaN comparisons are
+    // always false, which used to freeze the first-epoch best forever) nor
+    // reset patience: it counts as a non-improving epoch.
+    const bool finite_metric = std::isfinite(metric);
+    if (!finite_metric) {
+      incident(StrFormat(
+          "epoch %d: non-finite validation metric; counted as a "
+          "non-improving epoch",
+          epoch + 1));
+    }
+    if (finite_metric &&
+        (!has_best || metric > result.best_validation_metric)) {
       result.best_validation_metric = metric;
       best = Snapshot(params, buffers);
+      has_best = true;
       epochs_since_best = 0;
     } else {
       ++epochs_since_best;
-      if (epochs_since_best >= config.patience) break;
     }
+
+    last_good = CaptureRun(params, buffers, optimizer);
+
+    if (!config.checkpoint_dir.empty()) {
+      TrainCheckpoint ckpt;
+      ckpt.seed = config.seed;
+      ckpt.task = static_cast<uint32_t>(config.task);
+      ckpt.batch_size = config.batch_size;
+      ckpt.epochs_completed = epoch + 1;
+      ckpt.learning_rate = lr;
+      ckpt.has_best = has_best;
+      ckpt.best_metric = result.best_validation_metric;
+      ckpt.epochs_since_best = epochs_since_best;
+      ckpt.divergence_recoveries = result.divergence_recoveries;
+      ckpt.history = result.validation_metric_history;
+      ckpt.dropout_rng = dropout_rng.GetState();
+      ckpt.batcher_rng = batcher.rng_state();
+      ckpt.batcher_order = batcher.order();
+      for (const Tensor& t : last_good.model.params) {
+        ckpt.params.push_back(t.Clone());
+      }
+      for (const Tensor& t : last_good.model.buffers) {
+        ckpt.buffers.push_back(t.Clone());
+      }
+      for (const Tensor& t : best.params) {
+        ckpt.best_params.push_back(t.Clone());
+      }
+      for (const Tensor& t : best.buffers) {
+        ckpt.best_buffers.push_back(t.Clone());
+      }
+      optimizer.ExportState(&ckpt.adam_step, &ckpt.adam_m, &ckpt.adam_v);
+      const Status saved =
+          SaveTrainCheckpoint(ckpt, config.checkpoint_dir);
+      if (!saved.ok()) {
+        incident(StrFormat("epoch %d: checkpoint save failed: %s", epoch + 1,
+                           saved.message().c_str()));
+      }
+    }
+
+    if (epochs_since_best >= config.patience) break;
+    ++epoch;
   }
   if (config.task == Task::kClassification) {
     result.best_validation_auc = result.best_validation_metric;

@@ -2,6 +2,7 @@
 #define ARMNET_ARMOR_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "armor/evaluator.h"
@@ -34,6 +35,30 @@ struct TrainConfig {
   bool verbose = false;
   // 0 = full epochs; otherwise caps steps per epoch (quick benches).
   int64_t max_batches_per_epoch = 0;
+
+  // --- Fault tolerance (see DESIGN.md §8) ------------------------------
+  // Directory for epoch-granular training checkpoints; empty disables
+  // them. After every completed epoch the full run state (weights,
+  // buffers, best snapshot, Adam moments, RNG streams, early-stopping
+  // bookkeeping) is persisted atomically. When Fit() starts and the
+  // directory already holds a checkpoint written under the same seed,
+  // task, and batch size, the run resumes from it and replays the
+  // remaining epochs bit-identically to an uninterrupted run.
+  std::string checkpoint_dir;
+  // Divergence recovery: a non-finite loss, non-finite gradient norm, or
+  // gradient-norm spike rolls the model and optimizer back to the end of
+  // the last good epoch and retries with the learning rate multiplied by
+  // `divergence_lr_backoff`. After `max_divergence_retries` rollbacks the
+  // run stops and reports the failure in TrainResult.
+  int max_divergence_retries = 3;
+  float divergence_lr_backoff = 0.5f;
+  // A pre-clip gradient norm above `grad_spike_factor` times the running
+  // mean counts as divergence, after a short warmup. 0 disables spike
+  // detection (non-finite losses/gradients are always caught).
+  double grad_spike_factor = 1e4;
+  // Wall-clock watchdog: stop training (keeping the best weights and the
+  // latest checkpoint) once the run exceeds this many seconds. 0 = off.
+  double max_train_seconds = 0;
 };
 
 struct TrainResult {
@@ -46,6 +71,20 @@ struct TrainResult {
   int epochs_run = 0;
   std::vector<double> validation_metric_history;
   double train_seconds = 0;
+
+  // --- Robustness report -----------------------------------------------
+  // Rollback + learning-rate-backoff recoveries performed.
+  int divergence_recoveries = 0;
+  // True when divergence persisted past max_divergence_retries and the
+  // run stopped early with the last good weights.
+  bool divergence_gave_up = false;
+  // True when the wall-clock watchdog stopped the run.
+  bool watchdog_fired = false;
+  // Completed epochs restored from checkpoint_dir (0 = fresh start).
+  int resumed_from_epoch = 0;
+  // Human-readable log of every fault handled during the run (rollbacks,
+  // non-finite validation metrics, checkpoint problems, watchdog).
+  std::vector<std::string> incidents;
 };
 
 // Fits `model` on splits.train, early-stops on splits.validation, and

@@ -29,10 +29,26 @@ class Batcher {
     Reset();
   }
 
-  // Starts a new epoch.
+  // Starts a new epoch, reshuffling in place: each epoch's visit order is
+  // a fresh shuffle of the previous epoch's permutation, so replaying it
+  // from a checkpoint needs both the RNG state and the permutation (see
+  // order()/set_order() below).
   void Reset() {
     cursor_ = 0;
     if (shuffle_) rng_.Shuffle(order_);
+  }
+
+  // Shuffle-stream state, captured after an epoch completes and restored
+  // before the next Reset() when resuming from a checkpoint. The epoch
+  // visit order is a function of (rng state, permutation) at Reset() time,
+  // so a resumed run must restore both to replay the exact batch sequence
+  // of the uninterrupted run.
+  Rng::State rng_state() const { return rng_.GetState(); }
+  void set_rng_state(const Rng::State& state) { rng_.SetState(state); }
+  const std::vector<int64_t>& order() const { return order_; }
+  void set_order(std::vector<int64_t> order) {
+    ARMNET_CHECK_EQ(static_cast<int64_t>(order.size()), dataset_->size());
+    order_ = std::move(order);
   }
 
   // Fills `batch` with the next (possibly short) mini-batch; returns false

@@ -1,6 +1,7 @@
 #include "data/loader.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <unordered_map>
@@ -9,11 +10,77 @@
 
 namespace armnet::data {
 
-StatusOr<Dataset> LoadLibsvm(const std::string& path, const Schema& schema) {
+namespace {
+
+// Applies the per-row error policy: under kStrict the first bad row fails
+// the load; under kSkip/kQuarantine bad rows are counted (and optionally
+// written out verbatim) and loading continues.
+class RowErrorSink {
+ public:
+  RowErrorSink(const LoadOptions& options, LoadReport* report)
+      : options_(options), report_(report) {}
+
+  // Handles one offending row. Returns the error itself under kStrict and
+  // OK (continue loading) otherwise.
+  Status BadRow(const std::string& raw_line, std::string message) {
+    if (options_.policy == RowErrorPolicy::kStrict) {
+      return Status::Error(std::move(message));
+    }
+    if (report_ != nullptr) {
+      ++report_->rows_skipped;
+      if (static_cast<int64_t>(report_->errors.size()) <
+          options_.max_error_messages) {
+        report_->errors.push_back(std::move(message));
+      }
+    }
+    if (options_.policy == RowErrorPolicy::kQuarantine) {
+      if (!opened_) {
+        opened_ = true;
+        quarantine_.open(options_.quarantine_path,
+                         std::ios::out | std::ios::trunc);
+        if (!quarantine_) {
+          return Status::Error("cannot open quarantine file: " +
+                               options_.quarantine_path);
+        }
+      }
+      quarantine_ << raw_line << "\n";
+      if (!quarantine_) {
+        return Status::Error("short write to quarantine file: " +
+                             options_.quarantine_path);
+      }
+      if (report_ != nullptr) ++report_->rows_quarantined;
+    }
+    return Status::Ok();
+  }
+
+  void CountLoadedRow() {
+    if (report_ != nullptr) ++report_->rows_loaded;
+  }
+
+ private:
+  const LoadOptions& options_;
+  LoadReport* report_;
+  std::ofstream quarantine_;
+  bool opened_ = false;
+};
+
+// strtof with full-consumption checking: fails on empty or trailing junk.
+bool ParseFloat(const std::string& text, float* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtof(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+}  // namespace
+
+StatusOr<Dataset> LoadLibsvm(const std::string& path, const Schema& schema,
+                             const LoadOptions& options, LoadReport* report) {
   std::ifstream in(path);
   if (!in) return Status::Error("cannot open libsvm file: " + path);
 
   Dataset dataset(schema);
+  RowErrorSink sink(options, report);
   const int m = schema.num_fields();
   std::vector<int64_t> ids(static_cast<size_t>(m));
   std::vector<float> values(static_cast<size_t>(m));
@@ -24,39 +91,69 @@ StatusOr<Dataset> LoadLibsvm(const std::string& path, const Schema& schema) {
     const std::string_view trimmed = Trim(line);
     if (trimmed.empty()) continue;
     const std::vector<std::string> pieces = Split(trimmed, ' ');
+
+    // Per-row parse; a failure message names the line and field.
+    std::string error;
+    float label = 0;
     if (static_cast<int>(pieces.size()) != m + 1) {
-      return Status::Error(
-          StrFormat("%s:%lld: expected %d id:value pairs, got %zu",
-                    path.c_str(), static_cast<long long>(line_no), m,
-                    pieces.size() - 1));
+      error = StrFormat("%s:%lld: expected %d id:value pairs, got %zu",
+                        path.c_str(), static_cast<long long>(line_no), m,
+                        pieces.size() - 1);
+    } else if (!ParseFloat(pieces[0], &label)) {
+      error = StrFormat("%s:%lld: field 'label': not a number: '%s'",
+                        path.c_str(), static_cast<long long>(line_no),
+                        pieces[0].c_str());
+    } else {
+      for (int f = 0; f < m && error.empty(); ++f) {
+        const std::string& pair = pieces[static_cast<size_t>(f + 1)];
+        const std::string& field_name = schema.field(f).name;
+        const size_t colon = pair.find(':');
+        char* id_end = nullptr;
+        const int64_t id = std::strtoll(pair.c_str(), &id_end, 10);
+        float value = 0;
+        if (colon == std::string::npos) {
+          error = StrFormat("%s:%lld: field '%s': malformed pair '%s'",
+                            path.c_str(), static_cast<long long>(line_no),
+                            field_name.c_str(), pair.c_str());
+        } else if (colon == 0 || id_end != pair.c_str() + colon) {
+          error = StrFormat("%s:%lld: field '%s': bad feature id in '%s'",
+                            path.c_str(), static_cast<long long>(line_no),
+                            field_name.c_str(), pair.c_str());
+        } else if (!ParseFloat(pair.substr(colon + 1), &value)) {
+          error = StrFormat("%s:%lld: field '%s': bad value in '%s'",
+                            path.c_str(), static_cast<long long>(line_no),
+                            field_name.c_str(), pair.c_str());
+        } else {
+          const int64_t lo = schema.offset(f);
+          const int64_t hi = lo + schema.field(f).cardinality;
+          if (id < lo || id >= hi) {
+            error = StrFormat(
+                "%s:%lld: field '%s': id %lld outside range [%lld, %lld)",
+                path.c_str(), static_cast<long long>(line_no),
+                field_name.c_str(), static_cast<long long>(id),
+                static_cast<long long>(lo), static_cast<long long>(hi));
+          } else {
+            ids[static_cast<size_t>(f)] = id;
+            values[static_cast<size_t>(f)] = value;
+          }
+        }
+      }
     }
-    const float label = std::strtof(pieces[0].c_str(), nullptr);
-    for (int f = 0; f < m; ++f) {
-      const std::string& pair = pieces[static_cast<size_t>(f + 1)];
-      const size_t colon = pair.find(':');
-      if (colon == std::string::npos) {
-        return Status::Error(StrFormat("%s:%lld: malformed pair '%s'",
-                                       path.c_str(),
-                                       static_cast<long long>(line_no),
-                                       pair.c_str()));
-      }
-      const int64_t id = std::strtoll(pair.c_str(), nullptr, 10);
-      const float value = std::strtof(pair.c_str() + colon + 1, nullptr);
-      const int64_t lo = schema.offset(f);
-      const int64_t hi = lo + schema.field(f).cardinality;
-      if (id < lo || id >= hi) {
-        return Status::Error(StrFormat(
-            "%s:%lld: id %lld outside field %d range [%lld, %lld)",
-            path.c_str(), static_cast<long long>(line_no),
-            static_cast<long long>(id), f, static_cast<long long>(lo),
-            static_cast<long long>(hi)));
-      }
-      ids[static_cast<size_t>(f)] = id;
-      values[static_cast<size_t>(f)] = value;
+
+    if (!error.empty()) {
+      Status handled = sink.BadRow(line, std::move(error));
+      if (!handled.ok()) return handled;
+      continue;
     }
     dataset.Append(ids, values, label);
+    sink.CountLoadedRow();
   }
+  if (in.bad()) return Status::Error("read failure on: " + path);
   return dataset;
+}
+
+StatusOr<Dataset> LoadLibsvm(const std::string& path, const Schema& schema) {
+  return LoadLibsvm(path, schema, LoadOptions{}, nullptr);
 }
 
 Status SaveLibsvm(const Dataset& dataset, const std::string& path) {
@@ -78,12 +175,14 @@ Status SaveLibsvm(const Dataset& dataset, const std::string& path) {
 
 StatusOr<Dataset> LoadCsvWithVocab(const std::string& path,
                                    const std::vector<bool>& numerical,
-                                   char delim) {
+                                   const LoadOptions& options,
+                                   LoadReport* report, char delim) {
   std::ifstream in(path);
   if (!in) return Status::Error("cannot open CSV file: " + path);
 
   // First pass: header, vocabularies for categorical fields, ranges for
-  // numerical fields.
+  // numerical fields. Structural problems (missing/short header, flag
+  // count mismatch) always fail; per-row problems go through the policy.
   std::string line;
   if (!std::getline(in, line)) return Status::Error("empty CSV: " + path);
   if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -98,6 +197,7 @@ StatusOr<Dataset> LoadCsvWithVocab(const std::string& path,
                   numerical.size(), m));
   }
 
+  RowErrorSink sink(options, report);
   std::vector<std::unordered_map<std::string, int64_t>> vocab(
       static_cast<size_t>(m));
   std::vector<float> lo(static_cast<size_t>(m),
@@ -105,26 +205,54 @@ StatusOr<Dataset> LoadCsvWithVocab(const std::string& path,
   std::vector<float> hi(static_cast<size_t>(m),
                         std::numeric_limits<float>::lowest());
   std::vector<std::vector<std::string>> raw_rows;
+  int64_t line_no = 1;  // the header was line 1
   while (std::getline(in, line)) {
+    ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (Trim(line).empty()) continue;
     std::vector<std::string> cells = Split(line, delim);
+
+    std::string error;
+    float parsed = 0;
     if (static_cast<int>(cells.size()) != m + 1) {
-      return Status::Error("ragged CSV row in " + path);
+      error = StrFormat("%s:%lld: expected %d cells, got %zu", path.c_str(),
+                        static_cast<long long>(line_no), m + 1,
+                        cells.size());
+    } else if (!ParseFloat(cells[0], &parsed)) {
+      error = StrFormat("%s:%lld: field 'label': not a number: '%s'",
+                        path.c_str(), static_cast<long long>(line_no),
+                        cells[0].c_str());
+    } else {
+      for (int f = 0; f < m && error.empty(); ++f) {
+        const size_t uf = static_cast<size_t>(f);
+        if (numerical[uf] && !ParseFloat(cells[uf + 1], &parsed)) {
+          error = StrFormat("%s:%lld: field '%s': not a number: '%s'",
+                            path.c_str(), static_cast<long long>(line_no),
+                            header[uf + 1].c_str(), cells[uf + 1].c_str());
+        }
+      }
     }
+    if (!error.empty()) {
+      Status handled = sink.BadRow(line, std::move(error));
+      if (!handled.ok()) return handled;
+      continue;
+    }
+
     for (int f = 0; f < m; ++f) {
-      const std::string& cell = cells[static_cast<size_t>(f + 1)];
-      if (numerical[static_cast<size_t>(f)]) {
+      const size_t uf = static_cast<size_t>(f);
+      const std::string& cell = cells[uf + 1];
+      if (numerical[uf]) {
         const float v = std::strtof(cell.c_str(), nullptr);
-        lo[static_cast<size_t>(f)] = std::min(lo[static_cast<size_t>(f)], v);
-        hi[static_cast<size_t>(f)] = std::max(hi[static_cast<size_t>(f)], v);
+        lo[uf] = std::min(lo[uf], v);
+        hi[uf] = std::max(hi[uf], v);
       } else {
-        auto& map = vocab[static_cast<size_t>(f)];
+        auto& map = vocab[uf];
         map.emplace(cell, static_cast<int64_t>(map.size()));
       }
     }
     raw_rows.push_back(std::move(cells));
   }
+  if (in.bad()) return Status::Error("read failure on: " + path);
 
   std::vector<FieldSpec> fields;
   fields.reserve(static_cast<size_t>(m));
@@ -144,6 +272,7 @@ StatusOr<Dataset> LoadCsvWithVocab(const std::string& path,
   }
   Schema schema(std::move(fields));
 
+  // Second pass over the retained rows; every cell was validated above.
   Dataset dataset(schema);
   std::vector<int64_t> ids(static_cast<size_t>(m));
   std::vector<float> values(static_cast<size_t>(m));
@@ -166,8 +295,15 @@ StatusOr<Dataset> LoadCsvWithVocab(const std::string& path,
       }
     }
     dataset.Append(ids, values, label);
+    sink.CountLoadedRow();
   }
   return dataset;
+}
+
+StatusOr<Dataset> LoadCsvWithVocab(const std::string& path,
+                                   const std::vector<bool>& numerical,
+                                   char delim) {
+  return LoadCsvWithVocab(path, numerical, LoadOptions{}, nullptr, delim);
 }
 
 }  // namespace armnet::data

@@ -1,6 +1,7 @@
 #ifndef ARMNET_DATA_LOADER_H_
 #define ARMNET_DATA_LOADER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,40 @@
 #include "util/status.h"
 
 namespace armnet::data {
+
+// --- Per-row error handling --------------------------------------------------
+//
+// Real ingestion feeds are dirty: a malformed row must not be able to kill a
+// long-running pipeline unless the caller wants it to. Every loader accepts
+// a policy deciding what happens when one row fails to parse:
+//
+//   kStrict      the whole load fails with a line-numbered Status (default;
+//                matches the historical behaviour)
+//   kSkip        the row is dropped, counted, and loading continues
+//   kQuarantine  like kSkip, but the raw offending line is also appended to
+//                `quarantine_path` for offline inspection/repair
+//
+// Structural problems that affect every row (missing file, empty CSV, bad
+// header, flag/field count mismatch) always fail regardless of policy.
+
+enum class RowErrorPolicy { kStrict, kSkip, kQuarantine };
+
+struct LoadOptions {
+  RowErrorPolicy policy = RowErrorPolicy::kStrict;
+  // Destination for raw offending lines under kQuarantine.
+  std::string quarantine_path;
+  // Cap on per-row diagnostics retained in LoadReport::errors.
+  int64_t max_error_messages = 20;
+};
+
+// Ingestion outcome surfaced to the caller; pass nullptr if not needed.
+struct LoadReport {
+  int64_t rows_loaded = 0;
+  int64_t rows_skipped = 0;      // dropped rows (kSkip and kQuarantine)
+  int64_t rows_quarantined = 0;  // subset of skipped written to quarantine
+  // "<path>:<line>: ..." diagnostics, capped at max_error_messages.
+  std::vector<std::string> errors;
+};
 
 // --- libsvm-style format ----------------------------------------------------
 //
@@ -17,7 +52,13 @@ namespace armnet::data {
 // datasets.
 
 // Parses a libsvm file against `schema`; ids must fall in each field's
-// global-id range.
+// global-id range. Row errors carry the 1-based line number and the field
+// name that failed.
+StatusOr<Dataset> LoadLibsvm(const std::string& path, const Schema& schema,
+                             const LoadOptions& options,
+                             LoadReport* report = nullptr);
+
+// Strict-policy convenience overload.
 StatusOr<Dataset> LoadLibsvm(const std::string& path, const Schema& schema);
 
 // Writes `dataset` in the libsvm format.
@@ -30,6 +71,13 @@ Status SaveLibsvm(const Dataset& dataset, const std::string& path);
 // label excluded) are numerical; all other fields are categorical and a
 // vocabulary is built from the observed strings. Numerical values are
 // min-max rescaled into (0, 1].
+StatusOr<Dataset> LoadCsvWithVocab(const std::string& path,
+                                   const std::vector<bool>& numerical,
+                                   const LoadOptions& options,
+                                   LoadReport* report = nullptr,
+                                   char delim = ',');
+
+// Strict-policy convenience overload.
 StatusOr<Dataset> LoadCsvWithVocab(const std::string& path,
                                    const std::vector<bool>& numerical,
                                    char delim = ',');

@@ -1,10 +1,12 @@
 #include "nn/serialize.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <vector>
 
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace armnet::nn {
@@ -12,88 +14,255 @@ namespace armnet::nn {
 namespace {
 
 constexpr char kMagic[4] = {'A', 'R', 'M', 'S'};
-constexpr uint32_t kVersion = 1;
+constexpr char kEndMagic[4] = {'S', 'M', 'R', 'A'};
+constexpr uint32_t kVersion = 2;
+// magic + version + kind.
+constexpr size_t kHeaderBytes = 4 + 4 + 4;
+// crc + end magic.
+constexpr size_t kFooterBytes = 4 + 4;
+// Sanity bound on a single tensor: 2^40 elements (4 TiB of floats) is far
+// beyond anything this library produces, so larger counts mean corruption.
+constexpr int64_t kMaxTensorNumel = int64_t{1} << 40;
 
-void WriteTensor(std::ofstream& out, const Tensor& tensor) {
-  const uint32_t rank = static_cast<uint32_t>(tensor.rank());
-  out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
-  for (int d = 0; d < tensor.rank(); ++d) {
-    const int64_t dim = tensor.dim(d);
-    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
-  }
-  out.write(reinterpret_cast<const char*>(tensor.data()),
-            static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
-}
-
-// Reads one tensor; returns an error on EOF or absurd ranks.
-StatusOr<Tensor> ReadTensor(std::ifstream& in, const std::string& path) {
-  uint32_t rank = 0;
-  in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
-  if (!in || rank > 16) {
-    return Status::Error("corrupt tensor header in " + path);
-  }
-  std::vector<int64_t> dims(rank);
-  for (uint32_t d = 0; d < rank; ++d) {
-    in.read(reinterpret_cast<char*>(&dims[d]), sizeof(int64_t));
-    if (!in || dims[d] < 0) {
-      return Status::Error("corrupt tensor dims in " + path);
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
     }
-  }
-  Tensor tensor{Shape(std::move(dims))};
-  in.read(reinterpret_cast<char*>(tensor.data()),
-          static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
-  if (!in) return Status::Error("truncated tensor data in " + path);
-  return tensor;
+    return t;
+  }();
+  return table;
 }
 
 }  // namespace
 
-Status SaveState(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::Error("cannot open for writing: " + path);
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const uint32_t* table = Crc32Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
-  out.write(kMagic, sizeof(kMagic));
-  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+// --- StateWriter -------------------------------------------------------------
 
-  const std::vector<Variable> params = module.Parameters();
-  const std::vector<Tensor> buffers = module.Buffers();
-  const uint64_t param_count = params.size();
-  const uint64_t buffer_count = buffers.size();
-  out.write(reinterpret_cast<const char*>(&param_count), sizeof(param_count));
-  out.write(reinterpret_cast<const char*>(&buffer_count),
-            sizeof(buffer_count));
-  for (const Variable& p : params) WriteTensor(out, p.value());
-  for (const Tensor& b : buffers) WriteTensor(out, b);
+StateWriter::StateWriter(uint32_t kind) {
+  WriteBytes(kMagic, sizeof(kMagic));
+  WriteU32(kVersion);
+  WriteU32(kind);
+}
 
-  if (!out) return Status::Error("short write to: " + path);
+void StateWriter::WriteBytes(const void* data, size_t size) {
+  buf_.append(static_cast<const char*>(data), size);
+}
+
+void StateWriter::WriteTensor(const Tensor& tensor) {
+  const uint32_t rank = static_cast<uint32_t>(tensor.rank());
+  WriteU32(rank);
+  for (int d = 0; d < tensor.rank(); ++d) WriteI64(tensor.dim(d));
+  WriteBytes(tensor.data(), static_cast<size_t>(tensor.numel()) *
+                                sizeof(float));
+}
+
+void StateWriter::WriteDoubles(const std::vector<double>& values) {
+  WriteU64(values.size());
+  WriteBytes(values.data(), values.size() * sizeof(double));
+}
+
+Status StateWriter::Commit(const std::string& path) {
+  const uint32_t crc = Crc32(buf_.data(), buf_.size());
+  std::string stream = buf_;
+  stream.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  stream.append(kEndMagic, sizeof(kEndMagic));
+
+  const std::string tmp_path = path + ".tmp";
+  // An injected short write models the byte loss a crash between write and
+  // flush produces: the writer believes it succeeded, so the stream is
+  // truncated but Commit still renames — the CRC check on load is the
+  // defense that must catch it.
+  size_t keep = stream.size();
+  const bool short_write = fault::ShouldTruncate(
+      fault::kSiteSerializeWrite, fault::Kind::kShortWrite, &keep);
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out || fault::ShouldFail(fault::kSiteSerializeOpen,
+                                  fault::Kind::kFailOpen)) {
+      // The open may have created (or truncated) the temp file before the
+      // failure was observed; don't leave it behind.
+      out.close();
+      std::remove(tmp_path.c_str());
+      return Status::Error("cannot open for writing: " + tmp_path);
+    }
+    out.write(stream.data(),
+              static_cast<std::streamsize>(
+                  short_write ? std::min(keep, stream.size())
+                              : stream.size()));
+    out.flush();
+    if (!out || fault::ShouldFail(fault::kSiteSerializeWrite,
+                                  fault::Kind::kFailWrite)) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      return Status::Error(
+          StrFormat("short write to %s (%zu bytes pending)", tmp_path.c_str(),
+                    stream.size()));
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Error("cannot rename " + tmp_path + " onto " + path);
+  }
   return Status::Ok();
 }
 
-Status LoadState(Module& module, const std::string& path) {
+// --- StateReader -------------------------------------------------------------
+
+StatusOr<StateReader> StateReader::Open(const std::string& path,
+                                        uint32_t expected_kind) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::Error("cannot open: " + path);
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::Error("read failure on: " + path);
 
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  // Injected truncation models reading a file whose tail was lost.
+  size_t keep = buf.size();
+  if (fault::ShouldTruncate(fault::kSiteSerializeRead,
+                            fault::Kind::kTruncateRead, &keep)) {
+    buf.resize(std::min(keep, buf.size()));
+  }
+
+  if (buf.size() < kHeaderBytes + kFooterBytes) {
+    return Status::Error(StrFormat("state file too small (%zu bytes): %s",
+                                   buf.size(), path.c_str()));
+  }
+  if (std::memcmp(buf.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::Error("not an ARM-Net state file: " + path);
   }
   uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in || version != kVersion) {
-    return Status::Error(
-        StrFormat("unsupported state version %u in %s", version,
-                  path.c_str()));
+  std::memcpy(&version, buf.data() + 4, sizeof(version));
+  if (version != kVersion) {
+    return Status::Error(StrFormat(
+        "unsupported state version %u in %s (current is %u; pre-CRC v1 "
+        "files must be re-saved)",
+        version, path.c_str(), kVersion));
   }
+  uint32_t kind = 0;
+  std::memcpy(&kind, buf.data() + 8, sizeof(kind));
+  if (kind != expected_kind) {
+    return Status::Error(StrFormat("state kind mismatch in %s: file %u, "
+                                   "expected %u",
+                                   path.c_str(), kind, expected_kind));
+  }
+  if (std::memcmp(buf.data() + buf.size() - 4, kEndMagic,
+                  sizeof(kEndMagic)) != 0) {
+    return Status::Error("truncated state file (missing end marker): " +
+                         path);
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + buf.size() - kFooterBytes,
+              sizeof(stored_crc));
+  const uint32_t actual_crc =
+      Crc32(buf.data(), buf.size() - kFooterBytes);
+  if (stored_crc != actual_crc) {
+    return Status::Error(
+        StrFormat("checksum mismatch in %s: stored %08x, computed %08x "
+                  "(file corrupt)",
+                  path.c_str(), stored_crc, actual_crc));
+  }
+
+  StateReader reader;
+  reader.path_ = path;
+  reader.buf_ = std::move(buf);
+  reader.cursor_ = kHeaderBytes;
+  reader.payload_end_ = reader.buf_.size() - kFooterBytes;
+  return reader;
+}
+
+Status StateReader::ReadBytes(void* out, size_t size) {
+  if (cursor_ + size > payload_end_) {
+    return Status::Error(
+        StrFormat("state payload exhausted in %s (need %zu bytes at offset "
+                  "%zu, payload ends at %zu)",
+                  path_.c_str(), size, cursor_, payload_end_));
+  }
+  std::memcpy(out, buf_.data() + cursor_, size);
+  cursor_ += size;
+  return Status::Ok();
+}
+
+Status StateReader::ReadTensor(Tensor* tensor) {
+  uint32_t rank = 0;
+  Status status = ReadU32(&rank);
+  if (!status.ok()) return status;
+  if (rank > 16) {
+    return Status::Error(
+        StrFormat("corrupt tensor header in %s: rank %u", path_.c_str(),
+                  rank));
+  }
+  std::vector<int64_t> dims(rank);
+  int64_t numel = 1;
+  for (uint32_t d = 0; d < rank; ++d) {
+    status = ReadI64(&dims[d]);
+    if (!status.ok()) return status;
+    if (dims[d] < 0 || (dims[d] > 0 && numel > kMaxTensorNumel / dims[d])) {
+      return Status::Error(
+          StrFormat("corrupt tensor dims in %s", path_.c_str()));
+    }
+    numel *= dims[d];
+  }
+  Tensor result{Shape(std::move(dims))};
+  status = ReadBytes(result.data(),
+                     static_cast<size_t>(result.numel()) * sizeof(float));
+  if (!status.ok()) return status;
+  *tensor = std::move(result);
+  return Status::Ok();
+}
+
+Status StateReader::ReadDoubles(std::vector<double>* values) {
+  uint64_t count = 0;
+  Status status = ReadU64(&count);
+  if (!status.ok()) return status;
+  if (count > (payload_end_ - cursor_) / sizeof(double)) {
+    return Status::Error(
+        StrFormat("corrupt double-array count in %s", path_.c_str()));
+  }
+  values->resize(count);
+  return ReadBytes(values->data(), count * sizeof(double));
+}
+
+// --- Module state ------------------------------------------------------------
+
+Status SaveState(const Module& module, const std::string& path) {
+  StateWriter writer(kStateKindModel);
+  const std::vector<Variable> params = module.Parameters();
+  const std::vector<Tensor> buffers = module.Buffers();
+  writer.WriteU64(params.size());
+  writer.WriteU64(buffers.size());
+  for (const Variable& p : params) writer.WriteTensor(p.value());
+  for (const Tensor& b : buffers) writer.WriteTensor(b);
+  return writer.Commit(path);
+}
+
+Status LoadState(Module& module, const std::string& path) {
+  StatusOr<StateReader> opened = StateReader::Open(path, kStateKindModel);
+  if (!opened.ok()) return opened.status();
+  StateReader reader = std::move(opened).value();
 
   std::vector<Variable> params = module.Parameters();
   std::vector<Tensor> buffers = module.Buffers();
   uint64_t param_count = 0;
   uint64_t buffer_count = 0;
-  in.read(reinterpret_cast<char*>(&param_count), sizeof(param_count));
-  in.read(reinterpret_cast<char*>(&buffer_count), sizeof(buffer_count));
-  if (!in || param_count != params.size() ||
-      buffer_count != buffers.size()) {
+  Status status = reader.ReadU64(&param_count);
+  if (status.ok()) status = reader.ReadU64(&buffer_count);
+  if (!status.ok()) return status;
+  if (param_count != params.size() || buffer_count != buffers.size()) {
     return Status::Error(StrFormat(
         "state count mismatch in %s: file has %llu params / %llu buffers, "
         "module has %zu / %zu",
@@ -106,18 +275,19 @@ Status LoadState(Module& module, const std::string& path) {
   std::vector<Tensor> staged;
   staged.reserve(params.size() + buffers.size());
   for (size_t i = 0; i < params.size() + buffers.size(); ++i) {
-    StatusOr<Tensor> tensor = ReadTensor(in, path);
-    if (!tensor.ok()) return tensor.status();
+    Tensor tensor;
+    status = reader.ReadTensor(&tensor);
+    if (!status.ok()) return status;
     const Shape& expected = i < params.size()
                                 ? params[i].shape()
                                 : buffers[i - params.size()].shape();
-    if (tensor.value().shape() != expected) {
+    if (tensor.shape() != expected) {
       return Status::Error(StrFormat(
           "shape mismatch for tensor %zu in %s: file %s, module %s", i,
-          path.c_str(), tensor.value().shape().ToString().c_str(),
+          path.c_str(), tensor.shape().ToString().c_str(),
           expected.ToString().c_str()));
     }
-    staged.push_back(std::move(tensor).value());
+    staged.push_back(std::move(tensor));
   }
 
   for (size_t i = 0; i < params.size(); ++i) {

@@ -1,30 +1,107 @@
 #ifndef ARMNET_NN_SERIALIZE_H_
 #define ARMNET_NN_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "nn/module.h"
 #include "util/status.h"
 
 namespace armnet::nn {
 
-// Binary model-state persistence.
+// Durable binary state persistence.
 //
-// SaveState writes every parameter and buffer of `module` (in the
-// deterministic Parameters()/Buffers() traversal order) to `path`;
-// LoadState reads them back into an identically constructed module. The
-// format is a self-describing little-endian stream:
+// Every persistent artifact (model state files, training checkpoints) is a
+// little-endian stream wrapped in one envelope:
 //
-//   magic "ARMS", version u32, param_count u64, buffer_count u64,
-//   then per tensor: rank u32, dims i64[rank], data f32[numel].
+//   magic "ARMS" | version u32 | kind u32 | payload ... | crc32 u32 | "SMRA"
 //
-// LoadState fails (Status) on magic/version mismatch, tensor-count
-// mismatch, or any shape mismatch — it never partially applies a file:
-// validation happens against a staging copy before any module state is
-// touched.
+// The CRC32 (IEEE, reflected) covers every byte before the footer, so
+// truncation, bit flips, and silently short writes are all detected on
+// load. Writers stage the full stream in memory and commit it atomically:
+// write to `<path>.tmp`, verify the stream, then rename over `path` — a
+// crash or full disk can never leave a half-written file at the target
+// path. Readers validate the envelope before handing out a single payload
+// byte and return Status instead of garbage on any mismatch.
+//
+// Per-tensor record layout (unchanged from format v1):
+//   rank u32, dims i64[rank], data f32[numel].
 
+// Envelope `kind` discriminators.
+inline constexpr uint32_t kStateKindModel = 0;
+inline constexpr uint32_t kStateKindTrainCheckpoint = 1;
+
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320). `seed` chains
+// incremental computations; pass the previous return value.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+// Accumulates a state stream in memory, then commits it to disk atomically
+// with the envelope described above. All writes are infallible (memory
+// append); every I/O failure surfaces from Commit() as a Status.
+class StateWriter {
+ public:
+  explicit StateWriter(uint32_t kind);
+
+  void WriteU32(uint32_t v) { WriteBytes(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteBytes(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteBytes(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteBytes(&v, sizeof(v)); }
+  void WriteTensor(const Tensor& tensor);
+  // count u64 followed by the raw doubles.
+  void WriteDoubles(const std::vector<double>& values);
+
+  // Appends the CRC footer and atomically persists the stream: write
+  // `<path>.tmp`, check every stream operation, rename onto `path`. On any
+  // failure the temp file is removed and `path` is left untouched.
+  Status Commit(const std::string& path);
+
+ private:
+  void WriteBytes(const void* data, size_t size);
+
+  std::string buf_;
+};
+
+// Reads a state stream back. Open() loads the whole file, validates magic,
+// version, kind, footer magic, and CRC before any payload access; the
+// Read* methods then bounds-check every record against the payload region,
+// so a corrupt length can never run off the buffer.
+class StateReader {
+ public:
+  static StatusOr<StateReader> Open(const std::string& path,
+                                    uint32_t expected_kind);
+
+  Status ReadU32(uint32_t* v) { return ReadBytes(v, sizeof(*v)); }
+  Status ReadU64(uint64_t* v) { return ReadBytes(v, sizeof(*v)); }
+  Status ReadI64(int64_t* v) { return ReadBytes(v, sizeof(*v)); }
+  Status ReadDouble(double* v) { return ReadBytes(v, sizeof(*v)); }
+  Status ReadTensor(Tensor* tensor);
+  Status ReadDoubles(std::vector<double>* values);
+
+  // True once the payload is fully consumed.
+  bool AtEnd() const { return cursor_ == payload_end_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  StateReader() = default;
+
+  Status ReadBytes(void* out, size_t size);
+
+  std::string path_;
+  std::string buf_;
+  size_t cursor_ = 0;
+  size_t payload_end_ = 0;
+};
+
+// Writes every parameter and buffer of `module` (deterministic
+// Parameters()/Buffers() traversal order) to `path`; atomic and
+// CRC-protected as described above.
 Status SaveState(const Module& module, const std::string& path);
 
+// Reads a state file back into an identically constructed module. Fails
+// (Status) on any envelope, count, or shape mismatch — it never partially
+// applies a file: validation happens against a staging copy before any
+// module state is touched.
 Status LoadState(Module& module, const std::string& path);
 
 }  // namespace armnet::nn

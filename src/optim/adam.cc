@@ -2,7 +2,59 @@
 
 #include <cmath>
 
+#include "util/string_util.h"
+
 namespace armnet::optim {
+
+void Adam::ExportState(int64_t* step, std::vector<Tensor>* m,
+                       std::vector<Tensor>* v) const {
+  *step = t_;
+  m->clear();
+  v->clear();
+  m->reserve(m_.size());
+  v->reserve(v_.size());
+  for (const Tensor& t : m_) m->push_back(t.Clone());
+  for (const Tensor& t : v_) v->push_back(t.Clone());
+}
+
+Status Adam::ImportState(int64_t step, const std::vector<Tensor>& m,
+                         const std::vector<Tensor>& v) {
+  if (step < 0) {
+    return Status::Error(
+        StrFormat("negative Adam step count %lld",
+                  static_cast<long long>(step)));
+  }
+  if (m.empty() && v.empty()) {
+    if (step != 0) {
+      return Status::Error("Adam state has steps but no moment estimates");
+    }
+    t_ = 0;
+    m_.clear();
+    v_.clear();
+    return Status::Ok();
+  }
+  if (m.size() != params_.size() || v.size() != params_.size()) {
+    return Status::Error(StrFormat(
+        "Adam moment count mismatch: state has %zu/%zu, optimizer tracks "
+        "%zu parameters",
+        m.size(), v.size(), params_.size()));
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (m[i].shape() != params_[i].shape() ||
+        v[i].shape() != params_[i].shape()) {
+      return Status::Error(
+          StrFormat("Adam moment shape mismatch for parameter %zu", i));
+    }
+  }
+  t_ = step;
+  m_.clear();
+  v_.clear();
+  m_.reserve(m.size());
+  v_.reserve(v.size());
+  for (const Tensor& t : m) m_.push_back(t.Clone());
+  for (const Tensor& t : v) v_.push_back(t.Clone());
+  return Status::Ok();
+}
 
 void Adam::Step() {
   if (m_.empty()) {

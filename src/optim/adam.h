@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "optim/optimizer.h"
+#include "util/status.h"
 
 namespace armnet::optim {
 
@@ -21,6 +22,19 @@ class Adam : public Optimizer {
         weight_decay_(weight_decay) {}
 
   void Step() override;
+
+  // Deep-copies the optimizer state (step count + moment estimates) for
+  // checkpointing and divergence rollback. Before the first Step() the
+  // moment vectors are empty and `*step` is 0.
+  void ExportState(int64_t* step, std::vector<Tensor>* m,
+                   std::vector<Tensor>* v) const;
+
+  // Restores state captured by ExportState (deep copy in). Empty moment
+  // vectors with step 0 reset the optimizer to its pre-first-Step state.
+  // Returns an error on any count or shape mismatch with the parameter
+  // list, applying nothing — checkpoint files are untrusted input.
+  Status ImportState(int64_t step, const std::vector<Tensor>& m,
+                     const std::vector<Tensor>& v);
 
  private:
   float beta1_;

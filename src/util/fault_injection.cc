@@ -1,0 +1,91 @@
+#include "util/fault_injection.h"
+
+#ifdef ARMNET_FAULT_INJECTION
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace armnet::fault {
+
+namespace {
+
+struct ArmedFault {
+  Kind kind;
+  int skips_left;   // matching queries to let pass before firing
+  int fires_left;   // consecutive firings once the skips are exhausted
+  double magnitude;
+};
+
+struct SiteState {
+  int hits = 0;
+  std::vector<ArmedFault> faults;
+};
+
+std::mutex& Mutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+std::unordered_map<std::string, SiteState>& Sites() {
+  static auto* sites = new std::unordered_map<std::string, SiteState>;
+  return *sites;
+}
+
+// Finds the first armed fault of `kind` at `site` and advances its trigger
+// state. Returns true (with the magnitude) exactly when the fault fires.
+bool Fire(const char* site, Kind kind, double* magnitude) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  SiteState& state = Sites()[site];
+  ++state.hits;
+  for (auto it = state.faults.begin(); it != state.faults.end(); ++it) {
+    if (it->kind != kind) continue;
+    if (it->skips_left > 0) {
+      --it->skips_left;
+      return false;
+    }
+    if (magnitude != nullptr) *magnitude = it->magnitude;
+    if (--it->fires_left <= 0) state.faults.erase(it);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void Arm(const std::string& site, Kind kind, int after, int times,
+         double magnitude) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Sites()[site].faults.push_back(ArmedFault{kind, after, times, magnitude});
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Sites().clear();
+}
+
+int HitCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Sites().find(site);
+  return it == Sites().end() ? 0 : it->second.hits;
+}
+
+bool ShouldFail(const char* site, Kind kind) {
+  return Fire(site, kind, nullptr);
+}
+
+bool ShouldTruncate(const char* site, Kind kind, size_t* keep_bytes) {
+  double magnitude = 0;
+  if (!Fire(site, kind, &magnitude)) return false;
+  *keep_bytes = magnitude < 0 ? 0 : static_cast<size_t>(magnitude);
+  return true;
+}
+
+double ClockStallSeconds(const char* site) {
+  double magnitude = 0;
+  return Fire(site, Kind::kClockStall, &magnitude) ? magnitude : 0;
+}
+
+}  // namespace armnet::fault
+
+#endif  // ARMNET_FAULT_INJECTION

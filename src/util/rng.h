@@ -137,6 +137,28 @@ class Rng {
   // generator from one experiment seed.
   Rng Fork() { return Rng(Next()); }
 
+  // Complete serializable generator state, used by training checkpoints to
+  // resume a run with bit-identical randomness.
+  struct State {
+    uint64_t words[4] = {0, 0, 0, 0};
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0;
+  };
+
+  State GetState() const {
+    State s;
+    for (int i = 0; i < 4; ++i) s.words[i] = state_[i];
+    s.has_cached_gaussian = has_cached_gaussian_;
+    s.cached_gaussian = cached_gaussian_;
+    return s;
+  }
+
+  void SetState(const State& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s.words[i];
+    has_cached_gaussian_ = s.has_cached_gaussian;
+    cached_gaussian_ = s.cached_gaussian;
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 

@@ -1,0 +1,340 @@
+// Tests for training checkpoints: round trips, corruption rejection at
+// every truncation boundary, atomic commits, and checkpoint/resume
+// equivalence with an uninterrupted run.
+
+#include "armor/checkpoint.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "armor/trainer.h"
+#include "core/arm_net.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "nn/linear.h"
+#include "nn/serialize.h"
+#include "util/csv.h"
+
+namespace armnet::armor {
+namespace {
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// A fully populated checkpoint with distinctive values in every field.
+TrainCheckpoint MakeCheckpoint() {
+  TrainCheckpoint ckpt;
+  ckpt.seed = 42;
+  ckpt.task = 1;
+  ckpt.batch_size = 128;
+  ckpt.epochs_completed = 3;
+  ckpt.learning_rate = 0.625f;
+  ckpt.has_best = true;
+  ckpt.best_metric = 0.875;
+  ckpt.epochs_since_best = 1;
+  ckpt.divergence_recoveries = 2;
+  ckpt.history = {0.5, 0.875, 0.75};
+  ckpt.dropout_rng = {{1, 2, 3, 4}, true, 0.25};
+  ckpt.batcher_rng = {{5, 6, 7, 8}, false, 0.0};
+  ckpt.batcher_order = {3, 1, 0, 2};
+  Rng rng(9);
+  for (int i = 0; i < 3; ++i) {
+    ckpt.params.push_back(Tensor::Normal(Shape({4, 3}), 0.0f, 1.0f, rng));
+    ckpt.best_params.push_back(
+        Tensor::Normal(Shape({4, 3}), 0.0f, 1.0f, rng));
+    ckpt.adam_m.push_back(Tensor::Normal(Shape({4, 3}), 0.0f, 1.0f, rng));
+    ckpt.adam_v.push_back(Tensor::Normal(Shape({4, 3}), 0.0f, 1.0f, rng));
+  }
+  ckpt.buffers.push_back(Tensor::Normal(Shape({5}), 0.0f, 1.0f, rng));
+  ckpt.best_buffers.push_back(Tensor::Normal(Shape({5}), 0.0f, 1.0f, rng));
+  ckpt.adam_step = 77;
+  return ckpt;
+}
+
+TEST(CheckpointTest, SaveLoadRoundTrip) {
+  const std::string dir = FreshDir("ckpt_roundtrip");
+  const TrainCheckpoint ckpt = MakeCheckpoint();
+  ASSERT_TRUE(SaveTrainCheckpoint(ckpt, dir).ok());
+  ASSERT_TRUE(TrainCheckpointExists(dir));
+
+  StatusOr<TrainCheckpoint> loaded = LoadTrainCheckpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  const TrainCheckpoint& got = loaded.value();
+  EXPECT_EQ(got.seed, ckpt.seed);
+  EXPECT_EQ(got.task, ckpt.task);
+  EXPECT_EQ(got.batch_size, ckpt.batch_size);
+  EXPECT_EQ(got.epochs_completed, ckpt.epochs_completed);
+  EXPECT_FLOAT_EQ(got.learning_rate, ckpt.learning_rate);
+  EXPECT_EQ(got.has_best, ckpt.has_best);
+  EXPECT_DOUBLE_EQ(got.best_metric, ckpt.best_metric);
+  EXPECT_EQ(got.epochs_since_best, ckpt.epochs_since_best);
+  EXPECT_EQ(got.divergence_recoveries, ckpt.divergence_recoveries);
+  EXPECT_EQ(got.history, ckpt.history);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_EQ(got.dropout_rng.words[w], ckpt.dropout_rng.words[w]);
+    EXPECT_EQ(got.batcher_rng.words[w], ckpt.batcher_rng.words[w]);
+  }
+  EXPECT_EQ(got.dropout_rng.has_cached_gaussian,
+            ckpt.dropout_rng.has_cached_gaussian);
+  EXPECT_DOUBLE_EQ(got.dropout_rng.cached_gaussian,
+                   ckpt.dropout_rng.cached_gaussian);
+  EXPECT_EQ(got.batcher_order, ckpt.batcher_order);
+  ASSERT_EQ(got.params.size(), ckpt.params.size());
+  for (size_t i = 0; i < ckpt.params.size(); ++i) {
+    EXPECT_TRUE(got.params[i].AllClose(ckpt.params[i], 0.0f));
+    EXPECT_TRUE(got.best_params[i].AllClose(ckpt.best_params[i], 0.0f));
+    EXPECT_TRUE(got.adam_m[i].AllClose(ckpt.adam_m[i], 0.0f));
+    EXPECT_TRUE(got.adam_v[i].AllClose(ckpt.adam_v[i], 0.0f));
+  }
+  EXPECT_EQ(got.adam_step, ckpt.adam_step);
+  ASSERT_EQ(got.buffers.size(), 1u);
+  EXPECT_TRUE(got.buffers[0].AllClose(ckpt.buffers[0], 0.0f));
+}
+
+TEST(CheckpointTest, SaveLeavesNoTempFile) {
+  const std::string dir = FreshDir("ckpt_atomic");
+  ASSERT_TRUE(SaveTrainCheckpoint(MakeCheckpoint(), dir).ok());
+  int entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(entry.path().string(), TrainCheckpointPath(dir));
+  }
+  EXPECT_EQ(entries, 1);
+}
+
+TEST(CheckpointTest, EveryTruncationBoundaryIsRejected) {
+  const std::string dir = FreshDir("ckpt_trunc");
+  ASSERT_TRUE(SaveTrainCheckpoint(MakeCheckpoint(), dir).ok());
+  const std::string path = TrainCheckpointPath(dir);
+  const std::vector<char> bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 128u);
+
+  for (size_t keep = 0; keep < bytes.size(); keep += 64) {
+    WriteAll(path, std::vector<char>(bytes.begin(),
+                                     bytes.begin() +
+                                         static_cast<std::ptrdiff_t>(keep)));
+    EXPECT_FALSE(LoadTrainCheckpoint(dir).ok())
+        << "accepted a file truncated to " << keep << " bytes";
+  }
+  // One byte short of complete must also fail (end magic/CRC misaligned).
+  WriteAll(path, std::vector<char>(bytes.begin(), bytes.end() - 1));
+  EXPECT_FALSE(LoadTrainCheckpoint(dir).ok());
+
+  // The intact bytes still load: the rejections above were not spurious.
+  WriteAll(path, bytes);
+  EXPECT_TRUE(LoadTrainCheckpoint(dir).ok());
+}
+
+TEST(CheckpointTest, BitFlipsAreRejected) {
+  const std::string dir = FreshDir("ckpt_flip");
+  ASSERT_TRUE(SaveTrainCheckpoint(MakeCheckpoint(), dir).ok());
+  const std::string path = TrainCheckpointPath(dir);
+  const std::vector<char> bytes = ReadAll(path);
+
+  // Flip every byte of the CRC footer and a sample of payload bytes.
+  std::vector<size_t> positions;
+  for (size_t i = bytes.size() - 8; i < bytes.size(); ++i) {
+    positions.push_back(i);
+  }
+  for (size_t i = 0; i < bytes.size() - 8; i += 97) positions.push_back(i);
+  for (size_t pos : positions) {
+    std::vector<char> corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x5a);
+    WriteAll(path, corrupt);
+    EXPECT_FALSE(LoadTrainCheckpoint(dir).ok())
+        << "accepted a bit flip at byte " << pos;
+  }
+}
+
+TEST(CheckpointTest, ModelStateTruncationNeverPartiallyPopulates) {
+  // Companion check at the SaveState/LoadState layer: whatever prefix of
+  // the file survives, a failed load must leave the module untouched.
+  Rng rng(12);
+  nn::Linear layer(6, 4, rng);
+  const std::string path = ::testing::TempDir() + "/trunc_grid.arms";
+  ASSERT_TRUE(nn::SaveState(layer, path).ok());
+  const std::vector<char> bytes = ReadAll(path);
+  const Tensor weight = layer.weight().value().Clone();
+
+  for (size_t keep = 0; keep < bytes.size(); keep += 64) {
+    WriteAll(path, std::vector<char>(bytes.begin(),
+                                     bytes.begin() +
+                                         static_cast<std::ptrdiff_t>(keep)));
+    EXPECT_FALSE(nn::LoadState(layer, path).ok());
+    EXPECT_TRUE(layer.weight().value().AllClose(weight, 0.0f))
+        << "module mutated by a load that failed at " << keep << " bytes";
+  }
+}
+
+TEST(CheckpointTest, RejectsModelStateFileAsCheckpoint) {
+  // A valid file of the wrong kind must be refused by the envelope check.
+  Rng rng(13);
+  nn::Linear layer(3, 2, rng);
+  const std::string dir = FreshDir("ckpt_kind");
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(nn::SaveState(layer, TrainCheckpointPath(dir)).ok());
+  const StatusOr<TrainCheckpoint> loaded = LoadTrainCheckpoint(dir);
+  ASSERT_FALSE(loaded.ok());
+}
+
+// --- Checkpoint/resume equivalence ------------------------------------------
+
+data::SyntheticDataset ResumeData() {
+  data::SyntheticSpec spec;
+  spec.name = "resume";
+  spec.fields = {{"f0", data::FieldType::kCategorical, 8},
+                 {"f1", data::FieldType::kCategorical, 7},
+                 {"f2", data::FieldType::kCategorical, 6}};
+  spec.num_tuples = 600;
+  spec.interactions = {{{0, 1}, 2.0f}};
+  spec.noise_stddev = 0.2f;
+  spec.seed = 77;
+  return data::GenerateSynthetic(spec);
+}
+
+core::ArmNetConfig ResumeModelConfig() {
+  core::ArmNetConfig config;
+  config.embed_dim = 4;
+  config.num_heads = 1;
+  config.neurons_per_head = 4;
+  config.hidden = {8};
+  return config;
+}
+
+TrainConfig ResumeTrainConfig() {
+  TrainConfig config;
+  config.max_epochs = 6;
+  config.batch_size = 64;
+  config.learning_rate = 5e-3f;
+  config.patience = 50;  // never early-stop inside this test
+  config.seed = 5;
+  return config;
+}
+
+TEST(ResumeTest, ResumedRunMatchesUninterrupted) {
+  const data::SyntheticDataset synthetic = ResumeData();
+  Rng split_rng(1);
+  const data::Splits splits =
+      data::SplitDataset(synthetic.dataset, split_rng);
+  const int features = synthetic.dataset.schema().num_features();
+  const int fields = synthetic.dataset.num_fields();
+
+  // Reference: 6 uninterrupted epochs.
+  Rng rng_a(21);
+  core::ArmNet model_a(features, fields, ResumeModelConfig(), rng_a);
+  const TrainResult uninterrupted =
+      Fit(model_a, splits, ResumeTrainConfig());
+  ASSERT_EQ(uninterrupted.epochs_run, 6);
+
+  // Interrupted run: 3 epochs with checkpointing, then a *fresh* model
+  // resumes from the checkpoint and finishes the remaining 3.
+  const std::string dir = FreshDir("ckpt_resume");
+  TrainConfig first_half = ResumeTrainConfig();
+  first_half.max_epochs = 3;
+  first_half.checkpoint_dir = dir;
+  Rng rng_b(21);
+  core::ArmNet model_b(features, fields, ResumeModelConfig(), rng_b);
+  const TrainResult before = Fit(model_b, splits, first_half);
+  ASSERT_EQ(before.epochs_run, 3);
+  ASSERT_TRUE(TrainCheckpointExists(dir));
+
+  TrainConfig second_half = ResumeTrainConfig();
+  second_half.checkpoint_dir = dir;
+  Rng rng_c(21);
+  core::ArmNet model_c(features, fields, ResumeModelConfig(), rng_c);
+  const TrainResult resumed = Fit(model_c, splits, second_half);
+
+  EXPECT_EQ(resumed.resumed_from_epoch, 3);
+  EXPECT_EQ(resumed.epochs_run, 6);
+  ASSERT_EQ(resumed.validation_metric_history.size(),
+            uninterrupted.validation_metric_history.size());
+  // The resumed run replays the uninterrupted trajectory bit-exactly: the
+  // checkpoint restored the weights, Adam moments, and both RNG streams.
+  for (size_t e = 0; e < resumed.validation_metric_history.size(); ++e) {
+    EXPECT_DOUBLE_EQ(resumed.validation_metric_history[e],
+                     uninterrupted.validation_metric_history[e])
+        << "validation metric diverged at epoch " << e + 1;
+  }
+  EXPECT_DOUBLE_EQ(resumed.best_validation_metric,
+                   uninterrupted.best_validation_metric);
+  EXPECT_DOUBLE_EQ(resumed.test.auc, uninterrupted.test.auc);
+}
+
+TEST(ResumeTest, CorruptCheckpointFallsBackToFreshStart) {
+  const data::SyntheticDataset synthetic = ResumeData();
+  Rng split_rng(1);
+  const data::Splits splits =
+      data::SplitDataset(synthetic.dataset, split_rng);
+
+  const std::string dir = FreshDir("ckpt_corrupt_resume");
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(
+      WriteLines(TrainCheckpointPath(dir), {"not a checkpoint"}).ok());
+
+  TrainConfig config = ResumeTrainConfig();
+  config.max_epochs = 2;
+  config.checkpoint_dir = dir;
+  Rng rng(3);
+  core::ArmNet model(synthetic.dataset.schema().num_features(),
+                     synthetic.dataset.num_fields(), ResumeModelConfig(),
+                     rng);
+  const TrainResult result = Fit(model, splits, config);
+  EXPECT_EQ(result.resumed_from_epoch, 0);
+  EXPECT_EQ(result.epochs_run, 2);
+  ASSERT_FALSE(result.incidents.empty());
+  EXPECT_NE(result.incidents[0].find("checkpoint unreadable"),
+            std::string::npos);
+  // The bad file was replaced by a valid checkpoint from this run.
+  EXPECT_TRUE(LoadTrainCheckpoint(dir).ok());
+}
+
+TEST(ResumeTest, MismatchedFingerprintIsRejected) {
+  const data::SyntheticDataset synthetic = ResumeData();
+  Rng split_rng(1);
+  const data::Splits splits =
+      data::SplitDataset(synthetic.dataset, split_rng);
+  const int features = synthetic.dataset.schema().num_features();
+  const int fields = synthetic.dataset.num_fields();
+
+  const std::string dir = FreshDir("ckpt_fingerprint");
+  TrainConfig config = ResumeTrainConfig();
+  config.max_epochs = 1;
+  config.checkpoint_dir = dir;
+  Rng rng(4);
+  core::ArmNet model(features, fields, ResumeModelConfig(), rng);
+  ASSERT_EQ(Fit(model, splits, config).epochs_run, 1);
+
+  // Same directory, different seed: the checkpoint must not be applied.
+  TrainConfig other = config;
+  other.seed = config.seed + 1;
+  other.max_epochs = 1;
+  Rng rng2(4);
+  core::ArmNet model2(features, fields, ResumeModelConfig(), rng2);
+  const TrainResult result = Fit(model2, splits, other);
+  EXPECT_EQ(result.resumed_from_epoch, 0);
+  ASSERT_FALSE(result.incidents.empty());
+  EXPECT_NE(result.incidents[0].find("checkpoint rejected"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace armnet::armor

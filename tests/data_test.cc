@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -163,6 +164,92 @@ TEST(LoaderTest, LibsvmRejectsOutOfRangeIds) {
   EXPECT_FALSE(result.ok());
 }
 
+TEST(LoaderTest, LibsvmErrorsCarryLineNumberAndFieldName) {
+  const std::string path = ::testing::TempDir() + "/diag.libsvm";
+  // Line 3 has a malformed value in the "size" field (second pair).
+  ASSERT_TRUE(WriteLines(path, {"1 0:1 3:1 5:0.5", "0 1:1 4:1 5:0.9",
+                                "1 2:1 3:oops 5:0.1"})
+                  .ok());
+  StatusOr<Dataset> result = LoadLibsvm(path, SmallSchema());
+  ASSERT_FALSE(result.ok());
+  const std::string message = result.status().message();
+  EXPECT_NE(message.find(":3:"), std::string::npos) << message;
+  EXPECT_NE(message.find("'size'"), std::string::npos) << message;
+
+  // A bad label is attributed to the pseudo-field 'label'.
+  ASSERT_TRUE(WriteLines(path, {"yes 0:1 3:1 5:0.5"}).ok());
+  result = LoadLibsvm(path, SmallSchema());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("'label'"), std::string::npos);
+  EXPECT_NE(result.status().message().find(":1:"), std::string::npos);
+}
+
+TEST(LoaderTest, SkipPolicyDropsBadRowsAndReports) {
+  const std::string path = ::testing::TempDir() + "/dirty.libsvm";
+  ASSERT_TRUE(WriteLines(path, {"1 0:1 3:1 5:0.5",    // good
+                                "0 0:1 9:1 5:0.5",    // id out of range
+                                "x 0:1 3:1 5:0.5",    // bad label
+                                "0 1:1 4:1 5:0.9"})   // good
+                  .ok());
+  LoadOptions options;
+  options.policy = RowErrorPolicy::kSkip;
+  LoadReport report;
+  StatusOr<Dataset> result =
+      LoadLibsvm(path, SmallSchema(), options, &report);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result.value().size(), 2);
+  EXPECT_EQ(report.rows_loaded, 2);
+  EXPECT_EQ(report.rows_skipped, 2);
+  EXPECT_EQ(report.rows_quarantined, 0);
+  ASSERT_EQ(report.errors.size(), 2u);
+  EXPECT_NE(report.errors[0].find(":2:"), std::string::npos);
+  EXPECT_NE(report.errors[1].find(":3:"), std::string::npos);
+}
+
+TEST(LoaderTest, QuarantinePolicyWritesOffendingLines) {
+  const std::string path = ::testing::TempDir() + "/quarantine.libsvm";
+  const std::string qpath = ::testing::TempDir() + "/quarantine.bad";
+  std::remove(qpath.c_str());
+  ASSERT_TRUE(WriteLines(path, {"1 0:1 3:1 5:0.5", "0 0:1 nope 5:0.5",
+                                "1 2:1 4:1 5:0.1"})
+                  .ok());
+  LoadOptions options;
+  options.policy = RowErrorPolicy::kQuarantine;
+  options.quarantine_path = qpath;
+  LoadReport report;
+  StatusOr<Dataset> result =
+      LoadLibsvm(path, SmallSchema(), options, &report);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result.value().size(), 2);
+  EXPECT_EQ(report.rows_skipped, 1);
+  EXPECT_EQ(report.rows_quarantined, 1);
+  // The quarantine file holds the raw offending line, verbatim.
+  std::ifstream quarantined(qpath);
+  ASSERT_TRUE(quarantined.good());
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(quarantined, line)));
+  EXPECT_EQ(line, "0 0:1 nope 5:0.5");
+  EXPECT_FALSE(static_cast<bool>(std::getline(quarantined, line)));
+}
+
+TEST(LoaderTest, ErrorMessageCapDoesNotStopCounting) {
+  const std::string path = ::testing::TempDir() + "/many_errors.libsvm";
+  std::vector<std::string> lines;
+  for (int i = 0; i < 10; ++i) lines.push_back("bad");
+  lines.push_back("1 0:1 3:1 5:0.5");
+  ASSERT_TRUE(WriteLines(path, lines).ok());
+  LoadOptions options;
+  options.policy = RowErrorPolicy::kSkip;
+  options.max_error_messages = 3;
+  LoadReport report;
+  StatusOr<Dataset> result =
+      LoadLibsvm(path, SmallSchema(), options, &report);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(report.rows_skipped, 10);
+  EXPECT_EQ(report.errors.size(), 3u);  // capped
+  EXPECT_EQ(report.rows_loaded, 1);
+}
+
 TEST(LoaderTest, LibsvmRejectsMissingFields) {
   const std::string path = ::testing::TempDir() + "/short.libsvm";
   ASSERT_TRUE(WriteLines(path, {"1 0:1 3:1"}).ok());
@@ -190,6 +277,43 @@ TEST(LoaderTest, CsvBuildsVocabAndRescalesNumerics) {
   EXPECT_LT(dataset.value_at(2, 1), dataset.value_at(1, 1));
   EXPECT_GT(dataset.value_at(0, 1), 0.0f);
   EXPECT_LE(dataset.value_at(1, 1), 1.0f);
+}
+
+TEST(LoaderTest, CsvErrorsCarryLineNumberAndFieldName) {
+  const std::string path = ::testing::TempDir() + "/diag.csv";
+  ASSERT_TRUE(WriteLines(path, {"label,city,temp", "1,sf,10",
+                                "0,nyc,warm"})
+                  .ok());
+  StatusOr<Dataset> result = LoadCsvWithVocab(path, {false, true});
+  ASSERT_FALSE(result.ok());
+  const std::string message = result.status().message();
+  EXPECT_NE(message.find(":3:"), std::string::npos) << message;
+  EXPECT_NE(message.find("'temp'"), std::string::npos) << message;
+
+  // A ragged row names its line too.
+  ASSERT_TRUE(WriteLines(path, {"label,city,temp", "1,sf"}).ok());
+  result = LoadCsvWithVocab(path, {false, true});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(":2:"), std::string::npos);
+}
+
+TEST(LoaderTest, CsvSkipPolicyKeepsVocabClean) {
+  const std::string path = ::testing::TempDir() + "/dirty.csv";
+  ASSERT_TRUE(WriteLines(path, {"label,city,temp", "1,sf,10",
+                                "0,zzz,warm",  // bad numeric cell
+                                "0,nyc,30", "1,sf,20"})
+                  .ok());
+  LoadOptions options;
+  options.policy = RowErrorPolicy::kSkip;
+  LoadReport report;
+  StatusOr<Dataset> result =
+      LoadCsvWithVocab(path, {false, true}, options, &report);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result.value().size(), 3);
+  EXPECT_EQ(report.rows_loaded, 3);
+  EXPECT_EQ(report.rows_skipped, 1);
+  // The dropped row must not leak its category into the vocabulary.
+  EXPECT_EQ(result.value().schema().field(0).cardinality, 2);
 }
 
 TEST(SyntheticTest, DeterministicForSameSeed) {

@@ -1,0 +1,149 @@
+// Tests for the trainer's fault handling with *naturally occurring*
+// failures (no fault injection, so they run in every build): divergence
+// rollback with learning-rate backoff, the non-finite validation metric
+// guard, the retry budget, and the wall-clock watchdog.
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "armor/trainer.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/lr.h"
+
+namespace armnet::armor {
+namespace {
+
+data::SyntheticDataset RegressionData(int64_t tuples = 800) {
+  data::SyntheticSpec spec;
+  spec.name = "reg";
+  spec.fields = {{"f0", data::FieldType::kCategorical, 10},
+                 {"f1", data::FieldType::kCategorical, 8},
+                 {"f2", data::FieldType::kCategorical, 6}};
+  spec.num_tuples = tuples;
+  spec.interactions = {{{0, 1}, 1.5f}};
+  spec.noise_stddev = 0.2f;
+  spec.regression = true;
+  spec.seed = 99;
+  return data::GenerateSynthetic(spec);
+}
+
+TEST(RobustTrainerTest, RecoversFromNaturalDivergence) {
+  // An absurd learning rate makes MSE training blow up to inf/NaN within
+  // a few steps. The trainer must roll back to the last good state, back
+  // the learning rate off, and still finish with a finite best metric.
+  const data::SyntheticDataset synthetic = RegressionData();
+  Rng split_rng(1);
+  const data::Splits splits =
+      data::SplitDataset(synthetic.dataset, split_rng);
+  Rng rng(2);
+  models::Lr model(synthetic.dataset.schema().num_features(), rng);
+
+  TrainConfig config;
+  config.task = Task::kRegression;
+  config.max_epochs = 4;
+  config.batch_size = 128;
+  // Adam steps move weights by ~lr, so this overflows the float loss to
+  // inf on the second step; one backoff lands at a sane LR of ~0.1.
+  config.learning_rate = 1e20f;
+  config.divergence_lr_backoff = 1e-21f;
+  config.max_divergence_retries = 3;
+  config.patience = 50;
+  const TrainResult result = Fit(model, splits, config);
+
+  EXPECT_GE(result.divergence_recoveries, 1);
+  EXPECT_FALSE(result.divergence_gave_up);
+  EXPECT_EQ(result.epochs_run, 4);
+  EXPECT_TRUE(std::isfinite(result.best_validation_metric));
+  EXPECT_TRUE(std::isfinite(result.test.rmse));
+  ASSERT_FALSE(result.incidents.empty());
+  EXPECT_NE(result.incidents[0].find("rolled back"), std::string::npos);
+}
+
+TEST(RobustTrainerTest, GivesUpAfterRetryBudget) {
+  // With no meaningful backoff every retry diverges again; after the
+  // budget is spent the run must stop with the last good weights instead
+  // of looping forever or returning NaN.
+  const data::SyntheticDataset synthetic = RegressionData(400);
+  Rng split_rng(1);
+  const data::Splits splits =
+      data::SplitDataset(synthetic.dataset, split_rng);
+  Rng rng(3);
+  models::Lr model(synthetic.dataset.schema().num_features(), rng);
+
+  TrainConfig config;
+  config.task = Task::kRegression;
+  config.max_epochs = 10;
+  config.batch_size = 128;
+  config.learning_rate = 1e20f;
+  config.divergence_lr_backoff = 1.0f;  // never actually backs off
+  config.max_divergence_retries = 2;
+  const TrainResult result = Fit(model, splits, config);
+
+  EXPECT_TRUE(result.divergence_gave_up);
+  EXPECT_EQ(result.divergence_recoveries, 2);
+  EXPECT_EQ(result.epochs_run, 0);  // no epoch ever completed
+  // The model carries the last good (here: initial) weights, not NaNs.
+  const EvalResult eval = Evaluate(model, splits.test, 128);
+  EXPECT_TRUE(std::isfinite(eval.rmse));
+}
+
+TEST(RobustTrainerTest, NonFiniteValidationMetricIsNotBest) {
+  // A NaN label in the validation split drives the RMSE metric to NaN.
+  // The guard must log the incident and count the epoch as non-improving
+  // (NaN comparisons silently failing used to freeze "best" forever);
+  // patience then halts the run.
+  const data::SyntheticDataset synthetic = RegressionData(300);
+  data::Splits splits;
+  splits.train = synthetic.dataset;
+  splits.test = synthetic.dataset;
+  data::Dataset poisoned(synthetic.dataset.schema());
+  poisoned.Append({0, 10, 18}, {1, 1, 1},
+                  std::numeric_limits<float>::quiet_NaN());
+  poisoned.Append({1, 11, 19}, {1, 1, 1}, 0.5f);
+  splits.validation = poisoned;
+
+  Rng rng(4);
+  models::Lr model(synthetic.dataset.schema().num_features(), rng);
+  TrainConfig config;
+  config.task = Task::kRegression;
+  config.max_epochs = 20;
+  config.batch_size = 64;
+  config.learning_rate = 1e-2f;
+  config.patience = 2;
+  const TrainResult result = Fit(model, splits, config);
+
+  // Every epoch was non-improving, so patience stops the run early.
+  EXPECT_EQ(result.epochs_run, 2);
+  EXPECT_TRUE(std::isfinite(result.best_validation_metric));
+  ASSERT_GE(result.incidents.size(), 1u);
+  EXPECT_NE(result.incidents[0].find("non-finite validation metric"),
+            std::string::npos);
+}
+
+TEST(RobustTrainerTest, WatchdogStopsRunawayTraining) {
+  const data::SyntheticDataset synthetic = RegressionData(400);
+  Rng split_rng(1);
+  const data::Splits splits =
+      data::SplitDataset(synthetic.dataset, split_rng);
+  Rng rng(5);
+  models::Lr model(synthetic.dataset.schema().num_features(), rng);
+
+  TrainConfig config;
+  config.task = Task::kRegression;
+  config.max_epochs = 100000;
+  config.batch_size = 32;
+  config.max_train_seconds = 1e-9;  // fires on the first check
+  const TrainResult result = Fit(model, splits, config);
+
+  EXPECT_TRUE(result.watchdog_fired);
+  EXPECT_EQ(result.epochs_run, 0);
+  ASSERT_FALSE(result.incidents.empty());
+  EXPECT_NE(result.incidents.back().find("watchdog"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace armnet::armor

@@ -14,6 +14,11 @@ tooling"):
   kernel-pre   every kernel dispatcher in src/tensor/kernels.cc DCHECKs its
                pointer/size preconditions before entering the raw-pointer
                scalar/SIMD implementations
+  raw-ofstream persistent artifacts must go through the durable writers
+               (nn::StateWriter's atomic write-then-rename, the loaders'
+               checked streams, util/csv.cc's WriteLines); direct
+               std::ofstream elsewhere in src/ bypasses CRC framing and
+               atomic-commit guarantees
   supp-policy  every entry in tools/sanitizers/*.supp carries an explanatory
                comment directly above it (empty-by-default policy)
 
@@ -120,6 +125,29 @@ def check_kernel_preconditions():
                    "pointer/size preconditions")
 
 
+# Files allowed to construct std::ofstream directly: the durable writers
+# themselves. Everything else must serialize through them so every artifact
+# gets stream-state checking (and, for state files, CRC + atomic rename).
+OFSTREAM_RE = re.compile(r"std::ofstream")
+OFSTREAM_ALLOWLIST = {
+    Path("nn") / "serialize.cc",   # atomic CRC-framed state writer
+    Path("data") / "loader.cc",    # checked SaveLibsvm / quarantine sink
+    Path("util") / "csv.cc",       # checked WriteLines helper
+}
+
+
+def check_raw_ofstream():
+    for path in sorted(list(SRC.rglob("*.h")) + list(SRC.rglob("*.cc"))):
+        if path.relative_to(SRC) in OFSTREAM_ALLOWLIST:
+            continue
+        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+            if OFSTREAM_RE.search(strip_comments(raw)):
+                report(path, lineno, "raw-ofstream",
+                       "direct std::ofstream outside the durable writers; "
+                       "persist state via nn::StateWriter (atomic + CRC) or "
+                       "text via util/csv.h WriteLines")
+
+
 def check_suppression_policy():
     supp_dir = REPO_ROOT / "tools" / "sanitizers"
     for supp in sorted(supp_dir.glob("*.supp")):
@@ -170,6 +198,7 @@ def main() -> int:
     check_header_guards()
     check_source_rules()
     check_kernel_preconditions()
+    check_raw_ofstream()
     check_suppression_policy()
 
     for finding in findings:
