@@ -6,11 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include "autograd/entmax.h"
+#include "autograd/grad_mode.h"
 #include "autograd/ops.h"
 #include "core/arm_net.h"
 #include "data/presets.h"
 #include "optim/adam.h"
 #include "tensor/kernels.h"
+#include "tensor/storage_pool.h"
 #include "tensor/tensor_ops.h"
 
 namespace {
@@ -155,6 +157,75 @@ void BM_ArmNetTrainStep(benchmark::State& state) {
   if (SimdAvailable()) SetBackend(Backend::kSimd);
 }
 BENCHMARK(BM_ArmNetTrainStep)->Arg(0)->Arg(1);
+
+// Tensor allocation throughput: fresh heap vectors vs the size-bucketed
+// storage pool in steady state (same sizes every round, as in batched
+// inference). The pool's win is skipping malloc/free, not the zero-fill.
+void BM_TensorAlloc(benchmark::State& state) {
+  const bool pooled = state.range(0) != 0;
+  const int64_t n = 4096 * 10;
+  TensorPool pool;
+  std::unique_ptr<ScopedTensorPool> scope;
+  if (pooled) scope = std::make_unique<ScopedTensorPool>(pool);
+  for (auto _ : state) {
+    Tensor a{Shape({n})};
+    Tensor b{Shape({n / 4})};
+    benchmark::DoNotOptimize(a.data());
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetLabel(pooled ? "pooled" : "heap");
+  if (pooled) {
+    const TensorPoolStats stats = pool.stats();
+    state.counters["hit_rate"] =
+        stats.hits + stats.misses > 0
+            ? static_cast<double>(stats.hits) /
+                  static_cast<double>(stats.hits + stats.misses)
+            : 0.0;
+  }
+}
+BENCHMARK(BM_TensorAlloc)->Arg(0)->Arg(1);
+
+// Full ARM-Net eval-mode forward pass: the legacy taped configuration vs
+// the tape-free (NoGradGuard) + pooled execution mode every serving entry
+// point now uses. The delta is Table 3's inference speedup at micro scale.
+void BM_ArmNetInference(benchmark::State& state) {
+  const bool tape_free = state.range(0) != 0;
+  data::SyntheticSpec spec = data::FrappePreset();
+  spec.num_tuples = 2048;
+  data::SyntheticDataset synthetic = data::GenerateSynthetic(spec);
+  Rng rng(5);
+  core::ArmNetConfig config;
+  config.num_heads = 4;
+  config.neurons_per_head = 32;
+  core::ArmNet model(synthetic.dataset.schema().num_features(),
+                     synthetic.dataset.num_fields(), config, rng);
+  model.SetTraining(false);
+  data::Batch batch;
+  std::vector<int64_t> all_rows;
+  for (int64_t i = 0; i < 512; ++i) all_rows.push_back(i);
+  synthetic.dataset.Gather(all_rows, &batch);
+  Rng eval_rng(6);
+  TensorPool pool;
+  std::unique_ptr<NoGradGuard> no_grad;
+  std::unique_ptr<ScopedTensorPool> scope;
+  if (tape_free) {
+    no_grad = std::make_unique<NoGradGuard>();
+    scope = std::make_unique<ScopedTensorPool>(pool);
+  }
+  autograd::ResetTapeStats();
+  for (auto _ : state) {
+    Variable out = model.Forward(batch, eval_rng);
+    benchmark::DoNotOptimize(out.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch.batch_size);
+  state.SetLabel(tape_free ? "nograd+pool" : "taped");
+  state.counters["tape_nodes_per_iter"] =
+      state.iterations() > 0
+          ? static_cast<double>(autograd::GetTapeStats().nodes_recorded) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+}
+BENCHMARK(BM_ArmNetInference)->Arg(0)->Arg(1);
 
 }  // namespace
 

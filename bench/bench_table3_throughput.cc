@@ -16,10 +16,12 @@
 
 #include "bench/common.h"
 
+#include "autograd/grad_mode.h"
 #include "core/arm_net.h"
 #include "data/batcher.h"
 #include "optim/adam.h"
 #include "tensor/backend.h"
+#include "tensor/storage_pool.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -29,6 +31,11 @@ using namespace armnet;
 struct Throughput {
   double train = 0;
   double inference = 0;
+  // Execution-mode observability for the inference loop (DESIGN.md §9):
+  // tape nodes must be 0 under NoGradGuard, and the pool hit rate shows
+  // how much of the steady state reuses buffers instead of allocating.
+  int64_t tape_nodes = 0;
+  TensorPoolStats pool;
 };
 
 Throughput Measure(const data::Dataset& dataset, int64_t batch_size,
@@ -77,20 +84,30 @@ Throughput Measure(const data::Dataset& dataset, int64_t batch_size,
   }
   throughput.train = static_cast<double>(tuples) / watch.ElapsedSeconds();
 
-  // Inference: forward only, eval mode.
+  // Inference: forward only, eval mode, tape-free and buffer-pooled — the
+  // serving configuration every armor/interpret entry point uses.
   model.SetTraining(false);
   tuples = 0;
+  const int64_t nodes_before = autograd::GetTapeStats().nodes_recorded;
+  TensorPool pool;
   watch.Restart();
-  for (int i = 0; i < num_batches; ++i) {
-    if (!batcher.Next(&batch)) {
-      batcher.Reset();
-      batcher.Next(&batch);
+  {
+    NoGradGuard no_grad;
+    ScopedTensorPool scoped_pool(pool);
+    for (int i = 0; i < num_batches; ++i) {
+      if (!batcher.Next(&batch)) {
+        batcher.Reset();
+        batcher.Next(&batch);
+      }
+      Variable out = model.Forward(batch, dropout_rng);
+      tuples += batch.batch_size;
     }
-    Variable out = model.Forward(batch, dropout_rng);
-    tuples += batch.batch_size;
   }
   throughput.inference =
       static_cast<double>(tuples) / watch.ElapsedSeconds();
+  throughput.tape_nodes =
+      autograd::GetTapeStats().nodes_recorded - nodes_before;
+  throughput.pool = pool.stats();
   return throughput;
 }
 
@@ -118,6 +135,9 @@ int main(int argc, char** argv) {
       armnet::data::AvazuPreset(scale), armnet::data::CriteoPreset(scale),
       armnet::data::Diabetes130Preset(scale)};
 
+  int64_t inference_tape_nodes = 0;
+  int64_t pool_hits = 0;
+  int64_t pool_misses = 0;
   for (auto& spec : specs) {
     // Throughput only needs enough tuples to fill the measured batches.
     spec.num_tuples =
@@ -139,7 +159,25 @@ int main(int argc, char** argv) {
                 simd.train > 0 ? simd.train / scalar.train : 0.0,
                 simd.inference > 0 ? simd.inference / scalar.inference : 0.0);
     std::fflush(stdout);
+    inference_tape_nodes += scalar.tape_nodes + simd.tape_nodes;
+    pool_hits += scalar.pool.hits + simd.pool.hits;
+    pool_misses += scalar.pool.misses + simd.pool.misses;
   }
+
+  // Execution-mode invariant (DESIGN.md §9): the inference loops above ran
+  // under NoGradGuard, so not a single tape node may have been recorded.
+  ARMNET_CHECK_EQ(inference_tape_nodes, 0)
+      << "inference recorded tape nodes despite NoGradGuard";
+  const int64_t pool_total = pool_hits + pool_misses;
+  std::printf("\ninference execution mode: 0 tape nodes recorded; storage "
+              "pool served %lld/%lld allocations from free lists (%.1f%% "
+              "hit rate)\n",
+              static_cast<long long>(pool_hits),
+              static_cast<long long>(pool_total),
+              pool_total > 0
+                  ? 100.0 * static_cast<double>(pool_hits) /
+                        static_cast<double>(pool_total)
+                  : 0.0);
   std::printf("\npaper-reference (CPU vs GPU): MovieLens 5,454/131,864 "
               "train; Criteo 661/24,717 train; GPU speedup 23.9x-38.1x\n");
   if (SimdAvailable()) SetBackend(Backend::kSimd);

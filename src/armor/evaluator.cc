@@ -1,15 +1,21 @@
 #include "armor/evaluator.h"
 
+#include "autograd/grad_mode.h"
 #include "data/batcher.h"
 #include "metrics/metrics.h"
+#include "tensor/storage_pool.h"
 
 namespace armnet::armor {
 
 std::vector<float> PredictLogits(models::TabularModel& model,
                                  const data::Dataset& dataset,
                                  int64_t batch_size) {
-  const bool was_training = model.training();
-  model.SetTraining(false);
+  nn::TrainingModeGuard eval_mode(model, /*training=*/false);
+  // Tape-free, allocation-lean inference: no autograd nodes are recorded
+  // and each batch's intermediates recycle the previous batch's buffers.
+  NoGradGuard no_grad;
+  TensorPool pool;
+  ScopedTensorPool scoped_pool(pool);
   Rng rng(0);  // eval mode uses no randomness; any seed works
   std::vector<float> logits;
   logits.reserve(static_cast<size_t>(dataset.size()));
@@ -22,7 +28,6 @@ std::vector<float> PredictLogits(models::TabularModel& model,
     ARMNET_CHECK_EQ(values.numel(), batch.batch_size);
     for (int64_t i = 0; i < values.numel(); ++i) logits.push_back(values[i]);
   }
-  model.SetTraining(was_training);
   return logits;
 }
 

@@ -3,15 +3,19 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "autograd/grad_mode.h"
 #include "data/batcher.h"
+#include "tensor/storage_pool.h"
 
 namespace armnet::armor {
 
 std::vector<MinedInteraction> MineInteractions(core::ArmNet& model,
                                                const data::Dataset& dataset,
                                                const MinerConfig& config) {
-  const bool was_training = model.training();
-  model.SetTraining(false);
+  nn::TrainingModeGuard eval_mode(model, /*training=*/false);
+  NoGradGuard no_grad;
+  TensorPool pool;
+  ScopedTensorPool scoped_pool(pool);
   Rng rng(0);
 
   // Key: fields joined by ','. Value: occurrence count over all
@@ -52,7 +56,6 @@ std::vector<MinedInteraction> MineInteractions(core::ArmNet& model,
     }
     instances += batch.batch_size;
   }
-  model.SetTraining(was_training);
 
   std::vector<MinedInteraction> mined;
   mined.reserve(counts.size());

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "autograd/grad_mode.h"
+#include "tensor/storage_pool.h"
+
 namespace armnet::armor {
 
 namespace {
@@ -35,8 +38,10 @@ std::vector<double> ArmInterpreter::GlobalFieldImportance() const {
 std::vector<double> ArmInterpreter::GlobalFieldImportance(
     const data::Dataset& dataset, int64_t sample_limit,
     int64_t batch_size) const {
-  const bool was_training = model_->training();
-  model_->SetTraining(false);
+  nn::TrainingModeGuard eval_mode(*model_, /*training=*/false);
+  NoGradGuard no_grad;
+  TensorPool pool;
+  ScopedTensorPool scoped_pool(pool);
   Rng rng(0);
 
   const int m = dataset.num_fields();
@@ -60,21 +65,21 @@ std::vector<double> ArmInterpreter::GlobalFieldImportance(
       }
     }
   }
-  model_->SetTraining(was_training);
   NormalizeToOne(importance);
   return importance;
 }
 
 ArmInterpreter::LocalAttribution ArmInterpreter::Explain(
     const data::Dataset& dataset, int64_t row, int top_neurons) const {
-  const bool was_training = model_->training();
-  model_->SetTraining(false);
+  nn::TrainingModeGuard eval_mode(*model_, /*training=*/false);
+  NoGradGuard no_grad;
+  TensorPool pool;
+  ScopedTensorPool scoped_pool(pool);
   data::Batch batch;
   dataset.Gather({row}, &batch);
   Rng rng(0);
   core::ArmModule::Output trace;
   (void)model_->ForwardWithTrace(batch, rng, &trace);
-  model_->SetTraining(was_training);
 
   // Interaction weights for the single instance: [1, K, o, m].
   const Tensor& weights = trace.interaction_weights.value();

@@ -304,6 +304,8 @@ TrainResult Fit(models::TabularModel& model, const data::Splits& splits,
 
     result.epochs_run = epoch + 1;
 
+    // Evaluate runs tape-free under NoGradGuard with pooled storage and
+    // restores the model's training mode on exit (see armor/evaluator.cc).
     const EvalResult validation =
         Evaluate(model, splits.validation, config.batch_size);
     // Selection metric, oriented so larger is better.

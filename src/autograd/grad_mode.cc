@@ -1,0 +1,49 @@
+#include "autograd/grad_mode.h"
+
+#include <atomic>
+
+namespace armnet {
+
+namespace {
+
+// Thread-local so guards on one thread cannot disable recording on another.
+thread_local bool g_grad_mode_enabled = true;
+
+std::atomic<int64_t> g_nodes_recorded{0};
+std::atomic<int64_t> g_nodes_elided{0};
+
+}  // namespace
+
+bool GradMode::IsEnabled() { return g_grad_mode_enabled; }
+
+void GradMode::SetEnabled(bool enabled) { g_grad_mode_enabled = enabled; }
+
+namespace autograd {
+
+namespace internal {
+
+void BumpNodesRecorded() {
+  g_nodes_recorded.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BumpNodesElided() {
+  g_nodes_elided.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+TapeStats GetTapeStats() {
+  TapeStats stats;
+  stats.nodes_recorded = g_nodes_recorded.load(std::memory_order_relaxed);
+  stats.nodes_elided = g_nodes_elided.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetTapeStats() {
+  g_nodes_recorded.store(0, std::memory_order_relaxed);
+  g_nodes_elided.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace autograd
+
+}  // namespace armnet

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <unordered_set>
 
+#include "autograd/grad_mode.h"
 #include "tensor/kernels.h"
 
 namespace armnet {
@@ -32,6 +33,10 @@ void Variable::AccumulateGrad(const Tensor& g) const {
 
 void Variable::Backward(const Tensor& seed) {
   ARMNET_CHECK(defined());
+  ARMNET_CHECK(!impl_->untracked)
+      << "Backward() on an untracked graph: this Variable was computed "
+         "under NoGradGuard, so no tape was recorded. Re-run the forward "
+         "pass with grad mode enabled (or drop the guard) to differentiate.";
   ARMNET_CHECK(seed.shape() == shape())
       << "Backward seed shape " << seed.shape().ToString()
       << " does not match value shape " << shape().ToString();
@@ -79,13 +84,30 @@ Variable MakeFromOp(Tensor value, const std::vector<Variable>& inputs,
   // consume real variables.
   ARMNET_DCHECK(value.defined());
   bool needs_grad = false;
+  bool untracked_input = false;
   for (const Variable& input : inputs) {
     ARMNET_CHECK(input.defined()) << "op input is a null Variable";
     needs_grad = needs_grad || input.requires_grad();
+    untracked_input = untracked_input || input.impl()->untracked;
   }
+  if (!GradMode::IsEnabled()) {
+    // Tape-free execution: no Node, no backward closure, no shared_ptr
+    // retention of the inputs. Ops that would have recorded a node — or
+    // that consume the output of one — are marked untracked so Backward()
+    // on them fails with context instead of silently producing a zero
+    // gradient. The flag propagates through the whole no-grad chain.
+    Variable result(std::move(value), /*requires_grad=*/false);
+    if (needs_grad || untracked_input) {
+      result.impl()->untracked = true;
+      if (needs_grad) autograd::internal::BumpNodesElided();
+    }
+    return result;
+  }
+
   Variable result(std::move(value), needs_grad);
   if (!needs_grad) return result;
 
+  autograd::internal::BumpNodesRecorded();
   auto node = std::make_shared<Node>();
   node->seq = SeqCounter().fetch_add(1, std::memory_order_relaxed);
   node->inputs.reserve(inputs.size());

@@ -19,6 +19,10 @@ struct VariableImpl {
   Tensor value;
   Tensor grad;  // undefined until the first accumulation
   bool requires_grad = false;
+  // Set when the op that produced this value had requires_grad inputs but
+  // ran with grad mode off (NoGradGuard), so no tape exists behind it.
+  // Backward() on such a variable is a programmer error, not a silent no-op.
+  bool untracked = false;
   std::shared_ptr<Node> creator;  // null for leaves
 };
 
@@ -101,6 +105,15 @@ class Variable {
   // shared impl, and backward lambdas hold const captures.
   void AccumulateGrad(const Tensor& g) const;
 
+  // Escape hatch from the graph: a new leaf Variable sharing this value's
+  // storage, with requires_grad off and no creator. Gradients never flow
+  // through a detached handle; mutations through data() remain visible to
+  // both (Tensor storage is shared).
+  Variable Detach() const {
+    ARMNET_DCHECK(defined());
+    return Variable(impl_->value, /*requires_grad=*/false);
+  }
+
   // Identity of the underlying storage; used by optimizers to key state.
   const void* id() const { return impl_.get(); }
 
@@ -114,6 +127,9 @@ class Variable {
 
 // Builds the result variable of a differentiable op. If no input requires
 // grad, no tape node is recorded (graph pruning) and `backward` is dropped.
+// The same elision applies — regardless of requires_grad — while grad mode
+// is off (see autograd/grad_mode.h); the result is then marked untracked so
+// a later Backward() fails loudly instead of silently returning zeros.
 // `backward` receives d(loss)/d(result) and must accumulate into the inputs
 // (checking requires_grad per input).
 Variable MakeFromOp(Tensor value, const std::vector<Variable>& inputs,

@@ -1,6 +1,8 @@
 #include <cmath>
 
+#include "autograd/grad_mode.h"
 #include "interpret/attribution.h"
+#include "tensor/storage_pool.h"
 #include "util/rng.h"
 
 namespace armnet::interpret {
@@ -77,11 +79,12 @@ Attribution LimeAttribution(models::TabularModel& model,
     }
   }
 
-  const bool was_training = model.training();
-  model.SetTraining(false);
+  nn::TrainingModeGuard eval_mode(model, /*training=*/false);
+  NoGradGuard no_grad;
+  TensorPool pool;
+  ScopedTensorPool scoped_pool(pool);
   Rng eval_rng(0);
   Variable out = model.Forward(batch, eval_rng);
-  model.SetTraining(was_training);
   const Tensor& logits = out.value();
 
   // Locality kernel over the number of flipped fields.

@@ -1,7 +1,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "autograd/grad_mode.h"
 #include "interpret/attribution.h"
+#include "tensor/storage_pool.h"
 #include "util/rng.h"
 
 namespace armnet::interpret {
@@ -58,11 +60,12 @@ Attribution ShapAttribution(models::TabularModel& model,
     }
   }
 
-  const bool was_training = model.training();
-  model.SetTraining(false);
+  nn::TrainingModeGuard eval_mode(model, /*training=*/false);
+  NoGradGuard no_grad;
+  TensorPool pool;
+  ScopedTensorPool scoped_pool(pool);
   Rng eval_rng(0);
   Variable out = model.Forward(batch, eval_rng);
-  model.SetTraining(was_training);
   const Tensor& logits = out.value();
 
   std::vector<double> phi(static_cast<size_t>(m), 0.0);

@@ -98,6 +98,26 @@ class Module {
   bool training_ = true;
 };
 
+// RAII: switches `module` (and its children) into the given mode and
+// restores the mode it had on entry when the scope exits. Evaluation
+// helpers use this so "run in eval mode" is never a lingering side effect
+// on a model that was mid-training.
+class TrainingModeGuard {
+ public:
+  explicit TrainingModeGuard(Module& module, bool training = false)
+      : module_(module), prev_(module.training()) {
+    module_.SetTraining(training);
+  }
+  ~TrainingModeGuard() { module_.SetTraining(prev_); }
+
+  TrainingModeGuard(const TrainingModeGuard&) = delete;
+  TrainingModeGuard& operator=(const TrainingModeGuard&) = delete;
+
+ private:
+  Module& module_;
+  bool prev_;
+};
+
 }  // namespace armnet::nn
 
 #endif  // ARMNET_NN_MODULE_H_

@@ -1,10 +1,20 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "tensor/storage_pool.h"
 #include "util/string_util.h"
 
 namespace armnet {
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  for (int64_t d : shape_.dims()) {
+    ARMNET_CHECK_GE(d, 0) << "cannot allocate shape " << shape_.ToString();
+  }
+  storage_ = tensor_internal::AllocateStorage(
+      static_cast<size_t>(shape_.numel()), /*zero=*/true);
+}
 
 Tensor Tensor::Full(Shape shape, float value) {
   Tensor t(std::move(shape));
@@ -71,7 +81,9 @@ Tensor Tensor::Reshape(Shape shape) const {
 Tensor Tensor::Clone() const {
   if (!defined()) return Tensor();
   Tensor copy;
-  copy.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  copy.storage_ =
+      tensor_internal::AllocateStorage(storage_->size(), /*zero=*/false);
+  std::copy(storage_->begin(), storage_->end(), copy.storage_->begin());
   copy.shape_ = shape_;
   return copy;
 }

@@ -26,13 +26,9 @@ class Tensor {
   Tensor() = default;
 
   // Zero-filled tensor of the given shape (all dims must be concrete).
-  explicit Tensor(Shape shape) : shape_(std::move(shape)) {
-    for (int64_t d : shape_.dims()) {
-      ARMNET_CHECK_GE(d, 0) << "cannot allocate shape " << shape_.ToString();
-    }
-    storage_ = std::make_shared<std::vector<float>>(
-        static_cast<size_t>(shape_.numel()), 0.0f);
-  }
+  // Storage comes from the current thread's TensorPool when one is active
+  // (see tensor/storage_pool.h), otherwise from the heap.
+  explicit Tensor(Shape shape);
 
   // --- Factories ---------------------------------------------------------
 

@@ -21,6 +21,10 @@ tooling"):
                atomic-commit guarantees
   supp-policy  every entry in tools/sanitizers/*.supp carries an explanatory
                comment directly above it (empty-by-default policy)
+  nograd-eval  evaluation entry points in src/armor/ and src/interpret/ must
+               establish a NoGradGuard before calling a model Forward, so
+               serving paths stay tape-free (allowlist: the trainer, whose
+               training step differentiates through Forward)
 
 Usage:
   tools/lint.py                 # run all text lints on src/ and tools/
@@ -148,6 +152,40 @@ def check_raw_ofstream():
                        "text via util/csv.h WriteLines")
 
 
+# Evaluation-only subsystems: every model Forward they issue must run under
+# an established NoGradGuard (tape-free serving, DESIGN.md §9). The trainer
+# is the one legitimate taped Forward caller in scope.
+NOGRAD_DIRS = ("armor", "interpret")
+NOGRAD_ALLOWLIST = {
+    Path("armor") / "trainer.cc",  # training step differentiates via Forward
+}
+FORWARD_CALL_RE = re.compile(r"[.>]\s*Forward(WithTrace)?\s*\(")
+# Top-level function definitions start at column 0 in this codebase; a new
+# definition resets the "guard established" state so each evaluation entry
+# point needs its own NoGradGuard.
+FUNC_START_RE = re.compile(r"^[A-Za-z_](?!amespace\b).*\(")
+
+
+def check_nograd_eval():
+    for d in NOGRAD_DIRS:
+        for path in sorted((SRC / d).glob("*.cc")):
+            if path.relative_to(SRC) in NOGRAD_ALLOWLIST:
+                continue
+            guard_established = False
+            for lineno, raw in enumerate(path.read_text().splitlines(),
+                                         start=1):
+                line = strip_comments(raw)
+                if FUNC_START_RE.match(line):
+                    guard_established = False
+                if "NoGradGuard" in line:
+                    guard_established = True
+                if FORWARD_CALL_RE.search(line) and not guard_established:
+                    report(path, lineno, "nograd-eval",
+                           "model Forward without an established NoGradGuard;"
+                           " evaluation paths must be tape-free (see "
+                           "autograd/grad_mode.h)")
+
+
 def check_suppression_policy():
     supp_dir = REPO_ROOT / "tools" / "sanitizers"
     for supp in sorted(supp_dir.glob("*.supp")):
@@ -199,6 +237,7 @@ def main() -> int:
     check_source_rules()
     check_kernel_preconditions()
     check_raw_ofstream()
+    check_nograd_eval()
     check_suppression_policy()
 
     for finding in findings:
