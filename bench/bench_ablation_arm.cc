@@ -9,7 +9,7 @@
 //                 (an exponential-space analogue of AFN)
 //
 // Flags: --scale=<f> (default 0.4), --epochs=<n> (default 12),
-//        --dataset=<name> (default frappe).
+//        --dataset=<name> (default frappe), --json=<path> for the report.
 
 #include "bench/common.h"
 
@@ -18,6 +18,12 @@ int main(int argc, char** argv) {
   const double scale = FlagDouble(argc, argv, "scale", 0.3);
   const int epochs = static_cast<int>(FlagInt(argc, argv, "epochs", 10));
   const std::string dataset_name = FlagValue(argc, argv, "dataset", "frappe");
+  const std::string json_path = FlagValue(argc, argv, "json", "");
+
+  bench::BenchReport report("ablation_arm");
+  report.ConfigDouble("scale", scale);
+  report.ConfigInt("epochs", epochs);
+  report.ConfigString("dataset", dataset_name);
 
   bench::PreparedData prepared =
       bench::Prepare(data::PresetByName(dataset_name, scale), 42);
@@ -57,8 +63,15 @@ int main(int argc, char** argv) {
                 bench::HumanCount(outcome.parameters).c_str(),
                 outcome.result.train_seconds);
     std::fflush(stdout);
+    bench::BenchRow& row = report.AddRow(variant.label);
+    row.counters.emplace_back("parameters", outcome.parameters);
+    row.counters.emplace_back("epochs_run", outcome.result.epochs_run);
+    row.metrics.emplace_back("test_auc", outcome.result.test.auc);
+    row.metrics.emplace_back("test_logloss", outcome.result.test.logloss);
+    row.metrics.emplace_back("train_seconds", outcome.result.train_seconds);
   }
   std::printf("\nexpected: full >= no-bilinear > dense-gate ~ no-gate (the "
               "sparse, per-instance gate is the working ingredient)\n");
+  report.WriteIfRequested(json_path);
   return 0;
 }

@@ -9,7 +9,7 @@
 // external explainers spread weight more diffusely.
 //
 // Flags: --scale=<f> (default 0.4), --epochs=<n> (default 12),
-//        --instance=<row> (default 0).
+//        --instance=<row> (default 0), --json=<path> for the report.
 
 #include "bench/common.h"
 
@@ -22,6 +22,12 @@ int main(int argc, char** argv) {
   const double scale = FlagDouble(argc, argv, "scale", 0.3);
   const int epochs = static_cast<int>(FlagInt(argc, argv, "epochs", 10));
   const int64_t instance = FlagInt(argc, argv, "instance", 0);
+  const std::string json_path = FlagValue(argc, argv, "json", "");
+
+  bench::BenchReport report("fig10_11_local_attr");
+  report.ConfigDouble("scale", scale);
+  report.ConfigInt("epochs", epochs);
+  report.ConfigInt("instance", instance);
 
   std::printf("=== Figures 10-11: local feature attribution (scale=%.2f, "
               "instance=%lld) ===\n",
@@ -81,9 +87,18 @@ int main(int argc, char** argv) {
                   lime[static_cast<size_t>(f)], shap[static_cast<size_t>(f)]);
     }
     std::fflush(stdout);
+    bench::BenchRow& row = report.AddRow(dataset_name);
+    row.counters.emplace_back("fields", m);
+    row.counters.emplace_back(
+        "active_neurons", static_cast<int64_t>(local.per_neuron.size()));
+    // The instance's strongest aggregate attribution, for drift tracking.
+    row.metrics.emplace_back(
+        "top_field_importance",
+        local.field_importance[static_cast<size_t>(order[0])]);
   }
   std::printf("\npaper-reference: individual neurons are sparse and "
               "distinct; the aggregate matches the instance's most "
               "discriminative fields\n");
+  report.WriteIfRequested(json_path);
   return 0;
 }

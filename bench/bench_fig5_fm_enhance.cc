@@ -5,7 +5,8 @@
 // Expected shape (paper): even one exponential neuron improves FM
 // noticeably, and performance rises as more cross features are added.
 //
-// Flags: --scale=<f> (default 0.5), --epochs=<n> (default 14).
+// Flags: --scale=<f> (default 0.5), --epochs=<n> (default 14),
+//        --json=<path> for the schema-v1 report.
 
 #include "bench/common.h"
 #include "models/fm.h"
@@ -15,6 +16,11 @@ int main(int argc, char** argv) {
   using namespace armnet;
   const double scale = FlagDouble(argc, argv, "scale", 0.4);
   const int epochs = static_cast<int>(FlagInt(argc, argv, "epochs", 12));
+  const std::string json_path = FlagValue(argc, argv, "json", "");
+
+  bench::BenchReport report("fig5_fm_enhance");
+  report.ConfigDouble("scale", scale);
+  report.ConfigInt("epochs", epochs);
 
   std::printf("=== Figure 5: FM enhanced with exponential neurons "
               "(scale=%.2f) ===\n",
@@ -62,9 +68,17 @@ int main(int argc, char** argv) {
                   neurons == 0 ? "Base FM" : label.c_str(), best.test.auc,
                   best.test.logloss);
       std::fflush(stdout);
+      bench::BenchRow& row = report.AddRow(
+          dataset_name + "/" +
+          (neurons == 0 ? std::string("fm") : label));
+      row.counters.emplace_back("arm_neurons", neurons);
+      row.counters.emplace_back("epochs_run", best.epochs_run);
+      row.metrics.emplace_back("test_auc", best.test.auc);
+      row.metrics.emplace_back("test_logloss", best.test.logloss);
     }
   }
   std::printf("\npaper-reference (Frappe): Base FM 0.9709 -> FM+o1 0.9760, "
               "monotone up through FM+o8\n");
+  report.WriteIfRequested(json_path);
   return 0;
 }

@@ -5,7 +5,8 @@
 // simply increasing K or o does not necessarily help.
 //
 // Flags: --scale=<f> (default 0.4), --epochs=<n> (default 12),
-//        --datasets=<a,b> (default frappe), --ks=<a,b>, --os=<a,b>.
+//        --datasets=<a,b> (default frappe), --ks=<a,b>, --os=<a,b>,
+//        --json=<path> for the schema-v1 report.
 
 #include "bench/common.h"
 
@@ -17,6 +18,14 @@ int main(int argc, char** argv) {
       FlagValue(argc, argv, "datasets", "frappe");
   const std::string ks_flag = FlagValue(argc, argv, "ks", "1,2,4");
   const std::string os_flag = FlagValue(argc, argv, "os", "8,16,32");
+  const std::string json_path = FlagValue(argc, argv, "json", "");
+
+  bench::BenchReport report("fig6_sensitivity");
+  report.ConfigDouble("scale", scale);
+  report.ConfigInt("epochs", epochs);
+  report.ConfigString("datasets", datasets_flag);
+  report.ConfigString("ks", ks_flag);
+  report.ConfigString("os", os_flag);
 
   std::vector<int> ks, os;
   for (const auto& s : Split(ks_flag, ',')) ks.push_back(std::stoi(s));
@@ -47,11 +56,21 @@ int main(int argc, char** argv) {
             "ARM-Net", prepared, factory, train, {3e-3f});
         std::printf(" %8.4f", outcome.result.test.auc);
         std::fflush(stdout);
+        bench::BenchRow& row = report.AddRow(
+            dataset_name + "/K" + std::to_string(k) + "_o" +
+            std::to_string(o));
+        row.counters.emplace_back("heads", k);
+        row.counters.emplace_back("neurons_per_head", o);
+        row.counters.emplace_back("epochs_run", outcome.result.epochs_run);
+        row.metrics.emplace_back("test_auc", outcome.result.test.auc);
+        row.metrics.emplace_back("test_logloss",
+                                 outcome.result.test.logloss);
       }
       std::printf("\n");
     }
   }
   std::printf("\npaper-reference: stable AUC across the grid; larger K*o "
               "not necessarily better\n");
+  report.WriteIfRequested(json_path);
   return 0;
 }

@@ -6,7 +6,8 @@
 // sparse attention filters noisy features.
 //
 // Flags: --scale=<f> (default 0.4), --epochs=<n> (default 12),
-//        --dataset=<name> (default frappe), --alphas=<a,b,...>.
+//        --dataset=<name> (default frappe), --alphas=<a,b,...>,
+//        --json=<path> for the schema-v1 report.
 
 #include "bench/common.h"
 
@@ -17,6 +18,13 @@ int main(int argc, char** argv) {
   const std::string dataset_name = FlagValue(argc, argv, "dataset", "frappe");
   const std::string alphas_flag =
       FlagValue(argc, argv, "alphas", "1.0,1.5,1.7,2.0,2.5");
+  const std::string json_path = FlagValue(argc, argv, "json", "");
+
+  bench::BenchReport report("fig7_sparsity");
+  report.ConfigDouble("scale", scale);
+  report.ConfigInt("epochs", epochs);
+  report.ConfigString("dataset", dataset_name);
+  report.ConfigString("alphas", alphas_flag);
 
   std::vector<float> alphas;
   for (const auto& s : Split(alphas_flag, ',')) {
@@ -50,10 +58,19 @@ int main(int argc, char** argv) {
           bench::FitBest("ARM-Net", prepared, factory, train, {3e-3f});
       std::printf("    %8.4f", outcome.result.test.auc);
       std::fflush(stdout);
+      bench::BenchRow& row = report.AddRow(
+          StrFormat("alpha%.2f/K%d_o%d", static_cast<double>(alpha), c.k,
+                    c.o));
+      row.counters.emplace_back("heads", c.k);
+      row.counters.emplace_back("neurons_per_head", c.o);
+      row.metrics.emplace_back("alpha", alpha);
+      row.metrics.emplace_back("test_auc", outcome.result.test.auc);
+      row.metrics.emplace_back("test_logloss", outcome.result.test.logloss);
     }
     std::printf("\n");
   }
   std::printf("\npaper-reference: moderate alpha (1.5-2.0) consistently "
               "beats dense softmax (alpha=1.0)\n");
+  report.WriteIfRequested(json_path);
   return 0;
 }

@@ -7,7 +7,8 @@
 // fields; ARM-Net's attribution is built in rather than approximated.
 //
 // Flags: --scale=<f> (default 0.4), --epochs=<n> (default 12),
-//        --explain=<n> instances aggregated for Lime/Shap (default 30).
+//        --explain=<n> instances aggregated for Lime/Shap (default 30),
+//        --json=<path> for the schema-v1 report.
 
 #include <cmath>
 
@@ -55,6 +56,12 @@ int main(int argc, char** argv) {
   const double scale = FlagDouble(argc, argv, "scale", 0.3);
   const int epochs = static_cast<int>(FlagInt(argc, argv, "epochs", 10));
   const int explain = static_cast<int>(FlagInt(argc, argv, "explain", 24));
+  const std::string json_path = FlagValue(argc, argv, "json", "");
+
+  bench::BenchReport report("fig8_global_attr");
+  report.ConfigDouble("scale", scale);
+  report.ConfigInt("epochs", epochs);
+  report.ConfigInt("explain", explain);
 
   std::printf("=== Figure 8: global feature attribution — ARM-Net vs Lime "
               "vs Shap vs ground truth (scale=%.2f) ===\n",
@@ -138,8 +145,17 @@ int main(int argc, char** argv) {
                 RankCorrelation(arm_importance, truth),
                 RankCorrelation(lime, truth), RankCorrelation(shap, truth));
     std::fflush(stdout);
+    bench::BenchRow& row = report.AddRow(dataset_name);
+    row.counters.emplace_back("fields", m);
+    row.counters.emplace_back("explained_instances",
+                              static_cast<int64_t>(rows.size()));
+    row.metrics.emplace_back("arm_rank_corr",
+                             RankCorrelation(arm_importance, truth));
+    row.metrics.emplace_back("lime_rank_corr", RankCorrelation(lime, truth));
+    row.metrics.emplace_back("shap_rank_corr", RankCorrelation(shap, truth));
   }
   std::printf("\npaper-reference: all three methods agree on the top "
               "fields (user_id, item_id, is_free on Frappe)\n");
+  report.WriteIfRequested(json_path);
   return 0;
 }

@@ -5,7 +5,8 @@
 // (0.9800 -> 0.9807 on Frappe, 0.9592 -> 0.9615 on MovieLens at n_e=35).
 //
 // Flags: --scale=<f> (default 0.4), --epochs=<n> (default 12),
-//        --sizes=<a,b,...> (default 10,15,20,25,30,35).
+//        --sizes=<a,b,...> (default 10,15,20,25,30,35),
+//        --json=<path> for the schema-v1 report.
 
 #include "bench/common.h"
 
@@ -20,6 +21,14 @@ int main(int argc, char** argv) {
   // a light dropout keeps the capacity sweep meaningful.
   const float dropout =
       static_cast<float>(FlagDouble(argc, argv, "dropout", 0.1));
+
+  const std::string json_path = FlagValue(argc, argv, "json", "");
+
+  bench::BenchReport report("fig9_embedding");
+  report.ConfigDouble("scale", scale);
+  report.ConfigInt("epochs", epochs);
+  report.ConfigString("sizes", sizes_flag);
+  report.ConfigDouble("dropout", dropout);
 
   std::vector<int64_t> sizes;
   for (const auto& s : Split(sizes_flag, ',')) sizes.push_back(std::stoll(s));
@@ -49,9 +58,16 @@ int main(int argc, char** argv) {
                   outcome.result.test.auc, outcome.result.test.logloss,
                   bench::HumanCount(outcome.parameters).c_str());
       std::fflush(stdout);
+      bench::BenchRow& row =
+          report.AddRow(dataset_name + "/ne" + std::to_string(ne));
+      row.counters.emplace_back("embed_dim", ne);
+      row.counters.emplace_back("parameters", outcome.parameters);
+      row.metrics.emplace_back("test_auc", outcome.result.test.auc);
+      row.metrics.emplace_back("test_logloss", outcome.result.test.logloss);
     }
   }
   std::printf("\npaper-reference: AUC rises with n_e (Frappe 0.9800 at 10 "
               "-> 0.9807 at 35)\n");
+  report.WriteIfRequested(json_path);
   return 0;
 }

@@ -2,8 +2,16 @@
 // backends, entmax solvers, embedding lookup, and a full ARM-Net
 // forward/backward step. Not a paper experiment — engineering validation of
 // the Table 3 backend axis at the kernel level.
+//
+// Accepts --json=<path> like every other bench binary; it is translated to
+// google-benchmark's native --benchmark_out=<path> in JSON format (the
+// library's own report schema, not the BenchReport schema v1).
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "autograd/entmax.h"
 #include "autograd/grad_mode.h"
@@ -229,4 +237,30 @@ BENCHMARK(BM_ArmNetInference)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::string out_flag;
+  std::string format_flag;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    constexpr std::string_view kJson = "--json=";
+    if (arg.substr(0, kJson.size()) == kJson) {
+      out_flag = "--benchmark_out=" + std::string(arg.substr(kJson.size()));
+      format_flag = "--benchmark_out_format=json";
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,13 +5,17 @@
 // reports each dataset's positive rate and Bayes AUC ceiling, which only a
 // synthetic substitute can know (DESIGN.md §3).
 //
-// Flags: --scale=<f> (default 1).
+// Flags: --scale=<f> (default 1), --json=<path> for the schema-v1 report.
 
 #include "bench/common.h"
 
 int main(int argc, char** argv) {
   using namespace armnet;
   const double scale = FlagDouble(argc, argv, "scale", 1.0);
+  const std::string json_path = FlagValue(argc, argv, "json", "");
+
+  bench::BenchReport report("table1_datasets");
+  report.ConfigDouble("scale", scale);
 
   std::printf("=== Table 1: dataset statistics and ARM-Net configurations "
               "(synthetic presets, scale=%.2f) ===\n",
@@ -22,6 +26,7 @@ int main(int argc, char** argv) {
   for (const data::SyntheticSpec& spec : data::AllPresets(scale)) {
     data::SyntheticDataset synthetic = data::GenerateSynthetic(spec);
     const core::ArmNetConfig config = bench::PaperArmConfig(spec.name);
+    const double bayes_auc = bench::BayesAuc(synthetic);
     std::printf("%-12s %10lld %7d %9lld %9.3f %10.4f  K=%d, o=%lld, "
                 "alpha=%.1f\n",
                 spec.name.c_str(),
@@ -29,13 +34,24 @@ int main(int argc, char** argv) {
                 synthetic.dataset.num_fields(),
                 static_cast<long long>(
                     synthetic.dataset.schema().num_features()),
-                synthetic.dataset.PositiveRate(), bench::BayesAuc(synthetic),
+                synthetic.dataset.PositiveRate(), bayes_auc,
                 config.num_heads,
                 static_cast<long long>(config.neurons_per_head),
                 config.alpha);
+    bench::BenchRow& row = report.AddRow(spec.name);
+    row.counters.emplace_back("tuples", synthetic.dataset.size());
+    row.counters.emplace_back("fields", synthetic.dataset.num_fields());
+    row.counters.emplace_back("features",
+                              synthetic.dataset.schema().num_features());
+    row.counters.emplace_back("arm_heads", config.num_heads);
+    row.counters.emplace_back("arm_neurons", config.neurons_per_head);
+    row.metrics.emplace_back("pos_rate", synthetic.dataset.PositiveRate());
+    row.metrics.emplace_back("bayes_auc", bayes_auc);
+    row.metrics.emplace_back("arm_alpha", config.alpha);
   }
   std::printf("\npaper-reference: Frappe 288,609/10/5,382; MovieLens "
               "2,006,859/3/90,445; Avazu 40,428,967/22/1,544,250; Criteo "
               "45,302,405/39/2,086,936; Diabetes130 101,766/43/369\n");
+  report.WriteIfRequested(json_path);
   return 0;
 }

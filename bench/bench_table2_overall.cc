@@ -16,6 +16,7 @@
 //   --datasets=a,b   subset of datasets                (default all 5)
 //   --models=a,b     subset of model names             (default all 19)
 //   --lrs=a,b        learning rates searched           (default 1e-3,3e-3)
+//   --json=<path>    write the schema-v1 report
 
 #include <algorithm>
 #include <map>
@@ -31,6 +32,13 @@ int main(int argc, char** argv) {
                 "frappe,movielens,avazu,criteo,diabetes130");
   const std::string models_flag = FlagValue(argc, argv, "models", "");
   const std::string lrs_flag = FlagValue(argc, argv, "lrs", "1e-3,3e-3");
+  const std::string json_path = FlagValue(argc, argv, "json", "");
+
+  bench::BenchReport report("table2_overall");
+  report.ConfigDouble("scale", scale);
+  report.ConfigInt("epochs", epochs);
+  report.ConfigString("datasets", datasets_flag);
+  report.ConfigString("lrs", lrs_flag);
 
   std::vector<float> lrs;
   for (const std::string& s : Split(lrs_flag, ',')) {
@@ -89,6 +97,17 @@ int main(int argc, char** argv) {
       cells[model_name][dataset_name] =
           StrFormat("%.4f/%s", outcome.result.test.auc,
                     bench::HumanCount(outcome.parameters).c_str());
+      bench::BenchRow& row =
+          report.AddRow(model_name + "/" + dataset_name);
+      row.counters.emplace_back("parameters", outcome.parameters);
+      row.counters.emplace_back("epochs_run", outcome.result.epochs_run);
+      row.metrics.emplace_back("test_auc", outcome.result.test.auc);
+      row.metrics.emplace_back("test_logloss", outcome.result.test.logloss);
+      row.metrics.emplace_back("best_val_auc",
+                               outcome.result.best_validation_auc);
+      row.metrics.emplace_back("lr", outcome.learning_rate);
+      row.metrics.emplace_back("train_seconds",
+                               outcome.result.train_seconds);
     }
   }
 
@@ -105,5 +124,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  report.WriteIfRequested(json_path);
   return 0;
 }

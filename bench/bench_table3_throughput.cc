@@ -12,7 +12,8 @@
 // (scaled down by default for a 1-core box).
 //
 // Flags: --batch=<n> (default 4096), --batches=<n> measured per cell
-// (default 3), --scale=<f> dataset size multiplier (default 0.25).
+// (default 3), --scale=<f> dataset size multiplier (default 0.25),
+// --json=<path> to also write the BENCH_table3.json report.
 
 #include "bench/common.h"
 
@@ -117,6 +118,13 @@ int main(int argc, char** argv) {
   const int64_t batch_size = FlagInt(argc, argv, "batch", 4096);
   const int num_batches = static_cast<int>(FlagInt(argc, argv, "batches", 3));
   const double scale = FlagDouble(argc, argv, "scale", 0.25);
+  const std::string json_path = FlagValue(argc, argv, "json", "");
+
+  bench::BenchReport report("table3_throughput");
+  report.ConfigInt("batch", batch_size);
+  report.ConfigInt("batches", num_batches);
+  report.ConfigDouble("scale", scale);
+  report.ConfigString("simd", SimdAvailable() ? "available" : "unavailable");
 
   std::printf("=== Table 3: ARM-Net throughput, tuples/s (K=4, o=64, "
               "n_e=10, batch=%lld) ===\n",
@@ -162,6 +170,26 @@ int main(int argc, char** argv) {
     inference_tape_nodes += scalar.tape_nodes + simd.tape_nodes;
     pool_hits += scalar.pool.hits + simd.pool.hits;
     pool_misses += scalar.pool.misses + simd.pool.misses;
+
+    auto add_row = [&](const char* backend, const Throughput& t) {
+      armnet::bench::BenchRow& row =
+          report.AddRow(spec.name + "/" + backend);
+      // Time to push one training batch through fwd+bwd+step, the axis
+      // Table 3 reports as tuples/second.
+      row.ms_per_batch = t.train > 0
+                             ? 1000.0 * static_cast<double>(batch_size) /
+                                   t.train
+                             : std::numeric_limits<double>::quiet_NaN();
+      row.counters.emplace_back("fields", synthetic.dataset.num_fields());
+      row.counters.emplace_back("inference_tape_nodes", t.tape_nodes);
+      row.counters.emplace_back("pool_hits", t.pool.hits);
+      row.counters.emplace_back("pool_misses", t.pool.misses);
+      row.counters.emplace_back("pool_bytes_served", t.pool.bytes_served);
+      row.metrics.emplace_back("train_tuples_per_s", t.train);
+      row.metrics.emplace_back("infer_tuples_per_s", t.inference);
+    };
+    add_row("scalar", scalar);
+    if (SimdAvailable()) add_row("simd", simd);
   }
 
   // Execution-mode invariant (DESIGN.md §9): the inference loops above ran
@@ -180,6 +208,7 @@ int main(int argc, char** argv) {
                   : 0.0);
   std::printf("\npaper-reference (CPU vs GPU): MovieLens 5,454/131,864 "
               "train; Criteo 661/24,717 train; GPU speedup 23.9x-38.1x\n");
+  report.WriteIfRequested(json_path);
   if (SimdAvailable()) SetBackend(Backend::kSimd);
   return 0;
 }

@@ -6,11 +6,15 @@
 //   --scale=<f>     multiplies dataset tuple counts (default from binary)
 //   --epochs=<n>    max training epochs
 //   --seed=<n>      experiment seed
+//   --json=<path>   additionally write the run's BenchReport (schema v1)
 // plus binary-specific flags documented in each main().
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "armor/trainer.h"
@@ -18,6 +22,8 @@
 #include "data/split.h"
 #include "metrics/metrics.h"
 #include "models/factory.h"
+#include "util/csv.h"
+#include "util/json.h"
 #include "util/string_util.h"
 
 namespace armnet::bench {
@@ -123,6 +129,128 @@ inline core::ArmNetConfig DefaultArmConfig(const std::string& dataset) {
     config.neurons_per_head = 32;
   }
   return config;
+}
+
+// --- Machine-readable bench reports (DESIGN.md §10) ----------------------
+//
+// Every bench binary accepts --json=<path> and, when given, mirrors its
+// result table into one BENCH_*.json document, schema v1:
+//
+//   {"schema_version":1,
+//    "bench":"table3_throughput",
+//    "config":{"batch":4096,"scale":0.25,...},
+//    "results":[{"name":"criteo/simd",
+//                "ms_per_batch":12.3,     // null when the row has no timing
+//                "cv":0.05,               // null when measured once
+//                "counters":{"tape_nodes":0,...},    // int64 observability
+//                "metrics":{"val_auc":0.97,...}},    // double quality axes
+//               ...]}
+//
+// Row names use "/" to join the bench's axes (dataset/backend, model/lr).
+// Non-finite timings and metrics serialize as null, never as NaN.
+
+struct BenchRow {
+  std::string name;
+  double ms_per_batch = std::numeric_limits<double>::quiet_NaN();
+  double cv = std::numeric_limits<double>::quiet_NaN();
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void ConfigInt(const std::string& key, int64_t value) {
+    config_.push_back({key, Entry::kInt, value, 0, {}});
+  }
+  void ConfigDouble(const std::string& key, double value) {
+    config_.push_back({key, Entry::kDouble, 0, value, {}});
+  }
+  void ConfigString(const std::string& key, std::string value) {
+    config_.push_back({key, Entry::kString, 0, 0, std::move(value)});
+  }
+
+  BenchRow& AddRow(std::string name) {
+    rows_.emplace_back();
+    rows_.back().name = std::move(name);
+    return rows_.back();
+  }
+
+  std::string Json() const {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("schema_version").Int(1);
+    w.Key("bench").String(bench_);
+    w.Key("config").BeginObject();
+    for (const Entry& e : config_) {
+      w.Key(e.key);
+      switch (e.kind) {
+        case Entry::kInt: w.Int(e.i); break;
+        case Entry::kDouble: w.Double(e.d); break;
+        case Entry::kString: w.String(e.s); break;
+      }
+    }
+    w.EndObject();
+    w.Key("results").BeginArray();
+    for (const BenchRow& row : rows_) {
+      w.BeginObject();
+      w.Key("name").String(row.name);
+      w.Key("ms_per_batch").Double(row.ms_per_batch);
+      w.Key("cv").Double(row.cv);
+      w.Key("counters").BeginObject();
+      for (const auto& c : row.counters) w.Key(c.first).Int(c.second);
+      w.EndObject();
+      w.Key("metrics").BeginObject();
+      for (const auto& m : row.metrics) w.Key(m.first).Double(m.second);
+      w.EndObject();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    return w.str();
+  }
+
+  // Writes the report when `path` (the --json flag value) is non-empty.
+  // An unwritable path is a hard failure: CI consumes these artifacts, and
+  // a bench that silently dropped its report would pass the smoke run while
+  // producing nothing to validate.
+  void WriteIfRequested(const std::string& path) const {
+    if (path.empty()) return;
+    const Status status = WriteLines(path, {Json()});
+    ARMNET_CHECK(status.ok())
+        << "cannot write bench report " << path << ": " << status.message();
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+ private:
+  struct Entry {
+    enum Kind { kInt, kDouble, kString };
+    std::string key;
+    Kind kind;
+    int64_t i;
+    double d;
+    std::string s;
+  };
+  std::string bench_;
+  std::vector<Entry> config_;
+  std::vector<BenchRow> rows_;
+};
+
+// Mean and coefficient of variation of repeated timing samples; cv is NaN
+// (serialized as null) when fewer than two samples exist.
+inline void MeanCv(const std::vector<double>& samples, double* mean,
+                   double* cv) {
+  *mean = 0;
+  *cv = std::numeric_limits<double>::quiet_NaN();
+  if (samples.empty()) return;
+  for (double s : samples) *mean += s;
+  *mean /= static_cast<double>(samples.size());
+  if (samples.size() < 2 || *mean == 0) return;
+  double var = 0;
+  for (double s : samples) var += (s - *mean) * (s - *mean);
+  var /= static_cast<double>(samples.size() - 1);
+  *cv = std::sqrt(var) / *mean;
 }
 
 }  // namespace armnet::bench

@@ -2,18 +2,23 @@
 # Runs every experiment harness at the default (laptop-sized) scales used
 # for the recorded bench_output.txt. Each binary documents further flags
 # in its header comment; raise --scale toward paper scale on bigger boxes.
+#
+# Every run also writes a machine-readable BENCH_<tag>.json report (schema
+# v1, see bench/common.h) into OUT_DIR — the artifacts CI validates and
+# archives. Set OUT_DIR to redirect them (default: repo root).
 set -u
+OUT_DIR="${OUT_DIR:-.}"
 run() { echo "===== RUNNING $1 ====="; timeout 2400 "$@"; echo; }
-run build/bench/bench_table1_datasets
-run build/bench/bench_ablation_arm --epochs=8
-run build/bench/bench_fig10_11_local_attr --epochs=8
-run build/bench/bench_fig5_fm_enhance
-run build/bench/bench_fig6_sensitivity --epochs=8
-run build/bench/bench_fig7_sparsity --epochs=8
-run build/bench/bench_fig8_global_attr
-run build/bench/bench_fig9_embedding
-run build/bench/bench_micro_kernels --benchmark_min_time=0.2
-run build/bench/bench_table2_overall --scale=0.2 --epochs=8
-run build/bench/bench_table3_throughput --batches=2
-run build/bench/bench_table45_interactions --scale=0.35 --epochs=10
+run build/bench/bench_table1_datasets --json="$OUT_DIR/BENCH_table1.json"
+run build/bench/bench_ablation_arm --epochs=8 --json="$OUT_DIR/BENCH_ablation.json"
+run build/bench/bench_fig10_11_local_attr --epochs=8 --json="$OUT_DIR/BENCH_fig10_11.json"
+run build/bench/bench_fig5_fm_enhance --json="$OUT_DIR/BENCH_fig5.json"
+run build/bench/bench_fig6_sensitivity --epochs=8 --json="$OUT_DIR/BENCH_fig6.json"
+run build/bench/bench_fig7_sparsity --epochs=8 --json="$OUT_DIR/BENCH_fig7.json"
+run build/bench/bench_fig8_global_attr --json="$OUT_DIR/BENCH_fig8.json"
+run build/bench/bench_fig9_embedding --json="$OUT_DIR/BENCH_fig9.json"
+run build/bench/bench_micro_kernels --benchmark_min_time=0.2 --json="$OUT_DIR/BENCH_micro_kernels.json"
+run build/bench/bench_table2_overall --scale=0.2 --epochs=8 --json="$OUT_DIR/BENCH_table2.json"
+run build/bench/bench_table3_throughput --batches=2 --json="$OUT_DIR/BENCH_table3.json"
+run build/bench/bench_table45_interactions --scale=0.35 --epochs=10 --json="$OUT_DIR/BENCH_table45.json"
 echo "ALL_BENCHES_DONE"

@@ -1,15 +1,21 @@
 #include "armor/evaluator.h"
 
+#include <cmath>
+#include <limits>
+
 #include "autograd/grad_mode.h"
 #include "data/batcher.h"
 #include "metrics/metrics.h"
 #include "tensor/storage_pool.h"
+#include "util/profiler.h"
 
 namespace armnet::armor {
 
 std::vector<float> PredictLogits(models::TabularModel& model,
                                  const data::Dataset& dataset,
-                                 int64_t batch_size) {
+                                 int64_t batch_size,
+                                 TensorPoolStats* pool_stats) {
+  ARMNET_PROFILE_SCOPE("armor/PredictLogits");
   nn::TrainingModeGuard eval_mode(model, /*training=*/false);
   // Tape-free, allocation-lean inference: no autograd nodes are recorded
   // and each batch's intermediates recycle the previous batch's buffers.
@@ -28,17 +34,41 @@ std::vector<float> PredictLogits(models::TabularModel& model,
     ARMNET_CHECK_EQ(values.numel(), batch.batch_size);
     for (int64_t i = 0; i < values.numel(); ++i) logits.push_back(values[i]);
   }
+  if (pool_stats != nullptr) *pool_stats = pool.stats();
   return logits;
 }
 
 EvalResult Evaluate(models::TabularModel& model, const data::Dataset& dataset,
                     int64_t batch_size) {
-  const std::vector<float> logits = PredictLogits(model, dataset, batch_size);
+  ARMNET_PROFILE_SCOPE("armor/Evaluate");
+  EvalResult result;
+  const autograd::TapeStats tape_before = autograd::GetTapeStats();
+  const std::vector<float> logits =
+      PredictLogits(model, dataset, batch_size, &result.pool);
+  const autograd::TapeStats tape_after = autograd::GetTapeStats();
+  result.tape_nodes_recorded =
+      tape_after.nodes_recorded - tape_before.nodes_recorded;
+  result.tape_nodes_elided = tape_after.nodes_elided - tape_before.nodes_elided;
+
+  for (const float logit : logits) {
+    if (!std::isfinite(logit)) ++result.non_finite_logits;
+  }
+  if (result.non_finite_logits > 0) {
+    // The metrics layer rejects non-finite scores loudly (AUC's sort
+    // comparator has no ordering for NaN); a diverged model instead
+    // surfaces here as NaN metrics for the caller's divergence handling.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    result.auc = nan;
+    result.logloss = nan;
+    result.accuracy = nan;
+    result.rmse = nan;
+    return result;
+  }
+
   std::vector<float> labels(static_cast<size_t>(dataset.size()));
   for (int64_t i = 0; i < dataset.size(); ++i) {
     labels[static_cast<size_t>(i)] = dataset.label_at(i);
   }
-  EvalResult result;
   result.auc = metrics::Auc(logits, labels);
   result.logloss = metrics::LogLoss(logits, labels);
   result.accuracy = metrics::Accuracy(logits, labels);

@@ -1,0 +1,44 @@
+#ifndef ARMNET_ARMOR_RUN_METRICS_H_
+#define ARMNET_ARMOR_RUN_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/grad_mode.h"
+#include "tensor/storage_pool.h"
+#include "util/profiler.h"
+
+namespace armnet::armor {
+
+// One unified observability snapshot (DESIGN.md §10): the autograd tape
+// counters, an optional TensorPool's allocator counters, and — when the
+// profiler is compiled in and enabled — every scope timing and invocation
+// counter recorded so far. Captured by benches after a measured region and
+// by the trainer per epoch; serialized into BENCH_*.json and the epoch
+// telemetry JSONL.
+struct RunMetrics {
+  autograd::TapeStats tape;
+  bool has_pool = false;
+  TensorPoolStats pool;  // zeros unless a pool was supplied at capture
+  std::vector<prof::ScopeStats> scopes;
+  std::vector<prof::CounterStats> counters;
+};
+
+// Snapshots the process-wide tape stats and profiler registry, plus `pool`'s
+// counters when non-null. Tape and profiler counters are cumulative across
+// threads since their last Reset; bracket the workload with
+// autograd::ResetTapeStats() / prof::Reset() for per-region deltas.
+RunMetrics CaptureRunMetrics(const TensorPool* pool = nullptr);
+
+// Compact single-line JSON object:
+//   {"tape":{"nodes_recorded":N,"nodes_elided":N},
+//    "pool":{"hits":N,"misses":N,"returns":N,"dropped":N,
+//            "bytes_served":N,"bytes_pooled":N},          // if has_pool
+//    "scopes":[{"name":s,"count":N,"total_ms":f,"min_ms":f,"max_ms":f,
+//               "p50_ms":f,"p99_ms":f},...],
+//    "counters":[{"name":s,"count":N},...]}
+std::string RunMetricsJson(const RunMetrics& metrics);
+
+}  // namespace armnet::armor
+
+#endif  // ARMNET_ARMOR_RUN_METRICS_H_

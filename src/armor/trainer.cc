@@ -2,12 +2,17 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <limits>
 
 #include "armor/checkpoint.h"
+#include "autograd/grad_mode.h"
 #include "data/batcher.h"
 #include "optim/adam.h"
+#include "util/csv.h"
 #include "util/fault_injection.h"
+#include "util/json.h"
+#include "util/profiler.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -83,6 +88,7 @@ void RestoreRun(std::vector<Variable>& params, std::vector<Tensor>& buffers,
 
 TrainResult Fit(models::TabularModel& model, const data::Splits& splits,
                 const TrainConfig& config) {
+  ARMNET_PROFILE_SCOPE("armor/Fit");
   Rng rng(config.seed);
   Rng dropout_rng = rng.Fork();
   std::vector<Variable> params = model.Parameters();
@@ -108,6 +114,80 @@ TrainResult Fit(models::TabularModel& model, const data::Splits& splits,
     }
     result.incidents.push_back(std::move(message));
   };
+
+  // --- Epoch telemetry (DESIGN.md §10) ---------------------------------
+  // One JSONL record per completed epoch. Telemetry is best-effort: any
+  // I/O failure raises an incident and disables further writes, so a full
+  // disk can never take the training run down with it.
+  std::string telemetry_path = config.telemetry_path;
+  if (telemetry_path.empty() && !config.checkpoint_dir.empty()) {
+    telemetry_path = config.checkpoint_dir + "/epochs.jsonl";
+  }
+  bool telemetry_on = !telemetry_path.empty();
+  if (telemetry_on) {
+    const std::filesystem::path parent =
+        std::filesystem::path(telemetry_path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);
+      if (ec) {
+        telemetry_on = false;
+        incident("epoch telemetry disabled: cannot create " +
+                 parent.string() + ": " + ec.message());
+      }
+    }
+  }
+  // Incidents already serialized into some record; each record carries
+  // only the ones raised since the previous record, so resumed runs and
+  // diverged-epoch retries attribute faults to the next line written.
+  size_t incidents_reported = result.incidents.size();
+  auto write_epoch_telemetry =
+      [&](int epoch_number, double train_loss, int64_t steps,
+          double grad_norm_mean, const EvalResult& validation, double metric,
+          int64_t train_nodes_recorded, int64_t train_nodes_elided,
+          double epoch_seconds) {
+        if (!telemetry_on) return;
+        JsonWriter w;
+        w.BeginObject();
+        w.Key("epoch").Int(epoch_number);
+        w.Key("train_loss").Double(train_loss);
+        w.Key("steps").Int(steps);
+        w.Key("grad_norm_mean").Double(grad_norm_mean);
+        w.Key("lr").Double(lr);
+        w.Key("val_metric").Double(metric);
+        w.Key("val_auc").Double(validation.auc);
+        w.Key("val_logloss").Double(validation.logloss);
+        w.Key("val_rmse").Double(validation.rmse);
+        w.Key("non_finite_logits").Int(validation.non_finite_logits);
+        w.Key("epoch_seconds").Double(epoch_seconds);
+        w.Key("tape").BeginObject();
+        w.Key("train_nodes_recorded").Int(train_nodes_recorded);
+        w.Key("train_nodes_elided").Int(train_nodes_elided);
+        w.Key("eval_nodes_recorded").Int(validation.tape_nodes_recorded);
+        w.Key("eval_nodes_elided").Int(validation.tape_nodes_elided);
+        w.EndObject();
+        w.Key("eval_pool").BeginObject();
+        w.Key("hits").Int(validation.pool.hits);
+        w.Key("misses").Int(validation.pool.misses);
+        w.Key("returns").Int(validation.pool.returns);
+        w.Key("dropped").Int(validation.pool.dropped);
+        w.Key("bytes_served").Int(validation.pool.bytes_served);
+        w.Key("bytes_pooled").Int(validation.pool.bytes_pooled);
+        w.EndObject();
+        w.Key("incidents").BeginArray();
+        for (size_t i = incidents_reported; i < result.incidents.size();
+             ++i) {
+          w.String(result.incidents[i]);
+        }
+        w.EndArray();
+        w.EndObject();
+        incidents_reported = result.incidents.size();
+        const Status appended = AppendLine(telemetry_path, w.str());
+        if (!appended.ok()) {
+          telemetry_on = false;
+          incident("epoch telemetry disabled: " + appended.message());
+        }
+      };
 
   // Validates a loaded checkpoint against this run's config and model,
   // then applies it. Validation happens up front so a mismatched or
@@ -143,16 +223,11 @@ TrainResult Fit(models::TabularModel& model, const data::Splits& splits,
             StrFormat("checkpoint shape mismatch for buffer %zu", i));
       }
     }
-    if (static_cast<int64_t>(ckpt.batcher_order.size()) !=
-        splits.train.size()) {
-      return Status::Error(
-          "checkpoint batch permutation does not match the training set");
-    }
-    for (int64_t row : ckpt.batcher_order) {
-      if (row < 0 || row >= splits.train.size()) {
-        return Status::Error(
-            "checkpoint batch permutation holds an out-of-range row");
-      }
+    const Status order_valid = data::Batcher::ValidateOrder(
+        ckpt.batcher_order, splits.train.size());
+    if (!order_valid.ok()) {
+      return Status::Error("checkpoint batch permutation rejected: " +
+                           order_valid.message());
     }
     Status adam =
         optimizer.ImportState(ckpt.adam_step, ckpt.adam_m, ckpt.adam_v);
@@ -174,7 +249,11 @@ TrainResult Fit(models::TabularModel& model, const data::Splits& splits,
     optimizer.set_learning_rate(lr);
     dropout_rng.SetState(ckpt.dropout_rng);
     batcher.set_rng_state(ckpt.batcher_rng);
-    batcher.set_order(std::move(ckpt.batcher_order));
+    // ValidateOrder accepted this permutation above, so adoption is
+    // infallible here — a failure now is a programmer error.
+    const Status order_applied =
+        batcher.set_order(std::move(ckpt.batcher_order));
+    ARMNET_CHECK(order_applied.ok()) << order_applied.message();
     has_best = ckpt.has_best;
     result.best_validation_metric = ckpt.best_metric;
     epochs_since_best = static_cast<int>(ckpt.epochs_since_best);
@@ -210,6 +289,8 @@ TrainResult Fit(models::TabularModel& model, const data::Splits& splits,
 
   int epoch = start_epoch;
   while (epoch < config.max_epochs) {
+    Stopwatch epoch_watch;
+    const autograd::TapeStats epoch_tape_before = autograd::GetTapeStats();
     model.SetTraining(true);
     batcher.Reset();
     data::Batch batch;
@@ -303,6 +384,7 @@ TrainResult Fit(models::TabularModel& model, const data::Splits& splits,
     }
 
     result.epochs_run = epoch + 1;
+    const autograd::TapeStats epoch_tape_after = autograd::GetTapeStats();
 
     // Evaluate runs tape-free under NoGradGuard with pooled storage and
     // restores the model's training mode on exit (see armor/evaluator.cc).
@@ -379,6 +461,15 @@ TrainResult Fit(models::TabularModel& model, const data::Splits& splits,
                            saved.message().c_str()));
       }
     }
+
+    write_epoch_telemetry(
+        epoch + 1, epoch_loss / static_cast<double>(steps > 0 ? steps : 1),
+        steps, norm_count > 0 ? norm_sum / static_cast<double>(norm_count)
+                              : 0.0,
+        validation, metric,
+        epoch_tape_after.nodes_recorded - epoch_tape_before.nodes_recorded,
+        epoch_tape_after.nodes_elided - epoch_tape_before.nodes_elided,
+        epoch_watch.ElapsedSeconds());
 
     if (epochs_since_best >= config.patience) break;
     ++epoch;

@@ -59,6 +59,16 @@ struct TrainConfig {
   // Wall-clock watchdog: stop training (keeping the best weights and the
   // latest checkpoint) once the run exceeds this many seconds. 0 = off.
   double max_train_seconds = 0;
+
+  // --- Observability (see DESIGN.md §10) -------------------------------
+  // JSONL file appended with one record per completed epoch: train loss,
+  // validation metrics, mean gradient norm, learning rate, epoch wall
+  // time, tape/pool counters, and the incidents raised since the previous
+  // record. Empty derives "<checkpoint_dir>/epochs.jsonl" when checkpoints
+  // are on; telemetry is off when both are empty. Write failures disable
+  // telemetry for the rest of the run (with an incident) — they never
+  // abort training.
+  std::string telemetry_path;
 };
 
 struct TrainResult {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "tensor/tensor_ops.h"
+#include "util/profiler.h"
 
 namespace armnet::ag {
 
@@ -174,6 +175,7 @@ Tensor EntmaxLastDimValue(const Tensor& z, float alpha) {
 }
 
 Variable Entmax(const Variable& z, float alpha) {
+  ARMNET_PROFILE_SCOPE("fwd/Entmax");
   Tensor out = EntmaxLastDimValue(z.value(), alpha);
   Tensor p = out;
   return MakeFromOp(
@@ -214,7 +216,7 @@ Variable Entmax(const Variable& z, float alpha) {
           }
         }
         z.AccumulateGrad(dz);
-      });
+      }, "Entmax");
 }
 
 }  // namespace armnet::ag

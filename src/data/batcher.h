@@ -5,6 +5,8 @@
 
 #include "data/dataset.h"
 #include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
 
 namespace armnet::data {
 
@@ -46,9 +48,43 @@ class Batcher {
   Rng::State rng_state() const { return rng_.GetState(); }
   void set_rng_state(const Rng::State& state) { rng_.SetState(state); }
   const std::vector<int64_t>& order() const { return order_; }
-  void set_order(std::vector<int64_t> order) {
-    ARMNET_CHECK_EQ(static_cast<int64_t>(order.size()), dataset_->size());
+
+  // True permutation check: every row index in [0, n) exactly once. Size
+  // and range checks alone let a duplicated row through, which silently
+  // over-samples some tuples and drops others for every following epoch —
+  // exactly the corruption a tampered or truncated checkpoint produces.
+  static Status ValidateOrder(const std::vector<int64_t>& order, int64_t n) {
+    if (static_cast<int64_t>(order.size()) != n) {
+      return Status::Error(StrFormat(
+          "visit order holds %lld rows, dataset has %lld",
+          static_cast<long long>(order.size()), static_cast<long long>(n)));
+    }
+    std::vector<bool> seen(static_cast<size_t>(n), false);
+    for (int64_t row : order) {
+      if (row < 0 || row >= n) {
+        return Status::Error(StrFormat(
+            "visit order holds out-of-range row %lld (dataset size %lld)",
+            static_cast<long long>(row), static_cast<long long>(n)));
+      }
+      if (seen[static_cast<size_t>(row)]) {
+        return Status::Error(StrFormat(
+            "visit order repeats row %lld — not a permutation",
+            static_cast<long long>(row)));
+      }
+      seen[static_cast<size_t>(row)] = true;
+    }
+    return Status::Ok();
+  }
+
+  // Rejects anything that is not a permutation of [0, n) instead of
+  // adopting it; callers restoring checkpoints route the failure through
+  // their incident handling rather than crashing or training on a skewed
+  // sample.
+  Status set_order(std::vector<int64_t> order) {
+    Status valid = ValidateOrder(order, dataset_->size());
+    if (!valid.ok()) return valid;
     order_ = std::move(order);
+    return Status::Ok();
   }
 
   // Fills `batch` with the next (possibly short) mini-batch; returns false

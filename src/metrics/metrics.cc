@@ -8,9 +8,28 @@
 
 namespace armnet::metrics {
 
+namespace {
+
+// All metrics reject NaN/Inf scores loudly. A NaN in Auc's input is
+// undefined behavior outright — `<` is not a strict weak ordering over
+// NaN, so std::sort may crash or return garbage — and in the averaging
+// metrics it silently poisons the result. Callers with possibly-diverged
+// models must pre-screen (armor::Evaluate does) rather than feed
+// non-finite scores here.
+void CheckFinite(const std::vector<float>& values, const char* what) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    ARMNET_CHECK(std::isfinite(values[i]))
+        << what << "[" << i << "] is non-finite (" << values[i]
+        << "); metrics over non-finite scores are meaningless";
+  }
+}
+
+}  // namespace
+
 double Auc(const std::vector<float>& scores,
            const std::vector<float>& labels) {
   ARMNET_CHECK_EQ(scores.size(), labels.size());
+  CheckFinite(scores, "scores");
   const size_t n = scores.size();
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), size_t{0});
@@ -47,6 +66,7 @@ double LogLoss(const std::vector<float>& logits,
                const std::vector<float>& labels) {
   ARMNET_CHECK_EQ(logits.size(), labels.size());
   ARMNET_CHECK(!logits.empty());
+  CheckFinite(logits, "logits");
   double total = 0;
   for (size_t i = 0; i < logits.size(); ++i) {
     const double x = logits[i];
@@ -60,6 +80,7 @@ double Rmse(const std::vector<float>& predictions,
             const std::vector<float>& targets) {
   ARMNET_CHECK_EQ(predictions.size(), targets.size());
   ARMNET_CHECK(!predictions.empty());
+  CheckFinite(predictions, "predictions");
   double total = 0;
   for (size_t i = 0; i < predictions.size(); ++i) {
     const double d = static_cast<double>(predictions[i]) - targets[i];

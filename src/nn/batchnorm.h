@@ -34,7 +34,7 @@ class BatchNorm1d : public Module {
       centered = ag::Sub(x, mean);
       Variable var = ag::Mean(ag::Square(centered), 0, /*keepdim=*/true);
       inv_std = ag::PowScalar(ag::AddScalar(var, eps_), -0.5f);
-      UpdateRunningStats(mean.value(), var.value());
+      UpdateRunningStats(mean.value(), var.value(), x.shape().dim(0));
     } else {
       centered = ag::Sub(x, ag::Constant(running_mean_));
       inv_std = ag::Constant(
@@ -44,10 +44,21 @@ class BatchNorm1d : public Module {
   }
 
  private:
-  void UpdateRunningStats(const Tensor& mean, const Tensor& var) {
+  // `var` is the biased batch variance (divide by B) that normalization
+  // uses; the running estimate tracks the unbiased population variance, so
+  // it gets the Bessel correction B/(B-1) — the same train/eval asymmetry
+  // as torch.nn.BatchNorm1d. A batch of one has no unbiased variance
+  // estimate, so only the running mean moves.
+  void UpdateRunningStats(const Tensor& mean, const Tensor& var,
+                          int64_t batch) {
+    const float bessel = batch > 1 ? static_cast<float>(batch) /
+                                         static_cast<float>(batch - 1)
+                                   : 0.0f;
     for (int64_t i = 0; i < features_; ++i) {
       running_mean_[i] += momentum_ * (mean[i] - running_mean_[i]);
-      running_var_[i] += momentum_ * (var[i] - running_var_[i]);
+      if (batch > 1) {
+        running_var_[i] += momentum_ * (bessel * var[i] - running_var_[i]);
+      }
     }
   }
 

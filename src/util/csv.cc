@@ -57,4 +57,17 @@ Status WriteLines(const std::string& path,
   return Status::Ok();
 }
 
+Status AppendLine(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    return Status::Error("cannot open file for appending: " + path);
+  }
+  out << line << "\n";
+  out.flush();
+  if (!out) {
+    return Status::Error("short write to: " + path);
+  }
+  return Status::Ok();
+}
+
 }  // namespace armnet

@@ -27,6 +27,11 @@ std::string CsvRow(const std::vector<std::string>& cells, char delim = ',');
 Status WriteLines(const std::string& path,
                   const std::vector<std::string>& lines);
 
+// Appends one line to a file, creating it if missing. The checked sink for
+// incremental text artifacts (the trainer's epoch-telemetry JSONL); state
+// that must survive corruption goes through nn::StateWriter instead.
+Status AppendLine(const std::string& path, const std::string& line);
+
 }  // namespace armnet
 
 #endif  // ARMNET_UTIL_CSV_H_

@@ -1,0 +1,57 @@
+#ifndef ARMNET_UTIL_JSON_H_
+#define ARMNET_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Minimal streaming JSON emitter for the observability layer (DESIGN.md
+// §10): epoch telemetry JSONL records and BENCH_*.json reports. Emission
+// only — the repo never parses JSON (CI validates the artifacts with
+// python3 -m json.tool).
+
+namespace armnet {
+
+// `text` with JSON string escaping applied (quotes, backslash, control
+// characters), without surrounding quotes.
+std::string JsonEscape(std::string_view text);
+
+// Compact (single-line) JSON builder with automatic comma placement.
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("epoch").Int(3);
+//   w.Key("metrics").BeginArray().Double(0.97).Double(0.41).EndArray();
+//   w.EndObject();
+//   std::string line = w.str();
+//
+// Non-finite doubles are emitted as null (JSON has no NaN/Inf), which is
+// exactly what a diverged epoch's validation metric should serialize as.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Separate();
+
+  std::string out_;
+  // One flag per open container: true once the first element was written.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace armnet
+
+#endif  // ARMNET_UTIL_JSON_H_

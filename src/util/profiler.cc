@@ -1,0 +1,205 @@
+#include "util/profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace armnet::prof {
+
+namespace internal {
+
+namespace {
+
+// Most recent samples retained per scope for percentile estimation. A ring
+// rather than a reservoir keeps recording deterministic and allocation-free.
+constexpr int kWindow = 2048;
+
+}  // namespace
+
+struct ScopeEntry {
+  std::string name;
+  std::mutex mu;
+  int64_t count = 0;
+  double total_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+  float window[kWindow];
+  int window_size = 0;
+  int window_pos = 0;
+};
+
+struct CounterEntry {
+  std::string name;
+  std::atomic<int64_t> count{0};
+};
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // unique_ptr entries: pointers stay stable across rehashes, so call sites
+  // can cache them in function-local statics.
+  std::unordered_map<std::string, std::unique_ptr<ScopeEntry>> scopes;
+  std::unordered_map<std::string, std::unique_ptr<CounterEntry>> counters;
+};
+
+Registry& GetRegistry() {
+  // Leaked intentionally: entries must outlive any static-destruction-order
+  // race with instrumented code running during shutdown.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+
+double Percentile(std::vector<float>& sorted_window, double q) {
+  if (sorted_window.empty()) return 0;
+  const double idx =
+      q * static_cast<double>(sorted_window.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, sorted_window.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return static_cast<double>(sorted_window[lo]) * (1.0 - frac) +
+         static_cast<double>(sorted_window[hi]) * frac;
+}
+
+}  // namespace
+
+ScopeEntry* RegisterScope(const char* name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::unique_ptr<ScopeEntry>& slot = registry.scopes[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<ScopeEntry>();
+    slot->name = name;
+  }
+  return slot.get();
+}
+
+CounterEntry* RegisterCounter(const char* name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::unique_ptr<CounterEntry>& slot = registry.counters[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<CounterEntry>();
+    slot->name = name;
+  }
+  return slot.get();
+}
+
+void RecordScope(ScopeEntry* entry, double elapsed_ms) {
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->count == 0) {
+    entry->min_ms = elapsed_ms;
+    entry->max_ms = elapsed_ms;
+  } else {
+    entry->min_ms = std::min(entry->min_ms, elapsed_ms);
+    entry->max_ms = std::max(entry->max_ms, elapsed_ms);
+  }
+  ++entry->count;
+  entry->total_ms += elapsed_ms;
+  entry->window[entry->window_pos] = static_cast<float>(elapsed_ms);
+  entry->window_pos = (entry->window_pos + 1) % kWindow;
+  entry->window_size = std::min(entry->window_size + 1, kWindow);
+}
+
+void BumpCounter(CounterEntry* entry, int64_t delta) {
+  entry->count.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void RecordScopeNamed(const std::string& name, double elapsed_ms) {
+  RecordScope(RegisterScope(name.c_str()), elapsed_ms);
+}
+
+void BumpCounterNamed(const std::string& name, int64_t delta) {
+  if (!IsEnabled()) return;
+  BumpCounter(RegisterCounter(name.c_str()), delta);
+}
+
+}  // namespace internal
+
+bool CompiledIn() {
+#ifdef ARMNET_PROFILING
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool IsEnabled() {
+  return internal::EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetEnabled(bool enabled) {
+  internal::EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<ScopeStats> ScopeSnapshot() {
+  internal::Registry& registry = internal::GetRegistry();
+  std::vector<ScopeStats> snapshot;
+  std::lock_guard<std::mutex> lock(registry.mu);
+  snapshot.reserve(registry.scopes.size());
+  for (const auto& [name, entry] : registry.scopes) {
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    if (entry->count == 0) continue;
+    ScopeStats stats;
+    stats.name = name;
+    stats.count = entry->count;
+    stats.total_ms = entry->total_ms;
+    stats.min_ms = entry->min_ms;
+    stats.max_ms = entry->max_ms;
+    std::vector<float> window(entry->window,
+                              entry->window + entry->window_size);
+    std::sort(window.begin(), window.end());
+    stats.p50_ms = internal::Percentile(window, 0.50);
+    stats.p99_ms = internal::Percentile(window, 0.99);
+    snapshot.push_back(std::move(stats));
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const ScopeStats& a, const ScopeStats& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+std::vector<CounterStats> CounterSnapshot() {
+  internal::Registry& registry = internal::GetRegistry();
+  std::vector<CounterStats> snapshot;
+  std::lock_guard<std::mutex> lock(registry.mu);
+  snapshot.reserve(registry.counters.size());
+  for (const auto& [name, entry] : registry.counters) {
+    const int64_t count = entry->count.load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    snapshot.push_back(CounterStats{name, count});
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const CounterStats& a, const CounterStats& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+void Reset() {
+  internal::Registry& registry = internal::GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& kv : registry.scopes) {
+    internal::ScopeEntry* entry = kv.second.get();
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    entry->count = 0;
+    entry->total_ms = 0;
+    entry->min_ms = 0;
+    entry->max_ms = 0;
+    entry->window_size = 0;
+    entry->window_pos = 0;
+  }
+  for (const auto& kv : registry.counters) {
+    kv.second->count.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace armnet::prof

@@ -1,0 +1,149 @@
+#ifndef ARMNET_UTIL_PROFILER_H_
+#define ARMNET_UTIL_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+// Scoped-timer profiler with a process-wide registry (DESIGN.md §10).
+//
+// Two gates, so instrumentation can live permanently on hot paths:
+//
+//   compile time  ARMNET_PROFILING (cmake -DARMNET_PROFILING=ON). When off,
+//                 ARMNET_PROFILE_SCOPE / ARMNET_PROFILE_COUNT expand to
+//                 nothing — not even the name string survives into the
+//                 binary — so release builds carry zero overhead.
+//   run time      prof::SetEnabled(true). When compiled in but disabled,
+//                 each site costs one relaxed atomic load.
+//
+// Usage (instrumented code):
+//   void Backward() {
+//     ARMNET_PROFILE_SCOPE("autograd/Backward");   // RAII: times the scope
+//     ...
+//   }
+//   ARMNET_PROFILE_COUNT("kernel/Gemm", 1);        // invocation counter
+//
+// Usage (reporting):
+//   prof::SetEnabled(true);
+//   ... workload ...
+//   for (const prof::ScopeStats& s : prof::ScopeSnapshot()) { ... }
+//
+// All registry operations are thread-safe; per-scope recording takes a
+// per-entry mutex, counters are relaxed atomics. Percentiles (p50/p99) are
+// computed over a bounded window of the most recent samples per scope.
+
+namespace armnet::prof {
+
+// Aggregate statistics for one named scope since the last Reset().
+struct ScopeStats {
+  std::string name;
+  int64_t count = 0;
+  double total_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+  // Percentiles over the retained window (the most recent kWindow samples),
+  // not over the full history.
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+// One named invocation counter since the last Reset().
+struct CounterStats {
+  std::string name;
+  int64_t count = 0;
+};
+
+// True when the profiler instrumentation was compiled in (ARMNET_PROFILING).
+bool CompiledIn();
+
+// Runtime gate. Scopes and counters hit while disabled record nothing.
+// Defaults to false.
+bool IsEnabled();
+void SetEnabled(bool enabled);
+
+// Snapshots of every scope/counter touched since the last Reset(), sorted
+// by name. Both are empty when the profiler is compiled out.
+std::vector<ScopeStats> ScopeSnapshot();
+std::vector<CounterStats> CounterSnapshot();
+
+// Zeroes all statistics (registered names persist).
+void Reset();
+
+namespace internal {
+
+struct ScopeEntry;
+struct CounterEntry;
+
+// Registry resolution. Entries are interned forever; the returned pointers
+// stay valid for the process lifetime, so macro call sites cache them in a
+// function-local static.
+ScopeEntry* RegisterScope(const char* name);
+CounterEntry* RegisterCounter(const char* name);
+
+void RecordScope(ScopeEntry* entry, double elapsed_ms);
+void BumpCounter(CounterEntry* entry, int64_t delta);
+
+// By-name recording for call sites whose scope name is composed at runtime
+// (the per-op backward timing in autograd). Resolves through the registry
+// map on every call — use only off the per-element hot path.
+void RecordScopeNamed(const std::string& name, double elapsed_ms);
+void BumpCounterNamed(const std::string& name, int64_t delta);
+
+// RAII timer bound to a pre-registered entry. Inert (no clock read) when the
+// runtime gate is off at construction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(ScopeEntry* entry)
+      : entry_(IsEnabled() ? entry : nullptr) {
+    if (entry_ != nullptr) watch_.Restart();
+  }
+  ~ScopedTimer() {
+    if (entry_ != nullptr) RecordScope(entry_, watch_.ElapsedMillis());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  ScopeEntry* entry_;
+  Stopwatch watch_;
+};
+
+}  // namespace internal
+}  // namespace armnet::prof
+
+#ifdef ARMNET_PROFILING
+
+#define ARMNET_PROF_CONCAT_INNER(a, b) a##b
+#define ARMNET_PROF_CONCAT(a, b) ARMNET_PROF_CONCAT_INNER(a, b)
+
+// Times the enclosing scope under `name` (a string literal). The registry
+// entry is resolved once per call site via a magic static.
+#define ARMNET_PROFILE_SCOPE(name)                                      \
+  static ::armnet::prof::internal::ScopeEntry* ARMNET_PROF_CONCAT(      \
+      armnet_prof_entry_, __LINE__) =                                   \
+      ::armnet::prof::internal::RegisterScope(name);                    \
+  ::armnet::prof::internal::ScopedTimer ARMNET_PROF_CONCAT(             \
+      armnet_prof_timer_, __LINE__)(                                    \
+      ARMNET_PROF_CONCAT(armnet_prof_entry_, __LINE__))
+
+// Adds `delta` to the invocation counter `name` (a string literal).
+#define ARMNET_PROFILE_COUNT(name, delta)                               \
+  do {                                                                  \
+    static ::armnet::prof::internal::CounterEntry* armnet_prof_counter = \
+        ::armnet::prof::internal::RegisterCounter(name);                \
+    if (::armnet::prof::IsEnabled()) {                                  \
+      ::armnet::prof::internal::BumpCounter(armnet_prof_counter, delta); \
+    }                                                                   \
+  } while (0)
+
+#else  // !ARMNET_PROFILING
+
+#define ARMNET_PROFILE_SCOPE(name) static_cast<void>(0)
+#define ARMNET_PROFILE_COUNT(name, delta) static_cast<void>(0)
+
+#endif  // ARMNET_PROFILING
+
+#endif  // ARMNET_UTIL_PROFILER_H_

@@ -336,5 +336,48 @@ TEST(ResumeTest, MismatchedFingerprintIsRejected) {
             std::string::npos);
 }
 
+// Regression: a checkpoint whose batch permutation duplicates a row (and
+// therefore drops another) used to pass the size/range screen and silently
+// skew every following epoch's sample. It must now be rejected through the
+// incident path — fresh start, no crash.
+TEST(ResumeTest, NonPermutationBatchOrderIsRejected) {
+  const data::SyntheticDataset synthetic = ResumeData();
+  Rng split_rng(1);
+  const data::Splits splits =
+      data::SplitDataset(synthetic.dataset, split_rng);
+  const int features = synthetic.dataset.schema().num_features();
+  const int fields = synthetic.dataset.num_fields();
+
+  const std::string dir = FreshDir("ckpt_bad_permutation");
+  TrainConfig config = ResumeTrainConfig();
+  config.max_epochs = 1;
+  config.checkpoint_dir = dir;
+  Rng rng(4);
+  core::ArmNet model(features, fields, ResumeModelConfig(), rng);
+  ASSERT_EQ(Fit(model, splits, config).epochs_run, 1);
+
+  // Tamper: duplicate the first visited row over the second. Size and
+  // range both still check out — only a permutation test catches this.
+  StatusOr<TrainCheckpoint> loaded = LoadTrainCheckpoint(dir);
+  ASSERT_TRUE(loaded.ok());
+  TrainCheckpoint ckpt = std::move(loaded.value());
+  ASSERT_GE(ckpt.batcher_order.size(), 2u);
+  ckpt.batcher_order[1] = ckpt.batcher_order[0];
+  ASSERT_TRUE(SaveTrainCheckpoint(ckpt, dir).ok());
+
+  TrainConfig retry = config;
+  retry.max_epochs = 1;
+  Rng rng2(4);
+  core::ArmNet model2(features, fields, ResumeModelConfig(), rng2);
+  const TrainResult result = Fit(model2, splits, retry);
+  EXPECT_EQ(result.resumed_from_epoch, 0);
+  EXPECT_EQ(result.epochs_run, 1);
+  ASSERT_FALSE(result.incidents.empty());
+  EXPECT_NE(result.incidents[0].find("checkpoint rejected"),
+            std::string::npos);
+  EXPECT_NE(result.incidents[0].find("not a permutation"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace armnet::armor

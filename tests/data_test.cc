@@ -113,6 +113,54 @@ TEST(BatcherTest, NoShuffleKeepsRowOrder) {
   for (int i = 0; i < 7; ++i) EXPECT_FLOAT_EQ(seen[static_cast<size_t>(i)], i);
 }
 
+// Regression: set_order used to accept any right-sized vector. A visit
+// order with a duplicated row (what a corrupted checkpoint yields) silently
+// over-samples one tuple and drops another for every later epoch — it must
+// be rejected as not-a-permutation, without crashing.
+TEST(BatcherTest, SetOrderRejectsNonPermutations) {
+  Dataset dataset(SmallSchema());
+  for (int i = 0; i < 5; ++i) {
+    dataset.Append({static_cast<int64_t>(i % 3), 3, 5}, {1, 1, 1.0f},
+                   static_cast<float>(i));
+  }
+  Batcher batcher(dataset, 2, /*shuffle=*/false, Rng(0));
+
+  EXPECT_FALSE(batcher.set_order({0, 1, 2}).ok());           // wrong size
+  EXPECT_FALSE(batcher.set_order({0, 1, 2, 3, 5}).ok());     // out of range
+  EXPECT_FALSE(batcher.set_order({0, 1, 2, 3, -1}).ok());    // negative
+  EXPECT_FALSE(batcher.set_order({0, 1, 2, 3, 3}).ok());     // duplicate
+  // The rejected orders left the batcher untouched: a full epoch still
+  // visits each of the 5 rows exactly once, in order.
+  Batch batch;
+  std::vector<float> seen;
+  while (batcher.Next(&batch)) {
+    seen.insert(seen.end(), batch.labels.begin(), batch.labels.end());
+  }
+  ASSERT_EQ(seen.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FLOAT_EQ(seen[static_cast<size_t>(i)], static_cast<float>(i));
+  }
+
+  // A genuine permutation is adopted.
+  ASSERT_TRUE(batcher.set_order({4, 3, 2, 1, 0}).ok());
+  batcher.Reset();
+  seen.clear();
+  while (batcher.Next(&batch)) {
+    seen.insert(seen.end(), batch.labels.begin(), batch.labels.end());
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FLOAT_EQ(seen[static_cast<size_t>(i)], static_cast<float>(4 - i));
+  }
+}
+
+TEST(BatcherTest, ValidateOrderStandalone) {
+  EXPECT_TRUE(data::Batcher::ValidateOrder({2, 0, 1}, 3).ok());
+  EXPECT_TRUE(data::Batcher::ValidateOrder({}, 0).ok());
+  EXPECT_FALSE(data::Batcher::ValidateOrder({0, 0, 1}, 3).ok());
+  EXPECT_FALSE(data::Batcher::ValidateOrder({0, 1, 3}, 3).ok());
+  EXPECT_FALSE(data::Batcher::ValidateOrder({0, 1}, 3).ok());
+}
+
 TEST(SplitTest, ProportionsAndDisjointness) {
   Dataset dataset(SmallSchema());
   for (int i = 0; i < 1000; ++i) {

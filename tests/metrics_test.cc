@@ -4,6 +4,7 @@
 #include "metrics/metrics.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -114,6 +115,19 @@ TEST(AccuracyTest, ThresholdAtZeroLogit) {
       Accuracy({1.0f, -1.0f, 2.0f, -2.0f}, {1, 0, 0, 1}), 0.5);
   EXPECT_DOUBLE_EQ(
       Accuracy({1.0f, -1.0f, 2.0f, -2.0f}, {1, 0, 1, 0}), 1.0);
+}
+
+// Regression: non-finite scores must fail loudly instead of invoking UB. A
+// NaN in Auc's input breaks std::sort's strict-weak-ordering contract
+// (pre-fix this could crash or return garbage depending on the libstdc++
+// build); in LogLoss/Rmse it silently poisoned the average.
+TEST(MetricsDeathTest, NonFiniteScoresAreRejected) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_DEATH(Auc({0.1f, nan, 0.9f}, {0, 1, 1}), "non-finite");
+  EXPECT_DEATH(Auc({0.1f, inf}, {0, 1}), "non-finite");
+  EXPECT_DEATH(LogLoss({nan}, {1.0f}), "non-finite");
+  EXPECT_DEATH(Rmse({0.5f, -inf}, {0.5f, 0.0f}), "non-finite");
 }
 
 }  // namespace

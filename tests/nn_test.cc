@@ -161,6 +161,44 @@ TEST(BatchNormTest, EvalUsesRunningStats) {
   EXPECT_NEAR(y[1], 0.0f, 0.2f);
 }
 
+// Regression: the running-variance update must apply the Bessel correction
+// B/(B-1) to the biased batch variance (torch semantics). With a batch of
+// [1, 3]: batch mean 2, biased var 1, unbiased var 2, so with momentum 0.1
+// the running stats move to mean 0.2 and var 1.1 — the pre-fix code (no
+// correction) left the variance at 1.0.
+TEST(BatchNormTest, RunningVarGetsBesselCorrection) {
+  nn::BatchNorm1d bn(1);
+  bn.SetTraining(true);
+  Tensor x(Shape({2, 1}));
+  x[0] = 1.0f;
+  x[1] = 3.0f;
+  bn.Forward(ag::Constant(x));
+  const std::vector<Tensor> buffers = bn.Buffers();  // {mean, var}
+  ASSERT_EQ(buffers.size(), 2u);
+  EXPECT_NEAR(buffers[0][0], 0.2f, 1e-6f);
+  EXPECT_NEAR(buffers[1][0], 1.1f, 1e-6f);
+
+  // Train-then-eval against hand-computed stats: eval normalizes a probe
+  // by the running estimates, (1.0 - 0.2) / sqrt(1.1 + 1e-5).
+  bn.SetTraining(false);
+  Tensor probe = Tensor::Full(Shape({1, 1}), 1.0f);
+  const float y = bn.Forward(ag::Constant(probe)).value()[0];
+  EXPECT_NEAR(y, 0.8f / std::sqrt(1.1f + 1e-5f), 1e-5f);
+}
+
+// A batch of one has no unbiased variance estimate: the running mean still
+// moves, the running variance must stay put (and not divide by zero).
+TEST(BatchNormTest, SingleRowBatchSkipsVarianceUpdate) {
+  nn::BatchNorm1d bn(1);
+  bn.SetTraining(true);
+  Tensor x = Tensor::Full(Shape({1, 1}), 10.0f);
+  Tensor y = bn.Forward(ag::Constant(x)).value();
+  EXPECT_TRUE(std::isfinite(y[0]));
+  const std::vector<Tensor> buffers = bn.Buffers();
+  EXPECT_NEAR(buffers[0][0], 1.0f, 1e-6f);  // mean: 0 + 0.1*(10-0)
+  EXPECT_NEAR(buffers[1][0], 1.0f, 1e-6f);  // var: untouched
+}
+
 TEST(BatchNormTest, GradCheckThroughNormalization) {
   Rng rng(11);
   nn::BatchNorm1d bn(3);

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "autograd/ops.h"
+#include "optim/lr_schedule.h"
 #include "optim/sgd.h"
 
 namespace armnet {
@@ -156,6 +157,65 @@ TEST(AdamTest, LearningRateMutableMidTraining) {
   EXPECT_FLOAT_EQ(adam.learning_rate(), 0.2f);
   RunSteps(adam, x, 200);
   EXPECT_LT(Distance(x), 1e-2f);
+}
+
+// --- LR schedule boundary behavior ------------------------------------
+// Epoch indices are 0-based everywhere; these pin down the off-by-one
+// behavior at staircase edges, the annealing endpoints, and the first and
+// last warmup epochs.
+
+TEST(StepDecayTest, StaircaseEdges) {
+  optim::StepDecay schedule(1.0f, /*step_epochs=*/3, /*decay=*/0.5f);
+  // Epochs 0..2 are the first stair; the drop lands exactly at epoch 3.
+  EXPECT_FLOAT_EQ(schedule.At(0), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.At(2), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.At(3), 0.5f);
+  EXPECT_FLOAT_EQ(schedule.At(5), 0.5f);
+  EXPECT_FLOAT_EQ(schedule.At(6), 0.25f);
+  // Deep into the schedule: 0.5^10 exactly (powers of two stay exact).
+  EXPECT_FLOAT_EQ(schedule.At(30), std::pow(0.5f, 10.0f));
+}
+
+TEST(CosineDecayTest, EndpointsAndBeyond) {
+  optim::CosineDecay schedule(0.1f, /*total_epochs=*/10, /*min_lr=*/0.001f);
+  // Epoch 0: cos(0) = 1 -> exactly base_lr.
+  EXPECT_FLOAT_EQ(schedule.At(0), 0.1f);
+  // Midpoint: cos(pi/2) = 0 -> halfway between base and min.
+  EXPECT_NEAR(schedule.At(5), 0.5f * (0.1f + 0.001f), 1e-6f);
+  // At total_epochs and past it, the schedule clamps to min_lr (the
+  // cosine formula itself would start rising again).
+  EXPECT_FLOAT_EQ(schedule.At(10), 0.001f);
+  EXPECT_FLOAT_EQ(schedule.At(11), 0.001f);
+  EXPECT_FLOAT_EQ(schedule.At(1000), 0.001f);
+}
+
+TEST(CosineDecayTest, MonotoneNonIncreasing) {
+  optim::CosineDecay schedule(1.0f, 20);
+  float prev = schedule.At(0);
+  for (int epoch = 1; epoch <= 25; ++epoch) {
+    const float lr = schedule.At(epoch);
+    EXPECT_LE(lr, prev) << "epoch " << epoch;
+    prev = lr;
+  }
+  EXPECT_FLOAT_EQ(schedule.At(20), 0.0f);  // default min_lr
+}
+
+TEST(LinearWarmupTest, FirstAndLastEpochs) {
+  optim::LinearWarmup schedule(0.5f, /*warmup_epochs=*/5);
+  // Epoch 0 takes one warmup step, not lr = 0 (a zero first epoch would
+  // waste a full pass over the data).
+  EXPECT_FLOAT_EQ(schedule.At(0), 0.1f);
+  EXPECT_FLOAT_EQ(schedule.At(3), 0.4f);
+  // The last warmup epoch reaches base_lr exactly; afterwards constant.
+  EXPECT_FLOAT_EQ(schedule.At(4), 0.5f);
+  EXPECT_FLOAT_EQ(schedule.At(5), 0.5f);
+  EXPECT_FLOAT_EQ(schedule.At(100), 0.5f);
+}
+
+TEST(LinearWarmupTest, SingleEpochWarmupIsImmediatelyAtBase) {
+  optim::LinearWarmup schedule(0.3f, /*warmup_epochs=*/1);
+  EXPECT_FLOAT_EQ(schedule.At(0), 0.3f);
+  EXPECT_FLOAT_EQ(schedule.At(1), 0.3f);
 }
 
 }  // namespace

@@ -21,6 +21,10 @@ tooling"):
                atomic-commit guarantees
   supp-policy  every entry in tools/sanitizers/*.supp carries an explanatory
                comment directly above it (empty-by-default policy)
+  raw-chrono   no direct std::chrono use in src/ outside util/stopwatch.h and
+               the profiler; timing goes through Stopwatch (one steady-clock
+               choice) or ARMNET_PROFILE_SCOPE (so it aggregates into the
+               observability layer and compiles out of release)
   nograd-eval  evaluation entry points in src/armor/ and src/interpret/ must
                establish a NoGradGuard before calling a model Forward, so
                serving paths stay tape-free (allowlist: the trainer, whose
@@ -152,6 +156,32 @@ def check_raw_ofstream():
                        "text via util/csv.h WriteLines")
 
 
+# Ad-hoc std::chrono timing in library code bypasses the observability layer:
+# it picks its own clock (often the non-monotonic system_clock), and its
+# measurements never reach the profiler registry or BENCH_*.json. Timing
+# belongs in Stopwatch (the one steady_clock wrapper) or behind
+# ARMNET_PROFILE_SCOPE; only the timing primitives themselves may name the
+# clock.
+CHRONO_RE = re.compile(r"(?<![\w:])std::chrono|#include\s*<chrono>")
+CHRONO_ALLOWLIST = {
+    Path("util") / "stopwatch.h",  # the steady-clock wrapper itself
+    Path("util") / "profiler.h",   # scoped-timer instrumentation layer
+    Path("util") / "profiler.cc",
+}
+
+
+def check_raw_chrono():
+    for path in sorted(list(SRC.rglob("*.h")) + list(SRC.rglob("*.cc"))):
+        if path.relative_to(SRC) in CHRONO_ALLOWLIST:
+            continue
+        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+            if CHRONO_RE.search(strip_comments(raw)):
+                report(path, lineno, "raw-chrono",
+                       "direct std::chrono outside the timing primitives; "
+                       "use util/stopwatch.h Stopwatch or "
+                       "ARMNET_PROFILE_SCOPE (util/profiler.h)")
+
+
 # Evaluation-only subsystems: every model Forward they issue must run under
 # an established NoGradGuard (tape-free serving, DESIGN.md §9). The trainer
 # is the one legitimate taped Forward caller in scope.
@@ -237,6 +267,7 @@ def main() -> int:
     check_source_rules()
     check_kernel_preconditions()
     check_raw_ofstream()
+    check_raw_chrono()
     check_nograd_eval()
     check_suppression_policy()
 
