@@ -1,0 +1,189 @@
+// Serving-path benchmark (DESIGN.md §11): single-request latency through
+// the full validate → map → queue → pooled-forward pipeline, burst behaviour
+// under offered load past the admission bound, and hot-reload cost.
+//
+// The service runs in manual-drain mode on the measuring thread so the
+// numbers are the pipeline's own cost, not worker-thread scheduling noise.
+// Requests mix in-vocabulary rows with OOV categoricals and out-of-range
+// numericals, so the UNK/clamp paths are part of the measured steady state.
+//
+// Flags: --requests=<n> latency samples (default 2000), --capacity=<n>
+// queue bound (default 256), --batch=<n> micro-batch cap (default 64),
+// --reloads=<n> hot-reload samples (default 20), --json=<path> to also
+// write the BENCH_serving.json report.
+
+#include "bench/common.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "data/feature_space.h"
+#include "data/loader.h"
+#include "models/lr.h"
+#include "nn/serialize.h"
+#include "serve/service.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace armnet;
+
+// A request generator cycling through healthy, OOV, and clamped rows.
+std::vector<std::string> MakeRequest(int i) {
+  switch (i % 4) {
+    case 0: return {StrFormat("c%d", i % 50), StrFormat("%d", i % 100)};
+    case 1: return {"unseen_city", StrFormat("%d", i % 100)};  // OOV
+    case 2: return {StrFormat("c%d", i % 50), "1e9"};          // clamp
+    default: return {StrFormat("c%d", (i * 7) % 50), "42"};
+  }
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int requests = static_cast<int>(FlagInt(argc, argv, "requests", 2000));
+  const int64_t capacity = FlagInt(argc, argv, "capacity", 256);
+  const int64_t batch = FlagInt(argc, argv, "batch", 64);
+  const int reloads = static_cast<int>(FlagInt(argc, argv, "reloads", 20));
+  const std::string json_path = FlagValue(argc, argv, "json", "");
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "armnet_bench_serving")
+          .string();
+  std::filesystem::create_directories(dir);
+
+  // Train data: 50 cities, temps in [0, 100), label tied to the city id.
+  std::vector<std::string> lines = {"label,city,temp"};
+  for (int i = 0; i < 2000; ++i) {
+    lines.push_back(StrFormat("%d,c%d,%d", (i % 50) < 25 ? 1 : 0, i % 50,
+                              (i * 13) % 100));
+  }
+  const std::string csv = dir + "/train.csv";
+  ARMNET_CHECK(WriteLines(csv, lines).ok());
+
+  data::FeatureSpace space;
+  StatusOr<data::Dataset> loaded = data::LoadCsvWithVocab(
+      csv, {false, true}, data::LoadOptions{}, nullptr, ',', &space);
+  ARMNET_CHECK(loaded.ok()) << loaded.status().message();
+
+  Rng rng(7);
+  models::Lr model(loaded.value().schema().num_features(), rng);
+  armor::TrainConfig train;
+  train.max_epochs = 2;
+  train.batch_size = 256;
+  data::Splits splits = data::SplitDataset(loaded.value(), rng);
+  armor::Fit(model, splits, train);
+
+  const std::string state_path = dir + "/model.state";
+  ARMNET_CHECK(nn::SaveState(model, state_path).ok());
+
+  serve::ServeOptions options;
+  options.start_worker = false;
+  options.queue_capacity = capacity;
+  options.max_batch_size = batch;
+  serve::PredictionService service(&model, space, options);
+
+  bench::BenchReport report("serving");
+  report.ConfigInt("requests", requests);
+  report.ConfigInt("capacity", capacity);
+  report.ConfigInt("batch", batch);
+
+  std::printf("=== Serving pipeline: validate -> map -> queue -> forward "
+              "(LR, %lld-feature space) ===\n",
+              static_cast<long long>(space.schema().num_features()));
+
+  // --- Single-request latency (queue depth 1) ----------------------------
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(requests));
+  Stopwatch watch;
+  for (int i = 0; i < requests; ++i) {
+    watch.Restart();
+    auto ticket = service.Submit(MakeRequest(i));
+    service.DrainOnce();
+    const serve::PredictResult& result = ticket->Wait();
+    samples.push_back(watch.ElapsedSeconds() * 1e3);
+    ARMNET_CHECK(result.code == serve::ServeCode::kOk)
+        << serve::ServeCodeName(result.code);
+  }
+  std::sort(samples.begin(), samples.end());
+  double mean = 0;
+  double cv = 0;
+  bench::MeanCv(samples, &mean, &cv);
+  const double p50 = Percentile(samples, 0.5);
+  const double p99 = Percentile(samples, 0.99);
+  std::printf("latency/single: mean %.4f ms  p50 %.4f ms  p99 %.4f ms\n",
+              mean, p50, p99);
+  bench::BenchRow& latency = report.AddRow("latency/single");
+  latency.ms_per_batch = mean;
+  latency.cv = cv;
+  latency.metrics.push_back({"p50_ms", p50});
+  latency.metrics.push_back({"p99_ms", p99});
+
+  // --- Burst behaviour around the admission bound ------------------------
+  for (const int64_t burst : {capacity / 2, capacity, capacity * 2}) {
+    const serve::ServeCounters before = service.counters();
+    std::vector<std::shared_ptr<serve::PendingPrediction>> tickets;
+    watch.Restart();
+    for (int64_t i = 0; i < burst; ++i) {
+      tickets.push_back(service.Submit(MakeRequest(static_cast<int>(i))));
+    }
+    while (service.DrainOnce() > 0) {
+    }
+    const double burst_ms = watch.ElapsedSeconds() * 1e3;
+    const serve::ServeCounters after = service.counters();
+    const int64_t rejected =
+        after.rejected_overload - before.rejected_overload;
+    const int64_t served = after.completed_ok - before.completed_ok;
+    const double reject_rate =
+        static_cast<double>(rejected) / static_cast<double>(burst);
+    std::printf("burst/%-5lld: served %5lld  rejected %5lld "
+                "(%.0f%%)  %.2f ms\n",
+                static_cast<long long>(burst), static_cast<long long>(served),
+                static_cast<long long>(rejected), reject_rate * 100.0,
+                burst_ms);
+    bench::BenchRow& row =
+        report.AddRow(StrFormat("burst/%lld", static_cast<long long>(burst)));
+    row.ms_per_batch = burst_ms;
+    row.metrics.push_back({"reject_rate", reject_rate});
+    row.counters.push_back({"served", served});
+    row.counters.push_back({"rejected_overload", rejected});
+  }
+
+  // --- Hot-reload cost ---------------------------------------------------
+  std::vector<double> reload_samples;
+  for (int i = 0; i < reloads; ++i) {
+    watch.Restart();
+    ARMNET_CHECK(service.ReloadModel(state_path).ok());
+    reload_samples.push_back(watch.ElapsedSeconds() * 1e3);
+  }
+  double reload_mean = 0;
+  double reload_cv = 0;
+  bench::MeanCv(reload_samples, &reload_mean, &reload_cv);
+  std::printf("reload/state: mean %.4f ms over %d swaps\n", reload_mean,
+              reloads);
+  bench::BenchRow& reload_row = report.AddRow("reload/state");
+  reload_row.ms_per_batch = reload_mean;
+  reload_row.cv = reload_cv;
+
+  // --- Service counter snapshot (the run-metrics "serve" section) --------
+  bench::BenchRow& totals = report.AddRow("counters/total");
+  for (const prof::CounterStats& c : service.CounterSnapshot()) {
+    totals.counters.push_back({c.name, c.count});
+  }
+  const serve::ServeCounters counters = service.counters();
+  ARMNET_CHECK(counters.Terminal() == counters.submitted)
+      << "accounting identity violated: " << counters.Terminal() << " vs "
+      << counters.submitted;
+  std::printf("accounting: %lld submitted, all terminal\n",
+              static_cast<long long>(counters.submitted));
+
+  report.WriteIfRequested(json_path);
+  return 0;
+}

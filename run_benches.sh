@@ -18,6 +18,7 @@ run build/bench/bench_fig7_sparsity --epochs=8 --json="$OUT_DIR/BENCH_fig7.json"
 run build/bench/bench_fig8_global_attr --json="$OUT_DIR/BENCH_fig8.json"
 run build/bench/bench_fig9_embedding --json="$OUT_DIR/BENCH_fig9.json"
 run build/bench/bench_micro_kernels --benchmark_min_time=0.2 --json="$OUT_DIR/BENCH_micro_kernels.json"
+run build/bench/bench_serving --json="$OUT_DIR/BENCH_serving.json"
 run build/bench/bench_table2_overall --scale=0.2 --epochs=8 --json="$OUT_DIR/BENCH_table2.json"
 run build/bench/bench_table3_throughput --batches=2 --json="$OUT_DIR/BENCH_table3.json"
 run build/bench/bench_table45_interactions --scale=0.35 --epochs=10 --json="$OUT_DIR/BENCH_table45.json"

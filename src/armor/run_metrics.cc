@@ -1,5 +1,7 @@
 #include "armor/run_metrics.h"
 
+#include <utility>
+
 #include "util/json.h"
 
 namespace armnet::armor {
@@ -13,6 +15,14 @@ RunMetrics CaptureRunMetrics(const TensorPool* pool) {
   }
   metrics.scopes = prof::ScopeSnapshot();
   metrics.counters = prof::CounterSnapshot();
+  return metrics;
+}
+
+RunMetrics CaptureRunMetrics(const TensorPool* pool,
+                             std::vector<prof::CounterStats> serve_counters) {
+  RunMetrics metrics = CaptureRunMetrics(pool);
+  metrics.has_serve = true;
+  metrics.serve = std::move(serve_counters);
   return metrics;
 }
 
@@ -54,6 +64,16 @@ std::string RunMetricsJson(const RunMetrics& metrics) {
     w.EndObject();
   }
   w.EndArray();
+  if (metrics.has_serve) {
+    w.Key("serve").BeginArray();
+    for (const prof::CounterStats& c : metrics.serve) {
+      w.BeginObject();
+      w.Key("name").String(c.name);
+      w.Key("count").Int(c.count);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
   w.EndObject();
   return w.str();
 }

@@ -22,6 +22,12 @@ struct RunMetrics {
   TensorPoolStats pool;  // zeros unless a pool was supplied at capture
   std::vector<prof::ScopeStats> scopes;
   std::vector<prof::CounterStats> counters;
+  // Prediction-service counters (serve::PredictionService::CounterSnapshot),
+  // present when a service was supplied at capture. Unlike `counters` these
+  // are always populated — service counters are plain atomics, not gated on
+  // the profiler being compiled in.
+  bool has_serve = false;
+  std::vector<prof::CounterStats> serve;
 };
 
 // Snapshots the process-wide tape stats and profiler registry, plus `pool`'s
@@ -30,13 +36,20 @@ struct RunMetrics {
 // autograd::ResetTapeStats() / prof::Reset() for per-region deltas.
 RunMetrics CaptureRunMetrics(const TensorPool* pool = nullptr);
 
+// As above, additionally embedding a prediction service's counter snapshot
+// (the "serve" section of the JSON). Takes the pre-extracted counter list
+// so armor does not depend on the serve library.
+RunMetrics CaptureRunMetrics(const TensorPool* pool,
+                             std::vector<prof::CounterStats> serve_counters);
+
 // Compact single-line JSON object:
 //   {"tape":{"nodes_recorded":N,"nodes_elided":N},
 //    "pool":{"hits":N,"misses":N,"returns":N,"dropped":N,
 //            "bytes_served":N,"bytes_pooled":N},          // if has_pool
 //    "scopes":[{"name":s,"count":N,"total_ms":f,"min_ms":f,"max_ms":f,
 //               "p50_ms":f,"p99_ms":f},...],
-//    "counters":[{"name":s,"count":N},...]}
+//    "counters":[{"name":s,"count":N},...],
+//    "serve":[{"name":s,"count":N},...]}                  // if has_serve
 std::string RunMetricsJson(const RunMetrics& metrics);
 
 }  // namespace armnet::armor

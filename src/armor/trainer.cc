@@ -8,6 +8,8 @@
 #include "armor/checkpoint.h"
 #include "autograd/grad_mode.h"
 #include "data/batcher.h"
+#include "data/feature_space.h"
+#include "nn/serialize.h"
 #include "optim/adam.h"
 #include "util/csv.h"
 #include "util/fault_injection.h"
@@ -480,6 +482,29 @@ TrainResult Fit(models::TabularModel& model, const data::Splits& splits,
   result.train_seconds = watch.ElapsedSeconds();
 
   Restore(params, buffers, best);
+
+  // Serving export: persist the best-epoch weights (and the feature-space
+  // artifact the prediction service replays) as a deployable pair. Export
+  // problems are incidents — a full disk must not discard a finished run.
+  const std::string export_dir =
+      !config.export_dir.empty() ? config.export_dir : config.checkpoint_dir;
+  if (!export_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(export_dir, ec);
+    const Status saved_model =
+        nn::SaveState(model, export_dir + "/model.state");
+    if (!saved_model.ok()) {
+      incident("model export failed: " + saved_model.message());
+    }
+    if (config.export_feature_space != nullptr) {
+      const Status saved_space = data::SaveFeatureSpace(
+          *config.export_feature_space, export_dir + "/serving.artifact");
+      if (!saved_space.ok()) {
+        incident("serving artifact export failed: " + saved_space.message());
+      }
+    }
+  }
+
   result.test = Evaluate(model, splits.test, config.batch_size);
   return result;
 }

@@ -9,6 +9,10 @@
 #include "core/tabular.h"
 #include "data/split.h"
 
+namespace armnet::data {
+class FeatureSpace;
+}  // namespace armnet::data
+
 namespace armnet::armor {
 
 // Learning task: drives the loss and the early-stopping metric (§3.3 —
@@ -69,6 +73,20 @@ struct TrainConfig {
   // telemetry for the rest of the run (with an incident) — they never
   // abort training.
   std::string telemetry_path;
+
+  // --- Serving export (see DESIGN.md §11) -------------------------------
+  // Directory receiving the deployable pair after the best-epoch weights
+  // are restored: "model.state" (kStateKindModel) and, when
+  // `export_feature_space` is set, "serving.artifact"
+  // (kStateKindServingArtifact — the schema/vocab/range mapping the
+  // prediction service replays). Empty falls back to checkpoint_dir;
+  // export is off when both are empty. Export failures are incidents,
+  // never training aborts.
+  std::string export_dir;
+  // Train-time feature mapping to persist alongside the weights
+  // (non-owning; typically filled by LoadCsvWithVocab). Null skips the
+  // artifact.
+  const data::FeatureSpace* export_feature_space = nullptr;
 };
 
 struct TrainResult {

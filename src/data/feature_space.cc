@@ -1,0 +1,170 @@
+#include "data/feature_space.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "nn/serialize.h"
+#include "util/string_util.h"
+
+namespace armnet::data {
+
+FeatureSpace::FeatureSpace(std::vector<FieldVocab> fields,
+                           double positive_rate)
+    : fields_(std::move(fields)), positive_rate_(positive_rate) {
+  std::vector<FieldSpec> specs;
+  specs.reserve(fields_.size());
+  lookup_.resize(fields_.size());
+  for (size_t f = 0; f < fields_.size(); ++f) {
+    const FieldVocab& fv = fields_[f];
+    FieldSpec spec;
+    spec.name = fv.name;
+    spec.type = fv.type;
+    if (fv.type == FieldType::kCategorical) {
+      spec.cardinality = static_cast<int64_t>(fv.tokens.size()) + 1;
+      auto& map = lookup_[f];
+      map.reserve(fv.tokens.size());
+      for (size_t i = 0; i < fv.tokens.size(); ++i) {
+        map.emplace(fv.tokens[i], static_cast<int64_t>(i) + 1);
+      }
+    } else {
+      spec.cardinality = 1;
+    }
+    specs.push_back(std::move(spec));
+  }
+  schema_ = Schema(std::move(specs));
+}
+
+Status FeatureSpace::MapRow(const std::vector<std::string>& cells,
+                            MappedRow* out) const {
+  const int m = num_fields();
+  if (static_cast<int>(cells.size()) != m) {
+    return Status::Error(StrFormat("expected %d field cells, got %zu", m,
+                                   cells.size()));
+  }
+  out->ids.resize(static_cast<size_t>(m));
+  out->values.resize(static_cast<size_t>(m));
+  out->oov_fields = 0;
+  out->clamped_fields = 0;
+  for (int f = 0; f < m; ++f) {
+    const size_t uf = static_cast<size_t>(f);
+    const FieldVocab& fv = fields_[uf];
+    const std::string& cell = cells[uf];
+    if (fv.type == FieldType::kCategorical) {
+      const auto& map = lookup_[uf];
+      const auto it = map.find(cell);
+      int64_t local = kUnkLocalId;
+      if (it != map.end()) {
+        local = it->second;
+      } else {
+        ++out->oov_fields;
+      }
+      out->ids[uf] = schema_.GlobalId(f, local);
+      out->values[uf] = 1.0f;
+    } else {
+      float v = 0;
+      if (!ParseFloat(cell, &v)) {
+        return Status::Error(StrFormat("field '%s': not a number: '%s'",
+                                       fv.name.c_str(), cell.c_str()));
+      }
+      out->ids[uf] = schema_.GlobalId(f, 0);
+      if (fv.hi < fv.lo) {
+        // No training data observed for this field: constant mapping.
+        out->values[uf] = 1.0f;
+        continue;
+      }
+      if (v < fv.lo || v > fv.hi) {
+        v = std::min(std::max(v, fv.lo), fv.hi);
+        ++out->clamped_fields;
+      }
+      // Identical to the loader's min-max rescale into (0, 1].
+      const float range = fv.hi - fv.lo;
+      out->values[uf] =
+          range > 0 ? (v - fv.lo) / range * 0.999f + 0.001f : 1.0f;
+    }
+  }
+  return Status::Ok();
+}
+
+Status SaveFeatureSpace(const FeatureSpace& space, const std::string& path) {
+  nn::StateWriter writer(nn::kStateKindServingArtifact);
+  writer.WriteU64(static_cast<uint64_t>(space.num_fields()));
+  for (const FieldVocab& fv : space.fields()) {
+    writer.WriteString(fv.name);
+    writer.WriteU32(static_cast<uint32_t>(fv.type));
+    if (fv.type == FieldType::kCategorical) {
+      writer.WriteU64(fv.tokens.size());
+      for (const std::string& token : fv.tokens) writer.WriteString(token);
+    } else {
+      writer.WriteDouble(fv.lo);
+      writer.WriteDouble(fv.hi);
+    }
+  }
+  writer.WriteDouble(space.train_positive_rate());
+  return writer.Commit(path);
+}
+
+StatusOr<FeatureSpace> LoadFeatureSpace(const std::string& path) {
+  StatusOr<nn::StateReader> opened =
+      nn::StateReader::Open(path, nn::kStateKindServingArtifact);
+  if (!opened.ok()) return opened.status();
+  nn::StateReader reader = std::move(opened).value();
+
+  uint64_t num_fields = 0;
+  Status status = reader.ReadU64(&num_fields);
+  if (!status.ok()) return status;
+  // Each field record is at least name-length + type bytes; a count beyond
+  // the remaining payload is corruption, not data.
+  if (num_fields > (uint64_t{1} << 20)) {
+    return Status::Error(
+        StrFormat("corrupt field count in %s", path.c_str()));
+  }
+  std::vector<FieldVocab> fields;
+  fields.reserve(num_fields);
+  for (uint64_t f = 0; f < num_fields; ++f) {
+    FieldVocab fv;
+    status = reader.ReadString(&fv.name);
+    if (!status.ok()) return status;
+    uint32_t type = 0;
+    status = reader.ReadU32(&type);
+    if (!status.ok()) return status;
+    if (type > static_cast<uint32_t>(FieldType::kNumerical)) {
+      return Status::Error(StrFormat("corrupt field type %u in %s", type,
+                                     path.c_str()));
+    }
+    fv.type = static_cast<FieldType>(type);
+    if (fv.type == FieldType::kCategorical) {
+      uint64_t token_count = 0;
+      status = reader.ReadU64(&token_count);
+      if (!status.ok()) return status;
+      if (token_count > (uint64_t{1} << 32)) {
+        return Status::Error(
+            StrFormat("corrupt token count in %s", path.c_str()));
+      }
+      fv.tokens.reserve(token_count);
+      for (uint64_t t = 0; t < token_count; ++t) {
+        std::string token;
+        status = reader.ReadString(&token);
+        if (!status.ok()) return status;
+        fv.tokens.push_back(std::move(token));
+      }
+    } else {
+      double lo = 0;
+      double hi = 0;
+      status = reader.ReadDouble(&lo);
+      if (status.ok()) status = reader.ReadDouble(&hi);
+      if (!status.ok()) return status;
+      fv.lo = static_cast<float>(lo);
+      fv.hi = static_cast<float>(hi);
+    }
+    fields.push_back(std::move(fv));
+  }
+  double positive_rate = 0;
+  status = reader.ReadDouble(&positive_rate);
+  if (!status.ok()) return status;
+  if (!reader.AtEnd()) {
+    return Status::Error("trailing bytes in serving artifact: " + path);
+  }
+  return FeatureSpace(std::move(fields), positive_rate);
+}
+
+}  // namespace armnet::data

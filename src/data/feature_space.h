@@ -1,0 +1,95 @@
+#ifndef ARMNET_DATA_FEATURE_SPACE_H_
+#define ARMNET_DATA_FEATURE_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/schema.h"
+#include "util/status.h"
+
+namespace armnet::data {
+
+// Train-time feature space, persisted for serving.
+//
+// A trained model is only as portable as its feature mapping: the embedding
+// table is indexed by the global feature ids the *training* vocabulary
+// assigned, so serving must replay exactly that assignment — never rebuild
+// it from the incoming data (the historical LoadCsv behaviour, which makes
+// a model unusable on data it didn't train on). FeatureSpace captures the
+// mapping: per categorical field the token→local-id vocabulary, per
+// numerical field the observed [lo, hi] range that anchors min-max
+// rescaling, plus the train-split positive rate (the graceful-degradation
+// prior, DESIGN.md §11).
+//
+// Local id 0 of every categorical field is reserved for UNK at vocab-build
+// time, so an out-of-vocab token at serving time maps to a real embedding
+// row — no table resize, no out-of-range id. Out-of-range numericals are
+// clamped to the train-time range before rescaling, keeping every served
+// value inside the distribution the model saw.
+
+// Reserved local id for out-of-vocab categorical tokens.
+inline constexpr int64_t kUnkLocalId = 0;
+
+// One field's serving-time mapping state.
+struct FieldVocab {
+  std::string name;
+  FieldType type = FieldType::kCategorical;
+  // Categorical: tokens[i] carries local id i + 1 (0 is UNK).
+  std::vector<std::string> tokens;
+  // Numerical: train-time observed range (hi < lo means "no data seen";
+  // such a field maps every value to the constant 1.0).
+  float lo = 0;
+  float hi = 0;
+};
+
+// One raw row mapped into model inputs.
+struct MappedRow {
+  std::vector<int64_t> ids;    // global feature ids, one per field
+  std::vector<float> values;   // matching values (1.0 for categoricals)
+  int oov_fields = 0;          // categorical cells mapped to UNK
+  int clamped_fields = 0;      // numerical cells clamped into [lo, hi]
+};
+
+class FeatureSpace {
+ public:
+  FeatureSpace() = default;
+  // `positive_rate` is the train-split P(label = 1), used by serving as the
+  // degradation prior.
+  FeatureSpace(std::vector<FieldVocab> fields, double positive_rate);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const std::vector<FieldVocab>& fields() const { return fields_; }
+  double train_positive_rate() const { return positive_rate_; }
+
+  // Schema induced by the vocabularies: categorical cardinality is
+  // tokens.size() + 1 (the UNK slot), numerical fields occupy one id.
+  // Matches the Schema the loader builds for the training Dataset.
+  const Schema& schema() const { return schema_; }
+
+  // Maps one raw row (one string cell per field, label excluded) into
+  // global feature ids + values. Recoverable input problems surface as
+  // Status errors (wrong arity, unparsable numeric cell); OOV tokens map to
+  // UNK and out-of-range numericals clamp, both counted in `out`.
+  Status MapRow(const std::vector<std::string>& cells, MappedRow* out) const;
+
+ private:
+  std::vector<FieldVocab> fields_;
+  double positive_rate_ = 0.5;
+  Schema schema_;
+  // token → local id (1-based), one map per categorical field.
+  std::vector<std::unordered_map<std::string, int64_t>> lookup_;
+};
+
+// Persists `space` as a serialize-v2 envelope (kStateKindServingArtifact):
+// atomic write-then-rename, CRC-framed, same guarantees as model state.
+Status SaveFeatureSpace(const FeatureSpace& space, const std::string& path);
+
+// Reads an artifact back; fails with Status on any envelope or payload
+// corruption, never returns a partially decoded space.
+StatusOr<FeatureSpace> LoadFeatureSpace(const std::string& path);
+
+}  // namespace armnet::data
+
+#endif  // ARMNET_DATA_FEATURE_SPACE_H_

@@ -5,7 +5,9 @@
 #include <fstream>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 
+#include "data/feature_space.h"
 #include "util/string_util.h"
 
 namespace armnet::data {
@@ -64,13 +66,14 @@ class RowErrorSink {
   bool opened_ = false;
 };
 
-// strtof with full-consumption checking: fails on empty or trailing junk.
-bool ParseFloat(const std::string& text, float* out) {
-  if (text.empty()) return false;
-  char* end = nullptr;
-  *out = std::strtof(text.c_str(), &end);
-  return end == text.c_str() + text.size();
-}
+// A validated CSV row held between the two passes: the label and every
+// numerical cell are parsed exactly once, during validation, so the stored
+// value can never disagree with what validation saw.
+struct PendingCsvRow {
+  float label = 0;
+  std::vector<std::string> cells;  // raw cells; cells[0] is the label
+  std::vector<float> numeric;      // parsed values, numerical fields only
+};
 
 }  // namespace
 
@@ -176,7 +179,8 @@ Status SaveLibsvm(const Dataset& dataset, const std::string& path) {
 StatusOr<Dataset> LoadCsvWithVocab(const std::string& path,
                                    const std::vector<bool>& numerical,
                                    const LoadOptions& options,
-                                   LoadReport* report, char delim) {
+                                   LoadReport* report, char delim,
+                                   FeatureSpace* feature_space) {
   std::ifstream in(path);
   if (!in) return Status::Error("cannot open CSV file: " + path);
 
@@ -204,31 +208,34 @@ StatusOr<Dataset> LoadCsvWithVocab(const std::string& path,
                         std::numeric_limits<float>::max());
   std::vector<float> hi(static_cast<size_t>(m),
                         std::numeric_limits<float>::lowest());
-  std::vector<std::vector<std::string>> raw_rows;
+  std::vector<PendingCsvRow> raw_rows;
   int64_t line_no = 1;  // the header was line 1
   while (std::getline(in, line)) {
     ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (Trim(line).empty()) continue;
-    std::vector<std::string> cells = Split(line, delim);
+    PendingCsvRow row;
+    row.cells = Split(line, delim);
+    row.numeric.assign(static_cast<size_t>(m), 0.0f);
 
     std::string error;
-    float parsed = 0;
-    if (static_cast<int>(cells.size()) != m + 1) {
+    if (static_cast<int>(row.cells.size()) != m + 1) {
       error = StrFormat("%s:%lld: expected %d cells, got %zu", path.c_str(),
                         static_cast<long long>(line_no), m + 1,
-                        cells.size());
-    } else if (!ParseFloat(cells[0], &parsed)) {
+                        row.cells.size());
+    } else if (!ParseFloat(row.cells[0], &row.label)) {
       error = StrFormat("%s:%lld: field 'label': not a number: '%s'",
                         path.c_str(), static_cast<long long>(line_no),
-                        cells[0].c_str());
+                        row.cells[0].c_str());
     } else {
       for (int f = 0; f < m && error.empty(); ++f) {
         const size_t uf = static_cast<size_t>(f);
-        if (numerical[uf] && !ParseFloat(cells[uf + 1], &parsed)) {
+        if (numerical[uf] &&
+            !ParseFloat(row.cells[uf + 1], &row.numeric[uf])) {
           error = StrFormat("%s:%lld: field '%s': not a number: '%s'",
                             path.c_str(), static_cast<long long>(line_no),
-                            header[uf + 1].c_str(), cells[uf + 1].c_str());
+                            header[uf + 1].c_str(),
+                            row.cells[uf + 1].c_str());
         }
       }
     }
@@ -240,17 +247,17 @@ StatusOr<Dataset> LoadCsvWithVocab(const std::string& path,
 
     for (int f = 0; f < m; ++f) {
       const size_t uf = static_cast<size_t>(f);
-      const std::string& cell = cells[uf + 1];
       if (numerical[uf]) {
-        const float v = std::strtof(cell.c_str(), nullptr);
-        lo[uf] = std::min(lo[uf], v);
-        hi[uf] = std::max(hi[uf], v);
+        lo[uf] = std::min(lo[uf], row.numeric[uf]);
+        hi[uf] = std::max(hi[uf], row.numeric[uf]);
       } else {
+        // Local id 0 is reserved for UNK (serving-time OOV tokens), so the
+        // first observed token gets id 1.
         auto& map = vocab[uf];
-        map.emplace(cell, static_cast<int64_t>(map.size()));
+        map.emplace(row.cells[uf + 1], static_cast<int64_t>(map.size()) + 1);
       }
     }
-    raw_rows.push_back(std::move(cells));
+    raw_rows.push_back(std::move(row));
   }
   if (in.bad()) return Status::Error("read failure on: " + path);
 
@@ -263,26 +270,26 @@ StatusOr<Dataset> LoadCsvWithVocab(const std::string& path,
       spec.type = FieldType::kNumerical;
       spec.cardinality = 1;
     } else {
+      // +1 for the reserved UNK slot (local id 0).
       spec.type = FieldType::kCategorical;
       spec.cardinality =
-          std::max<int64_t>(1, static_cast<int64_t>(
-                                   vocab[static_cast<size_t>(f)].size()));
+          static_cast<int64_t>(vocab[static_cast<size_t>(f)].size()) + 1;
     }
     fields.push_back(std::move(spec));
   }
   Schema schema(std::move(fields));
 
-  // Second pass over the retained rows; every cell was validated above.
+  // Second pass over the retained rows; every cell was validated (and every
+  // number parsed) above.
   Dataset dataset(schema);
   std::vector<int64_t> ids(static_cast<size_t>(m));
   std::vector<float> values(static_cast<size_t>(m));
-  for (const auto& cells : raw_rows) {
-    const float label = std::strtof(cells[0].c_str(), nullptr);
+  int64_t positives = 0;
+  for (const PendingCsvRow& row : raw_rows) {
     for (int f = 0; f < m; ++f) {
       const size_t uf = static_cast<size_t>(f);
-      const std::string& cell = cells[uf + 1];
       if (numerical[uf]) {
-        const float v = std::strtof(cell.c_str(), nullptr);
+        const float v = row.numeric[uf];
         // Min-max rescale into (0, 1]; constant columns map to 1.
         const float range = hi[uf] - lo[uf];
         const float scaled =
@@ -290,12 +297,46 @@ StatusOr<Dataset> LoadCsvWithVocab(const std::string& path,
         ids[uf] = schema.GlobalId(f, 0);
         values[uf] = scaled;
       } else {
-        ids[uf] = schema.GlobalId(f, vocab[uf].at(cell));
+        ids[uf] = schema.GlobalId(f, vocab[uf].at(row.cells[uf + 1]));
         values[uf] = 1.0f;
       }
     }
-    dataset.Append(ids, values, label);
+    if (row.label > 0.5f) ++positives;
+    dataset.Append(ids, values, row.label);
     sink.CountLoadedRow();
+  }
+
+  if (feature_space != nullptr) {
+    std::vector<FieldVocab> fvs;
+    fvs.reserve(static_cast<size_t>(m));
+    for (int f = 0; f < m; ++f) {
+      const size_t uf = static_cast<size_t>(f);
+      FieldVocab fv;
+      fv.name = header[uf + 1];
+      if (numerical[uf]) {
+        fv.type = FieldType::kNumerical;
+        if (hi[uf] >= lo[uf]) {
+          fv.lo = lo[uf];
+          fv.hi = hi[uf];
+        } else {
+          fv.lo = 0;   // no rows seen: "no data" sentinel (hi < lo)
+          fv.hi = -1;
+        }
+      } else {
+        fv.type = FieldType::kCategorical;
+        fv.tokens.resize(vocab[uf].size());
+        for (const auto& [token, local_id] : vocab[uf]) {
+          fv.tokens[static_cast<size_t>(local_id) - 1] = token;
+        }
+      }
+      fvs.push_back(std::move(fv));
+    }
+    const double rate =
+        raw_rows.empty()
+            ? 0.5
+            : static_cast<double>(positives) /
+                  static_cast<double>(raw_rows.size());
+    *feature_space = FeatureSpace(std::move(fvs), rate);
   }
   return dataset;
 }

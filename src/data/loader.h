@@ -9,6 +9,10 @@
 #include "util/status.h"
 
 namespace armnet::data {
+class FeatureSpace;
+}  // namespace armnet::data
+
+namespace armnet::data {
 
 // --- Per-row error handling --------------------------------------------------
 //
@@ -69,13 +73,17 @@ Status SaveLibsvm(const Dataset& dataset, const std::string& path);
 // Loads a CSV whose first column is the binary label and remaining columns
 // are attribute fields. `numerical` flags which fields (by position,
 // label excluded) are numerical; all other fields are categorical and a
-// vocabulary is built from the observed strings. Numerical values are
-// min-max rescaled into (0, 1].
+// vocabulary is built from the observed strings, with local id 0 of every
+// categorical field reserved for the serving-time UNK token. Numerical
+// values are min-max rescaled into (0, 1]. When `feature_space` is
+// non-null it receives the train-time mapping (vocab + [lo, hi] ranges +
+// positive rate) for persistence via SaveFeatureSpace.
 StatusOr<Dataset> LoadCsvWithVocab(const std::string& path,
                                    const std::vector<bool>& numerical,
                                    const LoadOptions& options,
                                    LoadReport* report = nullptr,
-                                   char delim = ',');
+                                   char delim = ',',
+                                   FeatureSpace* feature_space = nullptr);
 
 // Strict-policy convenience overload.
 StatusOr<Dataset> LoadCsvWithVocab(const std::string& path,

@@ -76,6 +76,11 @@ void StateWriter::WriteDoubles(const std::vector<double>& values) {
   WriteBytes(values.data(), values.size() * sizeof(double));
 }
 
+void StateWriter::WriteString(const std::string& value) {
+  WriteU64(value.size());
+  WriteBytes(value.data(), value.size());
+}
+
 Status StateWriter::Commit(const std::string& path) {
   const uint32_t crc = Crc32(buf_.data(), buf_.size());
   std::string stream = buf_;
@@ -235,6 +240,18 @@ Status StateReader::ReadDoubles(std::vector<double>* values) {
   }
   values->resize(count);
   return ReadBytes(values->data(), count * sizeof(double));
+}
+
+Status StateReader::ReadString(std::string* value) {
+  uint64_t length = 0;
+  Status status = ReadU64(&length);
+  if (!status.ok()) return status;
+  if (length > kMaxStringBytes || length > payload_end_ - cursor_) {
+    return Status::Error(
+        StrFormat("corrupt string length in %s", path_.c_str()));
+  }
+  value->resize(length);
+  return ReadBytes(value->data(), length);
 }
 
 // --- Module state ------------------------------------------------------------

@@ -31,6 +31,11 @@ namespace armnet::nn {
 // Envelope `kind` discriminators.
 inline constexpr uint32_t kStateKindModel = 0;
 inline constexpr uint32_t kStateKindTrainCheckpoint = 1;
+inline constexpr uint32_t kStateKindServingArtifact = 2;
+
+// A string record (length u64 + bytes) may not exceed this; anything longer
+// in a feature-vocab artifact is corruption, not data.
+inline constexpr uint64_t kMaxStringBytes = uint64_t{1} << 20;
 
 // CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320). `seed` chains
 // incremental computations; pass the previous return value.
@@ -50,6 +55,8 @@ class StateWriter {
   void WriteTensor(const Tensor& tensor);
   // count u64 followed by the raw doubles.
   void WriteDoubles(const std::vector<double>& values);
+  // length u64 followed by the raw bytes.
+  void WriteString(const std::string& value);
 
   // Appends the CRC footer and atomically persists the stream: write
   // `<path>.tmp`, check every stream operation, rename onto `path`. On any
@@ -77,6 +84,7 @@ class StateReader {
   Status ReadDouble(double* v) { return ReadBytes(v, sizeof(*v)); }
   Status ReadTensor(Tensor* tensor);
   Status ReadDoubles(std::vector<double>* values);
+  Status ReadString(std::string* value);
 
   // True once the payload is fully consumed.
   bool AtEnd() const { return cursor_ == payload_end_; }

@@ -1,0 +1,119 @@
+#ifndef ARMNET_SERVE_CIRCUIT_BREAKER_H_
+#define ARMNET_SERVE_CIRCUIT_BREAKER_H_
+
+#include <mutex>
+
+#include "util/clock.h"
+
+namespace armnet::serve {
+
+// Consecutive-failure circuit breaker (DESIGN.md §11).
+//
+// A model that starts producing non-finite logits (bad reload, poisoned
+// weights) will keep doing so for every request; hammering it buys nothing
+// and delays the graceful-degradation answer the client could have had
+// immediately. The breaker tracks consecutive internal failures and cycles
+// through the classic three states:
+//
+//   kClosed    normal operation; `open_after` consecutive failures open it
+//   kOpen      requests skip the model entirely (degraded path) until
+//              `cooldown_seconds` of clock time pass
+//   kHalfOpen  after the cooldown a limited probe goes to the model again:
+//              `half_open_probes` consecutive successes close the breaker,
+//              any failure re-opens it with a fresh cooldown
+//
+// Time comes from the injected Clock so tests drive the open → half-open
+// transition with a VirtualClock instead of real sleeps. All methods are
+// thread-safe.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    int open_after = 3;           // consecutive failures that open it
+    double cooldown_seconds = 1;  // open duration before probing again
+    int half_open_probes = 1;     // successes needed to close from half-open
+  };
+
+  CircuitBreaker(const Options& options, Clock* clock)
+      : options_(options), clock_(clock) {}
+
+  // True if a request may reach the model right now. Performs the
+  // open → half-open transition when the cooldown has elapsed.
+  bool AllowRequest() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    Tick();
+    return state_ != State::kOpen;
+  }
+
+  void RecordSuccess() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    Tick();
+    if (state_ == State::kHalfOpen) {
+      if (++half_open_successes_ >= options_.half_open_probes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+      }
+      return;
+    }
+    consecutive_failures_ = 0;
+  }
+
+  void RecordFailure() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    Tick();
+    if (state_ == State::kHalfOpen) {
+      Open();  // a failed probe re-opens with a fresh cooldown
+      return;
+    }
+    if (state_ == State::kClosed &&
+        ++consecutive_failures_ >= options_.open_after) {
+      Open();
+    }
+  }
+
+  // Forces the breaker back to closed (e.g. after a successful hot-reload
+  // replaced the model the failures were about).
+  void Reset() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    state_ = State::kClosed;
+    consecutive_failures_ = 0;
+    half_open_successes_ = 0;
+  }
+
+  State state() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    Tick();
+    return state_;
+  }
+
+ private:
+  // Cooldown-elapse transition; caller holds mutex_.
+  void Tick() {
+    if (state_ == State::kOpen &&
+        clock_->NowSeconds() - opened_at_ >= options_.cooldown_seconds) {
+      state_ = State::kHalfOpen;
+      half_open_successes_ = 0;
+    }
+  }
+
+  // Caller holds mutex_.
+  void Open() {
+    state_ = State::kOpen;
+    opened_at_ = clock_->NowSeconds();
+    consecutive_failures_ = 0;
+    half_open_successes_ = 0;
+  }
+
+  const Options options_;
+  Clock* clock_;
+  std::mutex mutex_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  double opened_at_ = 0;
+};
+
+}  // namespace armnet::serve
+
+#endif  // ARMNET_SERVE_CIRCUIT_BREAKER_H_

@@ -1,0 +1,463 @@
+#include "serve/service.h"
+
+#include <cmath>
+#include <utility>
+
+#include "autograd/grad_mode.h"
+#include "nn/serialize.h"
+#include "util/fault_injection.h"
+#include "util/string_util.h"
+
+namespace armnet::serve {
+
+namespace {
+
+float Sigmoid(float logit) { return 1.0f / (1.0f + std::exp(-logit)); }
+
+// The train-prior as a logit, clamped away from the infinities an all-
+// positive or all-negative training split would produce.
+float PriorLogit(double positive_rate) {
+  const double p = std::min(std::max(positive_rate, 1e-6), 1.0 - 1e-6);
+  return static_cast<float>(std::log(p / (1.0 - p)));
+}
+
+}  // namespace
+
+const char* ServeCodeName(ServeCode code) {
+  switch (code) {
+    case ServeCode::kOk:
+      return "OK";
+    case ServeCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ServeCode::kOverloaded:
+      return "OVERLOADED";
+    case ServeCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case ServeCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+// --- PendingPrediction -------------------------------------------------------
+
+const PredictResult& PendingPrediction::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return done_; });
+  return result_;
+}
+
+bool PendingPrediction::done() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return done_;
+}
+
+void PendingPrediction::Complete(PredictResult result) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (done_) return;  // first terminal outcome wins
+    result.oov_fields = oov_fields_;
+    result.clamped_fields = clamped_fields_;
+    result_ = std::move(result);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+// --- PredictionService -------------------------------------------------------
+
+PredictionService::PredictionService(models::TabularModel* model,
+                                     data::FeatureSpace space,
+                                     ServeOptions options, Clock* clock,
+                                     models::TabularModel* fallback)
+    : model_(model),
+      fallback_(fallback),
+      space_(std::move(space)),
+      options_(std::move(options)),
+      clock_(clock != nullptr ? clock : &own_clock_),
+      breaker_(options_.breaker, clock != nullptr ? clock : &own_clock_) {
+  ARMNET_CHECK(model_ != nullptr) << "PredictionService needs a model";
+  ARMNET_CHECK_GE(options_.queue_capacity, 1);
+  ARMNET_CHECK_GE(options_.max_batch_size, 1);
+  if (options_.start_worker) {
+    worker_ = std::thread([this] { WorkerLoop(); });
+  }
+}
+
+PredictionService::~PredictionService() {
+  alive_.store(false);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    running_ = false;
+  }
+  queue_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+
+  // Flush: every still-queued request gets a typed terminal answer so no
+  // Wait() can hang past the service's lifetime.
+  std::deque<std::shared_ptr<PendingPrediction>> leftover;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    leftover.swap(queue_);
+  }
+  for (const auto& pending : leftover) {
+    {
+      std::lock_guard<std::mutex> guard(counters_mutex_);
+      ++counters_.failed;
+    }
+    PredictResult result;
+    result.code = ServeCode::kUnavailable;
+    result.message = "service shutting down";
+    pending->Complete(std::move(result));
+  }
+}
+
+std::shared_ptr<PendingPrediction> PredictionService::Submit(
+    const std::vector<std::string>& cells, double deadline_seconds) {
+  ARMNET_PROFILE_COUNT("serve/submitted", 1);
+  auto pending = std::make_shared<PendingPrediction>();
+  {
+    std::lock_guard<std::mutex> guard(counters_mutex_);
+    ++counters_.submitted;
+  }
+
+  data::MappedRow mapped;
+  Status status = space_.MapRow(cells, &mapped);
+  if (!status.ok()) {
+    ARMNET_PROFILE_COUNT("serve/rejected_invalid", 1);
+    {
+      std::lock_guard<std::mutex> guard(counters_mutex_);
+      ++counters_.rejected_invalid;
+    }
+    PredictResult result;
+    result.code = ServeCode::kInvalidArgument;
+    result.message = status.message();
+    pending->Complete(std::move(result));
+    return pending;
+  }
+  pending->ids_ = std::move(mapped.ids);
+  pending->values_ = std::move(mapped.values);
+  pending->oov_fields_ = mapped.oov_fields;
+  pending->clamped_fields_ = mapped.clamped_fields;
+  if (mapped.oov_fields > 0 || mapped.clamped_fields > 0) {
+    ARMNET_PROFILE_COUNT("serve/oov_fields", mapped.oov_fields);
+    ARMNET_PROFILE_COUNT("serve/clamped_fields", mapped.clamped_fields);
+    std::lock_guard<std::mutex> guard(counters_mutex_);
+    counters_.oov_fields += mapped.oov_fields;
+    counters_.clamped_fields += mapped.clamped_fields;
+  }
+
+  const double budget = deadline_seconds < 0
+                            ? options_.default_deadline_seconds
+                            : deadline_seconds;
+  pending->deadline_ = clock_->NowSeconds() + budget;
+  if (budget <= 0) {
+    ARMNET_PROFILE_COUNT("serve/expired", 1);
+    {
+      std::lock_guard<std::mutex> guard(counters_mutex_);
+      ++counters_.expired;
+    }
+    PredictResult result;
+    result.code = ServeCode::kDeadlineExceeded;
+    result.message = "deadline expired before admission";
+    pending->Complete(std::move(result));
+    return pending;
+  }
+
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (running_ && alive_.load() &&
+        static_cast<int64_t>(queue_.size()) < options_.queue_capacity) {
+      queue_.push_back(pending);
+      admitted = true;
+    }
+  }
+  if (!admitted) {
+    ARMNET_PROFILE_COUNT("serve/rejected_overload", 1);
+    {
+      std::lock_guard<std::mutex> guard(counters_mutex_);
+      ++counters_.rejected_overload;
+    }
+    PredictResult result;
+    result.code = ServeCode::kOverloaded;
+    result.message = StrFormat("queue at capacity (%lld)",
+                               static_cast<long long>(
+                                   options_.queue_capacity));
+    pending->Complete(std::move(result));
+    return pending;
+  }
+  queue_cv_.notify_one();
+  return pending;
+}
+
+PredictResult PredictionService::Predict(const std::vector<std::string>& cells,
+                                         double deadline_seconds) {
+  return Submit(cells, deadline_seconds)->Wait();
+}
+
+int64_t PredictionService::DrainOnce() {
+  // An armed queue stall models a wedged worker: the queue keeps admitting
+  // (until capacity) but nothing is popped while the fault fires.
+  if (fault::ShouldFail(fault::kSiteServeQueueStall, fault::Kind::kFailOpen)) {
+    return 0;
+  }
+  std::vector<std::shared_ptr<PendingPrediction>> taken;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    while (!queue_.empty() &&
+           static_cast<int64_t>(taken.size()) < options_.max_batch_size) {
+      taken.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  if (taken.empty()) return 0;
+
+  // Deadline gate: an expired request never reaches the model.
+  const double now = clock_->NowSeconds();
+  std::vector<std::shared_ptr<PendingPrediction>> live;
+  live.reserve(taken.size());
+  for (auto& pending : taken) {
+    if (pending->deadline_ <= now) {
+      ARMNET_PROFILE_COUNT("serve/expired", 1);
+      {
+        std::lock_guard<std::mutex> guard(counters_mutex_);
+        ++counters_.expired;
+      }
+      PredictResult result;
+      result.code = ServeCode::kDeadlineExceeded;
+      result.message = "deadline expired in queue";
+      pending->Complete(std::move(result));
+    } else {
+      live.push_back(std::move(pending));
+    }
+  }
+  if (!live.empty()) ProcessBatch(live);
+  return static_cast<int64_t>(taken.size());
+}
+
+void PredictionService::WorkerLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      if (!running_) break;
+      if (queue_.empty()) {
+        clock_->WaitFor(queue_cv_, lock, options_.batch_wait_seconds);
+        if (!running_) break;
+        if (queue_.empty()) continue;
+      }
+    }
+    DrainOnce();
+  }
+}
+
+void PredictionService::ProcessBatch(
+    const std::vector<std::shared_ptr<PendingPrediction>>& batch) {
+  ARMNET_PROFILE_SCOPE("serve/ProcessBatch");
+  // An injected stall models a slow forward (page-in, contended CPU): the
+  // clock jumps so requests queued behind this batch see their deadlines
+  // consumed.
+  const double stall =
+      fault::ClockStallSeconds(fault::kSiteServeSlowForward);
+  if (stall > 0) clock_->Advance(stall);
+
+  if (!breaker_.AllowRequest()) {
+    Degrade(batch, "circuit breaker open");
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> guard(counters_mutex_);
+    ++counters_.batches;
+  }
+  std::vector<float> logits;
+  if (!ForwardBatch(*model_, batch, &logits)) {
+    breaker_.RecordFailure();
+    RecordIncident("primary model produced non-finite logits");
+    Degrade(batch, "primary model produced non-finite logits");
+    return;
+  }
+  breaker_.RecordSuccess();
+  ARMNET_PROFILE_COUNT("serve/completed_ok",
+                       static_cast<int64_t>(batch.size()));
+  {
+    std::lock_guard<std::mutex> guard(counters_mutex_);
+    counters_.completed_ok += static_cast<int64_t>(batch.size());
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    CompleteOk(*batch[i], logits[i], /*degraded=*/false);
+  }
+}
+
+bool PredictionService::ForwardBatch(
+    models::TabularModel& model,
+    const std::vector<std::shared_ptr<PendingPrediction>>& batch,
+    std::vector<float>* logits) {
+  ARMNET_PROFILE_SCOPE("serve/Forward");
+  const int m = space_.num_fields();
+  data::Batch b;
+  b.batch_size = static_cast<int64_t>(batch.size());
+  b.num_fields = m;
+  b.ids.reserve(batch.size() * static_cast<size_t>(m));
+  b.values.reserve(batch.size() * static_cast<size_t>(m));
+  for (const auto& pending : batch) {
+    b.ids.insert(b.ids.end(), pending->ids_.begin(), pending->ids_.end());
+    b.values.insert(b.values.end(), pending->values_.begin(),
+                    pending->values_.end());
+  }
+  b.labels.assign(batch.size(), 0.0f);
+
+  // One lock covers the whole forward so a hot-reload can never swap
+  // weights mid-batch. Tape-free and pooled, mirroring armor/evaluator.
+  std::lock_guard<std::mutex> model_lock(model_mutex_);
+  nn::TrainingModeGuard eval_mode(model, /*training=*/false);
+  NoGradGuard no_grad;
+  ScopedTensorPool scoped_pool(pool_);
+  Rng rng(0);  // eval mode uses no randomness
+  Variable out = model.Forward(b, rng);
+  const Tensor& values = out.value();
+  if (values.numel() != b.batch_size) return false;
+  logits->resize(batch.size());
+  bool finite = true;
+  for (int64_t i = 0; i < values.numel(); ++i) {
+    (*logits)[static_cast<size_t>(i)] = values[i];
+    if (!std::isfinite(values[i])) finite = false;
+  }
+  return finite;
+}
+
+void PredictionService::Degrade(
+    const std::vector<std::shared_ptr<PendingPrediction>>& batch,
+    const std::string& why) {
+  ARMNET_PROFILE_SCOPE("serve/Degrade");
+  if (fallback_ != nullptr) {
+    std::vector<float> logits;
+    if (ForwardBatch(*fallback_, batch, &logits)) {
+      ARMNET_PROFILE_COUNT("serve/degraded_fallback",
+                           static_cast<int64_t>(batch.size()));
+      {
+        std::lock_guard<std::mutex> guard(counters_mutex_);
+        counters_.degraded_fallback += static_cast<int64_t>(batch.size());
+      }
+      for (size_t i = 0; i < batch.size(); ++i) {
+        CompleteOk(*batch[i], logits[i], /*degraded=*/true);
+      }
+      return;
+    }
+    RecordIncident("fallback model produced non-finite logits");
+  }
+  if (options_.degrade_to_prior) {
+    const float logit = PriorLogit(space_.train_positive_rate());
+    ARMNET_PROFILE_COUNT("serve/degraded_prior",
+                         static_cast<int64_t>(batch.size()));
+    {
+      std::lock_guard<std::mutex> guard(counters_mutex_);
+      counters_.degraded_prior += static_cast<int64_t>(batch.size());
+    }
+    for (const auto& pending : batch) {
+      CompleteOk(*pending, logit, /*degraded=*/true);
+    }
+    return;
+  }
+  ARMNET_PROFILE_COUNT("serve/failed", static_cast<int64_t>(batch.size()));
+  {
+    std::lock_guard<std::mutex> guard(counters_mutex_);
+    counters_.failed += static_cast<int64_t>(batch.size());
+  }
+  for (const auto& pending : batch) {
+    PredictResult result;
+    result.code = ServeCode::kUnavailable;
+    result.message = why;
+    pending->Complete(std::move(result));
+  }
+}
+
+void PredictionService::CompleteOk(PendingPrediction& pending, float logit,
+                                   bool degraded) {
+  PredictResult result;
+  result.code = ServeCode::kOk;
+  result.logit = logit;
+  result.probability = Sigmoid(logit);
+  result.degraded = degraded;
+  pending.Complete(std::move(result));
+}
+
+Status PredictionService::ReloadModel(const std::string& path) {
+  ARMNET_PROFILE_SCOPE("serve/ReloadModel");
+  Status status;
+  if (fault::ShouldFail(fault::kSiteServeReloadCorrupt,
+                        fault::Kind::kFailOpen)) {
+    status = Status::Error("injected corrupt reload: " + path);
+  } else {
+    // LoadState stages and validates the whole file before touching any
+    // module state, so a failure here leaves the old weights serving.
+    std::lock_guard<std::mutex> model_lock(model_mutex_);
+    status = nn::LoadState(*model_, path);
+  }
+  if (!status.ok()) {
+    ARMNET_PROFILE_COUNT("serve/reloads_rejected", 1);
+    {
+      std::lock_guard<std::mutex> guard(counters_mutex_);
+      ++counters_.reloads_rejected;
+    }
+    RecordIncident("reload rejected, old model keeps serving: " +
+                   status.message());
+    return status;
+  }
+  ARMNET_PROFILE_COUNT("serve/reloads_ok", 1);
+  {
+    std::lock_guard<std::mutex> guard(counters_mutex_);
+    ++counters_.reloads_ok;
+  }
+  // Whatever failures the breaker accumulated were about the old weights.
+  breaker_.Reset();
+  return Status::Ok();
+}
+
+bool PredictionService::Alive() const { return alive_.load(); }
+
+bool PredictionService::Ready() {
+  if (!alive_.load()) return false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
+      return false;
+    }
+  }
+  return breaker_.state() != CircuitBreaker::State::kOpen;
+}
+
+ServeCounters PredictionService::counters() const {
+  std::lock_guard<std::mutex> guard(counters_mutex_);
+  return counters_;
+}
+
+std::vector<prof::CounterStats> PredictionService::CounterSnapshot() const {
+  const ServeCounters c = counters();
+  return {
+      {"serve/submitted", c.submitted},
+      {"serve/rejected_invalid", c.rejected_invalid},
+      {"serve/rejected_overload", c.rejected_overload},
+      {"serve/expired", c.expired},
+      {"serve/completed_ok", c.completed_ok},
+      {"serve/degraded_fallback", c.degraded_fallback},
+      {"serve/degraded_prior", c.degraded_prior},
+      {"serve/failed", c.failed},
+      {"serve/oov_fields", c.oov_fields},
+      {"serve/clamped_fields", c.clamped_fields},
+      {"serve/batches", c.batches},
+      {"serve/reloads_ok", c.reloads_ok},
+      {"serve/reloads_rejected", c.reloads_rejected},
+  };
+}
+
+std::vector<std::string> PredictionService::incidents() const {
+  std::lock_guard<std::mutex> guard(incidents_mutex_);
+  return incidents_;
+}
+
+void PredictionService::RecordIncident(std::string message) {
+  std::lock_guard<std::mutex> guard(incidents_mutex_);
+  incidents_.push_back(std::move(message));
+}
+
+}  // namespace armnet::serve

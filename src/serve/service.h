@@ -1,0 +1,236 @@
+#ifndef ARMNET_SERVE_SERVICE_H_
+#define ARMNET_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tabular.h"
+#include "data/feature_space.h"
+#include "serve/circuit_breaker.h"
+#include "tensor/storage_pool.h"
+#include "util/clock.h"
+#include "util/profiler.h"
+#include "util/status.h"
+
+namespace armnet::serve {
+
+// In-process prediction service (DESIGN.md §11).
+//
+// Owns the request path from raw string cells to a logit, hardened in the
+// style of production model servers (Clipper, TF-Serving):
+//
+//   validate   arity / numeric-parse errors -> kInvalidArgument, before the
+//              request costs anything downstream
+//   map        OOV categoricals -> the reserved UNK id, numericals clamped
+//              to the train-time [lo, hi] range; both merely counted, never
+//              fatal — a trained model must survive data it didn't train on
+//   queue      bounded micro-batching queue; admission control rejects with
+//              kOverloaded instead of growing without bound, and requests
+//              whose deadline passed in the queue return kDeadlineExceeded
+//              without ever being forwarded
+//   forward    NoGradGuard + pooled micro-batch forward under the breaker;
+//              non-finite logits count as internal failures
+//   degrade    when the breaker is open or the forward failed: fallback
+//              model if configured, else the train-prior logit, else
+//              kUnavailable — a typed answer in every case
+//
+// Weights hot-reload atomically through the CRC-framed envelope: a corrupt
+// or mismatched file is rejected whole and the old model keeps serving.
+// Every request ends in exactly one terminal counter, so
+//   submitted == rejected_invalid + rejected_overload + expired
+//              + completed_ok + degraded_fallback + degraded_prior + failed
+// holds at quiescence — the accounting identity the E2E test asserts.
+
+// Typed per-request outcome. Never a crash: hostile input maps to one of
+// these.
+enum class ServeCode {
+  kOk,
+  kInvalidArgument,   // malformed request (arity, unparsable numeric cell)
+  kOverloaded,        // admission control: queue at capacity
+  kDeadlineExceeded,  // deadline passed before the forward ran
+  kUnavailable,       // no model, fallback, or prior could answer
+};
+
+const char* ServeCodeName(ServeCode code);
+
+struct PredictResult {
+  ServeCode code = ServeCode::kUnavailable;
+  std::string message;     // diagnostic for non-kOk outcomes
+  float logit = 0;
+  float probability = 0;   // sigmoid(logit), kOk only
+  bool degraded = false;   // answered by the fallback/prior, not the model
+  int oov_fields = 0;      // categorical cells mapped to UNK
+  int clamped_fields = 0;  // numerical cells clamped into [lo, hi]
+};
+
+// Handle for one submitted request; Wait() blocks until a terminal result.
+class PendingPrediction {
+ public:
+  const PredictResult& Wait();
+  bool done();
+
+ private:
+  friend class PredictionService;
+
+  void Complete(PredictResult result);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  PredictResult result_;
+
+  // Request state owned by the service side.
+  std::vector<int64_t> ids_;
+  std::vector<float> values_;
+  double deadline_ = 0;  // absolute, service-clock seconds
+  int oov_fields_ = 0;
+  int clamped_fields_ = 0;
+};
+
+struct ServeOptions {
+  int64_t queue_capacity = 256;   // admission-control bound
+  int64_t max_batch_size = 64;    // micro-batch cap per forward
+  double batch_wait_seconds = 0.002;  // worker idle-poll interval
+  double default_deadline_seconds = 1.0;
+  CircuitBreaker::Options breaker;
+  // Degrade to the train-prior logit when no fallback model is configured.
+  // With this false and no fallback, breaker-open requests get
+  // kUnavailable.
+  bool degrade_to_prior = true;
+  // When false no worker thread runs; tests call DrainOnce() to process the
+  // queue deterministically.
+  bool start_worker = true;
+};
+
+// Aggregate service counters; every submitted request lands in exactly one
+// of the terminal buckets (see the accounting identity above).
+struct ServeCounters {
+  int64_t submitted = 0;
+  int64_t rejected_invalid = 0;
+  int64_t rejected_overload = 0;
+  int64_t expired = 0;
+  int64_t completed_ok = 0;
+  int64_t degraded_fallback = 0;
+  int64_t degraded_prior = 0;
+  int64_t failed = 0;  // kUnavailable terminals (incl. shutdown flush)
+  // Non-terminal observability counters.
+  int64_t oov_fields = 0;
+  int64_t clamped_fields = 0;
+  int64_t batches = 0;
+  int64_t reloads_ok = 0;
+  int64_t reloads_rejected = 0;
+
+  int64_t Terminal() const {
+    return rejected_invalid + rejected_overload + expired + completed_ok +
+           degraded_fallback + degraded_prior + failed;
+  }
+};
+
+class PredictionService {
+ public:
+  // `model` must outlive the service (non-owning; the trainer or test owns
+  // module lifetime). `clock` may be null for a service-owned SteadyClock.
+  // `fallback` is the optional lightweight degradation model (e.g. LR);
+  // also non-owning.
+  PredictionService(models::TabularModel* model, data::FeatureSpace space,
+                    ServeOptions options, Clock* clock = nullptr,
+                    models::TabularModel* fallback = nullptr);
+  // Stops the worker and completes any still-queued requests with
+  // kUnavailable, so no Wait() ever hangs.
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  // Validates, maps, and enqueues one request. Terminal rejections
+  // (invalid, overloaded, already-expired) complete the returned ticket
+  // before it is handed back. `deadline_seconds` < 0 uses the default;
+  // == 0 expires immediately.
+  std::shared_ptr<PendingPrediction> Submit(
+      const std::vector<std::string>& cells, double deadline_seconds = -1);
+
+  // Blocking convenience: Submit + Wait. With start_worker=false the queue
+  // must be drained from another thread (or use Submit + DrainOnce).
+  PredictResult Predict(const std::vector<std::string>& cells,
+                        double deadline_seconds = -1);
+
+  // Processes at most one micro-batch from the queue; returns the number of
+  // requests it completed. The manual-mode pump for deterministic tests.
+  int64_t DrainOnce();
+
+  // Atomically replaces the model weights from a CRC-framed state file.
+  // Any validation failure leaves the old weights serving, records an
+  // incident, and returns the error; success resets the circuit breaker.
+  Status ReloadModel(const std::string& path);
+
+  // Liveness: the service accepts submissions (true until destruction
+  // begins).
+  bool Alive() const;
+  // Readiness: accepting AND likely to answer — queue below capacity and
+  // breaker not open.
+  bool Ready();
+
+  ServeCounters counters() const;
+  // Counter snapshot in the profiler's CounterStats shape, for embedding
+  // into armor::RunMetrics ("serve" section of the run-metrics JSON).
+  std::vector<prof::CounterStats> CounterSnapshot() const;
+
+  // Operator-visible anomalies (rejected reloads, degradation activations).
+  std::vector<std::string> incidents() const;
+
+  CircuitBreaker& breaker() { return breaker_; }
+  const data::FeatureSpace& feature_space() const { return space_; }
+
+ private:
+  void WorkerLoop();
+  // Runs one micro-batch through the model (or the degradation ladder).
+  void ProcessBatch(
+      const std::vector<std::shared_ptr<PendingPrediction>>& batch);
+  // Forwards `batch` through `model` under eval-mode + NoGradGuard +
+  // pooled allocation; returns false if any logit came back non-finite.
+  bool ForwardBatch(
+      models::TabularModel& model,
+      const std::vector<std::shared_ptr<PendingPrediction>>& batch,
+      std::vector<float>* logits);
+  void Degrade(const std::vector<std::shared_ptr<PendingPrediction>>& batch,
+               const std::string& why);
+  void CompleteOk(PendingPrediction& pending, float logit, bool degraded);
+  void RecordIncident(std::string message);
+
+  models::TabularModel* model_;
+  models::TabularModel* fallback_;
+  const data::FeatureSpace space_;
+  const ServeOptions options_;
+  SteadyClock own_clock_;
+  Clock* clock_;
+  CircuitBreaker breaker_;
+
+  // Serializes forwards and reloads: a reload can never interleave with a
+  // batch using the weights it replaces.
+  std::mutex model_mutex_;
+  TensorPool pool_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<PendingPrediction>> queue_;
+  bool running_ = true;  // guarded by queue_mutex_
+  std::atomic<bool> alive_{true};
+  std::thread worker_;
+
+  mutable std::mutex counters_mutex_;
+  ServeCounters counters_;
+
+  mutable std::mutex incidents_mutex_;
+  std::vector<std::string> incidents_;
+};
+
+}  // namespace armnet::serve
+
+#endif  // ARMNET_SERVE_SERVICE_H_

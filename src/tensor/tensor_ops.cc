@@ -573,7 +573,8 @@ void ScatterAddRows(Tensor& dest, const std::vector<int64_t>& ids,
   const int64_t width = dest.dim(1);
   for (size_t i = 0; i < ids.size(); ++i) {
     const int64_t id = ids[i];
-    ARMNET_CHECK(id >= 0 && id < rows);
+    ARMNET_CHECK(id >= 0 && id < rows)
+        << "ScatterAddRows id " << id << " out of range [0, " << rows << ")";
     kernels::VecAxpy(1.0f, src.data() + static_cast<int64_t>(i) * width,
                      dest.data() + id * width, width);
   }

@@ -1,0 +1,76 @@
+#ifndef ARMNET_UTIL_CLOCK_H_
+#define ARMNET_UTIL_CLOCK_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/stopwatch.h"
+
+// Injectable time source for deadline-aware code (DESIGN.md §11).
+//
+// The serving layer makes decisions from timestamps ("has this request's
+// deadline passed?"), and those decisions must be testable without real
+// sleeps: a test that waits 50 ms for a 40 ms deadline is a flake factory
+// under sanitizers, where everything runs 5-20x slower. Code that consumes
+// time therefore takes a Clock*, and tests substitute a VirtualClock whose
+// `now` only moves when the test says so — deadline outcomes become pure
+// functions of the test script, never of machine load.
+//
+// Timed condition-variable waits go through the clock too (WaitFor), so
+// the one piece of real time a virtual-clock test still touches is a short
+// bounded poll, never a correctness input.
+
+namespace armnet {
+
+// Monotonic seconds-since-epoch-of-the-clock time source. The epoch is
+// arbitrary (only differences are meaningful).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  virtual double NowSeconds() = 0;
+
+  // Blocks on `cv` (with `lock` held, standard CV contract) until notified
+  // or roughly `seconds` have passed. Real clocks wait the full duration;
+  // the virtual clock bounds each wait with a short real poll so waiters
+  // observe Advance() promptly without any real-time dependence in the
+  // *decisions* made from NowSeconds().
+  virtual void WaitFor(std::condition_variable& cv,
+                       std::unique_lock<std::mutex>& lock, double seconds) = 0;
+
+  // Moves a virtual clock forward; no-op on real clocks. Exists on the base
+  // so injected stalls (fault::kClockStall) can act on whatever clock the
+  // service was built with.
+  virtual void Advance(double /*seconds*/) {}
+};
+
+// Production clock: monotonic process time via Stopwatch (steady_clock).
+class SteadyClock : public Clock {
+ public:
+  double NowSeconds() override { return watch_.ElapsedSeconds(); }
+  void WaitFor(std::condition_variable& cv,
+               std::unique_lock<std::mutex>& lock, double seconds) override;
+
+ private:
+  Stopwatch watch_;
+};
+
+// Test clock: time stands still until Advance() moves it. Thread-safe —
+// a test thread may Advance() while a service worker reads NowSeconds().
+class VirtualClock : public Clock {
+ public:
+  double NowSeconds() override;
+  void WaitFor(std::condition_variable& cv,
+               std::unique_lock<std::mutex>& lock, double seconds) override;
+
+  // Moves the clock forward by `seconds` (never backwards).
+  void Advance(double seconds) override;
+
+ private:
+  std::mutex mutex_;
+  double now_ = 0;
+};
+
+}  // namespace armnet
+
+#endif  // ARMNET_UTIL_CLOCK_H_

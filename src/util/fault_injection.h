@@ -41,6 +41,9 @@ inline constexpr char kSiteSerializeWrite[] = "serialize/write";
 inline constexpr char kSiteSerializeRead[] = "serialize/read";
 inline constexpr char kSiteTrainerLoss[] = "trainer/loss";
 inline constexpr char kSiteTrainerClock[] = "trainer/clock";
+inline constexpr char kSiteServeSlowForward[] = "serve/slow_forward";
+inline constexpr char kSiteServeReloadCorrupt[] = "serve/reload_corrupt";
+inline constexpr char kSiteServeQueueStall[] = "serve/queue_stall";
 
 #ifdef ARMNET_FAULT_INJECTION
 

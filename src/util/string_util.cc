@@ -1,5 +1,6 @@
 #include "util/string_util.h"
 
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -59,6 +60,16 @@ std::string Join(const std::vector<std::string>& pieces,
 bool StartsWith(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() &&
          text.substr(0, prefix.size()) == prefix;
+}
+
+bool ParseFloat(const std::string& text, float* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const float value = std::strtof(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  if (!std::isfinite(value)) return false;
+  *out = value;
+  return true;
 }
 
 std::string FlagValue(int argc, char** argv, std::string_view name,

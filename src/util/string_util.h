@@ -24,6 +24,12 @@ std::string Join(const std::vector<std::string>& pieces,
 // True if `text` starts with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);
 
+// Strict float parse: the whole (non-empty) string must be consumed and the
+// result must be finite. Shared by the CSV loader and the serving-time
+// feature mapper so a value can never pass validation in one and fail to
+// parse in the other.
+bool ParseFloat(const std::string& text, float* out);
+
 // Parses command-line style flags of the form --name=value. Returns the
 // value for `name` if present, otherwise `default_value`. Used by the bench
 // and example binaries for workload scaling knobs.

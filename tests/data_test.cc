@@ -315,7 +315,8 @@ TEST(LoaderTest, CsvBuildsVocabAndRescalesNumerics) {
   const Dataset& dataset = result.value();
   EXPECT_EQ(dataset.size(), 3);
   EXPECT_EQ(dataset.schema().field(0).name, "city");
-  EXPECT_EQ(dataset.schema().field(0).cardinality, 2);
+  // Two observed cities plus the reserved UNK slot (local id 0).
+  EXPECT_EQ(dataset.schema().field(0).cardinality, 3);
   EXPECT_EQ(dataset.schema().field(1).type, FieldType::kNumerical);
   // Same category maps to the same id.
   EXPECT_EQ(dataset.id_at(0, 0), dataset.id_at(2, 0));
@@ -360,8 +361,9 @@ TEST(LoaderTest, CsvSkipPolicyKeepsVocabClean) {
   EXPECT_EQ(result.value().size(), 3);
   EXPECT_EQ(report.rows_loaded, 3);
   EXPECT_EQ(report.rows_skipped, 1);
-  // The dropped row must not leak its category into the vocabulary.
-  EXPECT_EQ(result.value().schema().field(0).cardinality, 2);
+  // The dropped row must not leak its category into the vocabulary:
+  // two clean cities plus the reserved UNK slot, no "zzz".
+  EXPECT_EQ(result.value().schema().field(0).cardinality, 3);
 }
 
 TEST(SyntheticTest, DeterministicForSameSeed) {

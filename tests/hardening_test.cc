@@ -14,6 +14,7 @@
 #include "gtest/gtest.h"
 #include "tensor/kernels.h"
 #include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
 
 namespace armnet {
 namespace testonly {
@@ -121,6 +122,25 @@ TEST(AutogradContractDeathTest, AccumulateGradShapeMismatchAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   Variable v(Tensor::Zeros(Shape({2, 2})), /*requires_grad=*/true);
   EXPECT_DEATH(v.AccumulateGrad(Tensor::Zeros(Shape({4}))), "CHECK failed");
+}
+
+TEST(IndexedOpDeathTest, GatherRowsOutOfRangeIdAborts) {
+  ARMNET_SKIP_DEATH_TESTS();
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Tensor table = Tensor::Zeros(Shape({4, 2}));
+  // The check names the offending id and the table bound — the message a
+  // serving stack traces a bad embedding lookup with.
+  EXPECT_DEATH(tmath::GatherRows(table, {0, 4}), "out of range");
+  EXPECT_DEATH(tmath::GatherRows(table, {-1}), "out of range");
+}
+
+TEST(IndexedOpDeathTest, ScatterAddRowsOutOfRangeIdAborts) {
+  ARMNET_SKIP_DEATH_TESTS();
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Tensor dest = Tensor::Zeros(Shape({4, 2}));
+  Tensor src = Tensor::Zeros(Shape({1, 2}));
+  EXPECT_DEATH(tmath::ScatterAddRows(dest, {4}, src), "out of range");
+  EXPECT_DEATH(tmath::ScatterAddRows(dest, {-2}, src), "out of range");
 }
 
 TEST(NdebugDcheckTest, SwallowsFailingConditionsWithoutAborting) {

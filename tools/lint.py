@@ -167,6 +167,7 @@ CHRONO_ALLOWLIST = {
     Path("util") / "stopwatch.h",  # the steady-clock wrapper itself
     Path("util") / "profiler.h",   # scoped-timer instrumentation layer
     Path("util") / "profiler.cc",
+    Path("util") / "clock.cc",     # Clock's timed CV waits (header is clean)
 }
 
 
@@ -185,7 +186,7 @@ def check_raw_chrono():
 # Evaluation-only subsystems: every model Forward they issue must run under
 # an established NoGradGuard (tape-free serving, DESIGN.md §9). The trainer
 # is the one legitimate taped Forward caller in scope.
-NOGRAD_DIRS = ("armor", "interpret")
+NOGRAD_DIRS = ("armor", "interpret", "serve")
 NOGRAD_ALLOWLIST = {
     Path("armor") / "trainer.cc",  # training step differentiates via Forward
 }
