@@ -1,9 +1,8 @@
 #ifndef ARMNET_SERVE_CIRCUIT_BREAKER_H_
 #define ARMNET_SERVE_CIRCUIT_BREAKER_H_
 
-#include <mutex>
-
 #include "util/clock.h"
+#include "util/sync.h"
 
 namespace armnet::serve {
 
@@ -24,7 +23,8 @@ namespace armnet::serve {
 //
 // Time comes from the injected Clock so tests drive the open → half-open
 // transition with a VirtualClock instead of real sleeps. All methods are
-// thread-safe.
+// thread-safe; the state machine is guarded by one mutex and the helpers
+// that mutate it carry ARMNET_REQUIRES(mutex_) contracts.
 class CircuitBreaker {
  public:
   enum class State { kClosed, kOpen, kHalfOpen };
@@ -40,14 +40,14 @@ class CircuitBreaker {
 
   // True if a request may reach the model right now. Performs the
   // open → half-open transition when the cooldown has elapsed.
-  bool AllowRequest() {
-    std::lock_guard<std::mutex> guard(mutex_);
+  bool AllowRequest() ARMNET_EXCLUDES(mutex_) {
+    MutexLock guard(mutex_);
     Tick();
     return state_ != State::kOpen;
   }
 
-  void RecordSuccess() {
-    std::lock_guard<std::mutex> guard(mutex_);
+  void RecordSuccess() ARMNET_EXCLUDES(mutex_) {
+    MutexLock guard(mutex_);
     Tick();
     if (state_ == State::kHalfOpen) {
       if (++half_open_successes_ >= options_.half_open_probes) {
@@ -59,8 +59,8 @@ class CircuitBreaker {
     consecutive_failures_ = 0;
   }
 
-  void RecordFailure() {
-    std::lock_guard<std::mutex> guard(mutex_);
+  void RecordFailure() ARMNET_EXCLUDES(mutex_) {
+    MutexLock guard(mutex_);
     Tick();
     if (state_ == State::kHalfOpen) {
       Open();  // a failed probe re-opens with a fresh cooldown
@@ -74,22 +74,22 @@ class CircuitBreaker {
 
   // Forces the breaker back to closed (e.g. after a successful hot-reload
   // replaced the model the failures were about).
-  void Reset() {
-    std::lock_guard<std::mutex> guard(mutex_);
+  void Reset() ARMNET_EXCLUDES(mutex_) {
+    MutexLock guard(mutex_);
     state_ = State::kClosed;
     consecutive_failures_ = 0;
     half_open_successes_ = 0;
   }
 
-  State state() {
-    std::lock_guard<std::mutex> guard(mutex_);
+  State state() ARMNET_EXCLUDES(mutex_) {
+    MutexLock guard(mutex_);
     Tick();
     return state_;
   }
 
  private:
-  // Cooldown-elapse transition; caller holds mutex_.
-  void Tick() {
+  // Cooldown-elapse transition.
+  void Tick() ARMNET_REQUIRES(mutex_) {
     if (state_ == State::kOpen &&
         clock_->NowSeconds() - opened_at_ >= options_.cooldown_seconds) {
       state_ = State::kHalfOpen;
@@ -97,8 +97,7 @@ class CircuitBreaker {
     }
   }
 
-  // Caller holds mutex_.
-  void Open() {
+  void Open() ARMNET_REQUIRES(mutex_) {
     state_ = State::kOpen;
     opened_at_ = clock_->NowSeconds();
     consecutive_failures_ = 0;
@@ -107,11 +106,11 @@ class CircuitBreaker {
 
   const Options options_;
   Clock* clock_;
-  std::mutex mutex_;
-  State state_ = State::kClosed;
-  int consecutive_failures_ = 0;
-  int half_open_successes_ = 0;
-  double opened_at_ = 0;
+  Mutex mutex_;
+  State state_ ARMNET_GUARDED_BY(mutex_) = State::kClosed;
+  int consecutive_failures_ ARMNET_GUARDED_BY(mutex_) = 0;
+  int half_open_successes_ ARMNET_GUARDED_BY(mutex_) = 0;
+  double opened_at_ ARMNET_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace armnet::serve

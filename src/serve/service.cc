@@ -42,26 +42,27 @@ const char* ServeCodeName(ServeCode code) {
 // --- PendingPrediction -------------------------------------------------------
 
 const PredictResult& PendingPrediction::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return done_; });
+  MutexLock lock(mutex_);
+  cv_.Wait(mutex_, [this]() ARMNET_REQUIRES(mutex_) { return done_; });
   return result_;
 }
 
 bool PendingPrediction::done() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   return done_;
 }
 
 void PendingPrediction::Complete(PredictResult result) {
-  {
-    std::lock_guard<std::mutex> guard(mutex_);
-    if (done_) return;  // first terminal outcome wins
-    result.oov_fields = oov_fields_;
-    result.clamped_fields = clamped_fields_;
-    result_ = std::move(result);
-    done_ = true;
-  }
-  cv_.notify_all();
+  ReleasableMutexLock guard(mutex_);
+  if (done_) return;  // first terminal outcome wins
+  result.oov_fields = oov_fields_;
+  result.clamped_fields = clamped_fields_;
+  result_ = std::move(result);
+  done_ = true;
+  // Notify after release so the woken waiter never blocks straight back on
+  // the mutex this thread still holds.
+  guard.Release();
+  cv_.NotifyAll();
 }
 
 // --- PredictionService -------------------------------------------------------
@@ -87,24 +88,24 @@ PredictionService::PredictionService(models::TabularModel* model,
 PredictionService::~PredictionService() {
   alive_.store(false);
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     running_ = false;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   if (worker_.joinable()) worker_.join();
 
   // Flush: every still-queued request gets a typed terminal answer so no
   // Wait() can hang past the service's lifetime.
   std::deque<std::shared_ptr<PendingPrediction>> leftover;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     leftover.swap(queue_);
   }
+  if (!leftover.empty()) {
+    MutexLock guard(counters_mutex_);
+    counters_.failed += static_cast<int64_t>(leftover.size());
+  }
   for (const auto& pending : leftover) {
-    {
-      std::lock_guard<std::mutex> guard(counters_mutex_);
-      ++counters_.failed;
-    }
     PredictResult result;
     result.code = ServeCode::kUnavailable;
     result.message = "service shutting down";
@@ -117,7 +118,7 @@ std::shared_ptr<PendingPrediction> PredictionService::Submit(
   ARMNET_PROFILE_COUNT("serve/submitted", 1);
   auto pending = std::make_shared<PendingPrediction>();
   {
-    std::lock_guard<std::mutex> guard(counters_mutex_);
+    MutexLock guard(counters_mutex_);
     ++counters_.submitted;
   }
 
@@ -126,7 +127,7 @@ std::shared_ptr<PendingPrediction> PredictionService::Submit(
   if (!status.ok()) {
     ARMNET_PROFILE_COUNT("serve/rejected_invalid", 1);
     {
-      std::lock_guard<std::mutex> guard(counters_mutex_);
+      MutexLock guard(counters_mutex_);
       ++counters_.rejected_invalid;
     }
     PredictResult result;
@@ -142,7 +143,7 @@ std::shared_ptr<PendingPrediction> PredictionService::Submit(
   if (mapped.oov_fields > 0 || mapped.clamped_fields > 0) {
     ARMNET_PROFILE_COUNT("serve/oov_fields", mapped.oov_fields);
     ARMNET_PROFILE_COUNT("serve/clamped_fields", mapped.clamped_fields);
-    std::lock_guard<std::mutex> guard(counters_mutex_);
+    MutexLock guard(counters_mutex_);
     counters_.oov_fields += mapped.oov_fields;
     counters_.clamped_fields += mapped.clamped_fields;
   }
@@ -154,7 +155,7 @@ std::shared_ptr<PendingPrediction> PredictionService::Submit(
   if (budget <= 0) {
     ARMNET_PROFILE_COUNT("serve/expired", 1);
     {
-      std::lock_guard<std::mutex> guard(counters_mutex_);
+      MutexLock guard(counters_mutex_);
       ++counters_.expired;
     }
     PredictResult result;
@@ -166,7 +167,7 @@ std::shared_ptr<PendingPrediction> PredictionService::Submit(
 
   bool admitted = false;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     if (running_ && alive_.load() &&
         static_cast<int64_t>(queue_.size()) < options_.queue_capacity) {
       queue_.push_back(pending);
@@ -176,7 +177,7 @@ std::shared_ptr<PendingPrediction> PredictionService::Submit(
   if (!admitted) {
     ARMNET_PROFILE_COUNT("serve/rejected_overload", 1);
     {
-      std::lock_guard<std::mutex> guard(counters_mutex_);
+      MutexLock guard(counters_mutex_);
       ++counters_.rejected_overload;
     }
     PredictResult result;
@@ -187,7 +188,7 @@ std::shared_ptr<PendingPrediction> PredictionService::Submit(
     pending->Complete(std::move(result));
     return pending;
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
   return pending;
 }
 
@@ -204,7 +205,7 @@ int64_t PredictionService::DrainOnce() {
   }
   std::vector<std::shared_ptr<PendingPrediction>> taken;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     while (!queue_.empty() &&
            static_cast<int64_t>(taken.size()) < options_.max_batch_size) {
       taken.push_back(std::move(queue_.front()));
@@ -217,13 +218,11 @@ int64_t PredictionService::DrainOnce() {
   const double now = clock_->NowSeconds();
   std::vector<std::shared_ptr<PendingPrediction>> live;
   live.reserve(taken.size());
+  int64_t newly_expired = 0;
   for (auto& pending : taken) {
     if (pending->deadline_ <= now) {
       ARMNET_PROFILE_COUNT("serve/expired", 1);
-      {
-        std::lock_guard<std::mutex> guard(counters_mutex_);
-        ++counters_.expired;
-      }
+      ++newly_expired;
       PredictResult result;
       result.code = ServeCode::kDeadlineExceeded;
       result.message = "deadline expired in queue";
@@ -232,6 +231,10 @@ int64_t PredictionService::DrainOnce() {
       live.push_back(std::move(pending));
     }
   }
+  if (newly_expired > 0) {
+    MutexLock guard(counters_mutex_);
+    counters_.expired += newly_expired;
+  }
   if (!live.empty()) ProcessBatch(live);
   return static_cast<int64_t>(taken.size());
 }
@@ -239,10 +242,10 @@ int64_t PredictionService::DrainOnce() {
 void PredictionService::WorkerLoop() {
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
+      MutexLock lock(queue_mutex_);
       if (!running_) break;
       if (queue_.empty()) {
-        clock_->WaitFor(queue_cv_, lock, options_.batch_wait_seconds);
+        clock_->WaitFor(queue_cv_, queue_mutex_, options_.batch_wait_seconds);
         if (!running_) break;
         if (queue_.empty()) continue;
       }
@@ -265,12 +268,20 @@ void PredictionService::ProcessBatch(
     Degrade(batch, "circuit breaker open");
     return;
   }
-  {
-    std::lock_guard<std::mutex> guard(counters_mutex_);
-    ++counters_.batches;
-  }
+  const data::Batch b = AssembleBatch(batch);
   std::vector<float> logits;
-  if (!ForwardBatch(*model_, batch, &logits)) {
+  bool finite;
+  {
+    MutexLock model_lock(model_mutex_);
+    finite = ForwardBatch(*model_, b, &logits);
+  }
+  if (!finite) {
+    // The attempt still counts as a batch (the breaker-open path above does
+    // not): `batches` tracks forwards issued to the primary model.
+    {
+      MutexLock guard(counters_mutex_);
+      ++counters_.batches;
+    }
     breaker_.RecordFailure();
     RecordIncident("primary model produced non-finite logits");
     Degrade(batch, "primary model produced non-finite logits");
@@ -280,7 +291,11 @@ void PredictionService::ProcessBatch(
   ARMNET_PROFILE_COUNT("serve/completed_ok",
                        static_cast<int64_t>(batch.size()));
   {
-    std::lock_guard<std::mutex> guard(counters_mutex_);
+    // One critical section for the batch and its outcomes: a concurrent
+    // counters() snapshot can never observe the batch without its
+    // completions (the torn window the annotations audit flagged).
+    MutexLock guard(counters_mutex_);
+    ++counters_.batches;
     counters_.completed_ok += static_cast<int64_t>(batch.size());
   }
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -288,11 +303,8 @@ void PredictionService::ProcessBatch(
   }
 }
 
-bool PredictionService::ForwardBatch(
-    models::TabularModel& model,
-    const std::vector<std::shared_ptr<PendingPrediction>>& batch,
-    std::vector<float>* logits) {
-  ARMNET_PROFILE_SCOPE("serve/Forward");
+data::Batch PredictionService::AssembleBatch(
+    const std::vector<std::shared_ptr<PendingPrediction>>& batch) const {
   const int m = space_.num_fields();
   data::Batch b;
   b.batch_size = static_cast<int64_t>(batch.size());
@@ -305,10 +317,16 @@ bool PredictionService::ForwardBatch(
                     pending->values_.end());
   }
   b.labels.assign(batch.size(), 0.0f);
+  return b;
+}
 
-  // One lock covers the whole forward so a hot-reload can never swap
-  // weights mid-batch. Tape-free and pooled, mirroring armor/evaluator.
-  std::lock_guard<std::mutex> model_lock(model_mutex_);
+bool PredictionService::ForwardBatch(models::TabularModel& model,
+                                     const data::Batch& b,
+                                     std::vector<float>* logits) {
+  ARMNET_PROFILE_SCOPE("serve/Forward");
+  // Caller holds model_mutex_ for the whole forward (ARMNET_REQUIRES above)
+  // so a hot-reload can never swap weights mid-batch. Tape-free and pooled,
+  // mirroring armor/evaluator.
   nn::TrainingModeGuard eval_mode(model, /*training=*/false);
   NoGradGuard no_grad;
   ScopedTensorPool scoped_pool(pool_);
@@ -316,7 +334,7 @@ bool PredictionService::ForwardBatch(
   Variable out = model.Forward(b, rng);
   const Tensor& values = out.value();
   if (values.numel() != b.batch_size) return false;
-  logits->resize(batch.size());
+  logits->resize(static_cast<size_t>(b.batch_size));
   bool finite = true;
   for (int64_t i = 0; i < values.numel(); ++i) {
     (*logits)[static_cast<size_t>(i)] = values[i];
@@ -330,12 +348,18 @@ void PredictionService::Degrade(
     const std::string& why) {
   ARMNET_PROFILE_SCOPE("serve/Degrade");
   if (fallback_ != nullptr) {
+    const data::Batch b = AssembleBatch(batch);
     std::vector<float> logits;
-    if (ForwardBatch(*fallback_, batch, &logits)) {
+    bool finite;
+    {
+      MutexLock model_lock(model_mutex_);
+      finite = ForwardBatch(*fallback_, b, &logits);
+    }
+    if (finite) {
       ARMNET_PROFILE_COUNT("serve/degraded_fallback",
                            static_cast<int64_t>(batch.size()));
       {
-        std::lock_guard<std::mutex> guard(counters_mutex_);
+        MutexLock guard(counters_mutex_);
         counters_.degraded_fallback += static_cast<int64_t>(batch.size());
       }
       for (size_t i = 0; i < batch.size(); ++i) {
@@ -350,7 +374,7 @@ void PredictionService::Degrade(
     ARMNET_PROFILE_COUNT("serve/degraded_prior",
                          static_cast<int64_t>(batch.size()));
     {
-      std::lock_guard<std::mutex> guard(counters_mutex_);
+      MutexLock guard(counters_mutex_);
       counters_.degraded_prior += static_cast<int64_t>(batch.size());
     }
     for (const auto& pending : batch) {
@@ -360,7 +384,7 @@ void PredictionService::Degrade(
   }
   ARMNET_PROFILE_COUNT("serve/failed", static_cast<int64_t>(batch.size()));
   {
-    std::lock_guard<std::mutex> guard(counters_mutex_);
+    MutexLock guard(counters_mutex_);
     counters_.failed += static_cast<int64_t>(batch.size());
   }
   for (const auto& pending : batch) {
@@ -390,13 +414,13 @@ Status PredictionService::ReloadModel(const std::string& path) {
   } else {
     // LoadState stages and validates the whole file before touching any
     // module state, so a failure here leaves the old weights serving.
-    std::lock_guard<std::mutex> model_lock(model_mutex_);
+    MutexLock model_lock(model_mutex_);
     status = nn::LoadState(*model_, path);
   }
   if (!status.ok()) {
     ARMNET_PROFILE_COUNT("serve/reloads_rejected", 1);
     {
-      std::lock_guard<std::mutex> guard(counters_mutex_);
+      MutexLock guard(counters_mutex_);
       ++counters_.reloads_rejected;
     }
     RecordIncident("reload rejected, old model keeps serving: " +
@@ -405,7 +429,7 @@ Status PredictionService::ReloadModel(const std::string& path) {
   }
   ARMNET_PROFILE_COUNT("serve/reloads_ok", 1);
   {
-    std::lock_guard<std::mutex> guard(counters_mutex_);
+    MutexLock guard(counters_mutex_);
     ++counters_.reloads_ok;
   }
   // Whatever failures the breaker accumulated were about the old weights.
@@ -418,7 +442,7 @@ bool PredictionService::Alive() const { return alive_.load(); }
 bool PredictionService::Ready() {
   if (!alive_.load()) return false;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
       return false;
     }
@@ -427,7 +451,7 @@ bool PredictionService::Ready() {
 }
 
 ServeCounters PredictionService::counters() const {
-  std::lock_guard<std::mutex> guard(counters_mutex_);
+  MutexLock guard(counters_mutex_);
   return counters_;
 }
 
@@ -451,12 +475,12 @@ std::vector<prof::CounterStats> PredictionService::CounterSnapshot() const {
 }
 
 std::vector<std::string> PredictionService::incidents() const {
-  std::lock_guard<std::mutex> guard(incidents_mutex_);
+  MutexLock guard(incidents_mutex_);
   return incidents_;
 }
 
 void PredictionService::RecordIncident(std::string message) {
-  std::lock_guard<std::mutex> guard(incidents_mutex_);
+  MutexLock guard(incidents_mutex_);
   incidents_.push_back(std::move(message));
 }
 

@@ -2,11 +2,9 @@
 #define ARMNET_SERVE_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +16,7 @@
 #include "util/clock.h"
 #include "util/profiler.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace armnet::serve {
 
@@ -47,6 +46,16 @@ namespace armnet::serve {
 //   submitted == rejected_invalid + rejected_overload + expired
 //              + completed_ok + degraded_fallback + degraded_prior + failed
 // holds at quiescence — the accounting identity the E2E test asserts.
+//
+// Lock discipline (DESIGN.md §12): three mutexes, never nested —
+//   model_mutex_     the pointees of model_/fallback_ plus the forward
+//                    itself, so a hot reload can never interleave with a
+//                    batch using the weights it replaces
+//   queue_mutex_     the micro-batch queue and the running_ flag
+//   counters_mutex_  the ServeCounters aggregate
+// incidents_mutex_ is a leaf for the incident log. Every guarded field and
+// every lock contract below is enforced at compile time by the
+// `thread-safety` preset.
 
 // Typed per-request outcome. Never a crash: hostile input maps to one of
 // these.
@@ -73,20 +82,23 @@ struct PredictResult {
 // Handle for one submitted request; Wait() blocks until a terminal result.
 class PendingPrediction {
  public:
-  const PredictResult& Wait();
-  bool done();
+  const PredictResult& Wait() ARMNET_EXCLUDES(mutex_);
+  bool done() ARMNET_EXCLUDES(mutex_);
 
  private:
   friend class PredictionService;
 
-  void Complete(PredictResult result);
+  void Complete(PredictResult result) ARMNET_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool done_ = false;
-  PredictResult result_;
+  Mutex mutex_;
+  CondVar cv_;
+  bool done_ ARMNET_GUARDED_BY(mutex_) = false;
+  PredictResult result_ ARMNET_GUARDED_BY(mutex_);
 
-  // Request state owned by the service side.
+  // Request state owned by the service side. Deliberately unguarded: the
+  // submitting thread writes these before the handle enters the queue, and
+  // only the draining thread reads them after it leaves — ownership hands
+  // off through queue_mutex_'s push/pop ordering, never shared.
   std::vector<int64_t> ids_;
   std::vector<float> values_;
   double deadline_ = 0;  // absolute, service-clock seconds
@@ -154,7 +166,8 @@ class PredictionService {
   // before it is handed back. `deadline_seconds` < 0 uses the default;
   // == 0 expires immediately.
   std::shared_ptr<PendingPrediction> Submit(
-      const std::vector<std::string>& cells, double deadline_seconds = -1);
+      const std::vector<std::string>& cells, double deadline_seconds = -1)
+      ARMNET_EXCLUDES(queue_mutex_, counters_mutex_);
 
   // Blocking convenience: Submit + Wait. With start_worker=false the queue
   // must be drained from another thread (or use Submit + DrainOnce).
@@ -163,49 +176,59 @@ class PredictionService {
 
   // Processes at most one micro-batch from the queue; returns the number of
   // requests it completed. The manual-mode pump for deterministic tests.
-  int64_t DrainOnce();
+  int64_t DrainOnce()
+      ARMNET_EXCLUDES(queue_mutex_, model_mutex_, counters_mutex_);
 
   // Atomically replaces the model weights from a CRC-framed state file.
   // Any validation failure leaves the old weights serving, records an
   // incident, and returns the error; success resets the circuit breaker.
-  Status ReloadModel(const std::string& path);
+  Status ReloadModel(const std::string& path)
+      ARMNET_EXCLUDES(model_mutex_, counters_mutex_);
 
   // Liveness: the service accepts submissions (true until destruction
   // begins).
   bool Alive() const;
   // Readiness: accepting AND likely to answer — queue below capacity and
   // breaker not open.
-  bool Ready();
+  bool Ready() ARMNET_EXCLUDES(queue_mutex_);
 
-  ServeCounters counters() const;
+  ServeCounters counters() const ARMNET_EXCLUDES(counters_mutex_);
   // Counter snapshot in the profiler's CounterStats shape, for embedding
   // into armor::RunMetrics ("serve" section of the run-metrics JSON).
   std::vector<prof::CounterStats> CounterSnapshot() const;
 
   // Operator-visible anomalies (rejected reloads, degradation activations).
-  std::vector<std::string> incidents() const;
+  std::vector<std::string> incidents() const ARMNET_EXCLUDES(incidents_mutex_);
 
   CircuitBreaker& breaker() { return breaker_; }
   const data::FeatureSpace& feature_space() const { return space_; }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() ARMNET_EXCLUDES(queue_mutex_);
   // Runs one micro-batch through the model (or the degradation ladder).
   void ProcessBatch(
-      const std::vector<std::shared_ptr<PendingPrediction>>& batch);
-  // Forwards `batch` through `model` under eval-mode + NoGradGuard +
-  // pooled allocation; returns false if any logit came back non-finite.
-  bool ForwardBatch(
-      models::TabularModel& model,
-      const std::vector<std::shared_ptr<PendingPrediction>>& batch,
-      std::vector<float>* logits);
+      const std::vector<std::shared_ptr<PendingPrediction>>& batch)
+      ARMNET_EXCLUDES(model_mutex_, counters_mutex_);
+  // Flattens the per-request mapped rows into one forward-ready batch.
+  data::Batch AssembleBatch(
+      const std::vector<std::shared_ptr<PendingPrediction>>& batch) const;
+  // Forwards the assembled batch through `model` under eval-mode +
+  // NoGradGuard + pooled allocation; returns false if any logit came back
+  // non-finite. The caller must hold model_mutex_ — the contract that makes
+  // "no forward may interleave with a reload" a compile-time fact.
+  bool ForwardBatch(models::TabularModel& model, const data::Batch& b,
+                    std::vector<float>* logits)
+      ARMNET_REQUIRES(model_mutex_);
   void Degrade(const std::vector<std::shared_ptr<PendingPrediction>>& batch,
-               const std::string& why);
+               const std::string& why)
+      ARMNET_EXCLUDES(model_mutex_, counters_mutex_);
   void CompleteOk(PendingPrediction& pending, float logit, bool degraded);
-  void RecordIncident(std::string message);
+  void RecordIncident(std::string message) ARMNET_EXCLUDES(incidents_mutex_);
 
-  models::TabularModel* model_;
-  models::TabularModel* fallback_;
+  // The pointees are guarded by model_mutex_ (weights mutate under reload);
+  // the pointers themselves are set once in the constructor.
+  models::TabularModel* model_ ARMNET_PT_GUARDED_BY(model_mutex_);
+  models::TabularModel* fallback_ ARMNET_PT_GUARDED_BY(model_mutex_);
   const data::FeatureSpace space_;
   const ServeOptions options_;
   SteadyClock own_clock_;
@@ -214,21 +237,22 @@ class PredictionService {
 
   // Serializes forwards and reloads: a reload can never interleave with a
   // batch using the weights it replaces.
-  std::mutex model_mutex_;
-  TensorPool pool_;
+  Mutex model_mutex_;
+  TensorPool pool_;  // internally synchronized
 
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<PendingPrediction>> queue_;
-  bool running_ = true;  // guarded by queue_mutex_
+  Mutex queue_mutex_;
+  CondVar queue_cv_;
+  std::deque<std::shared_ptr<PendingPrediction>> queue_
+      ARMNET_GUARDED_BY(queue_mutex_);
+  bool running_ ARMNET_GUARDED_BY(queue_mutex_) = true;
   std::atomic<bool> alive_{true};
   std::thread worker_;
 
-  mutable std::mutex counters_mutex_;
-  ServeCounters counters_;
+  mutable Mutex counters_mutex_;
+  ServeCounters counters_ ARMNET_GUARDED_BY(counters_mutex_);
 
-  mutable std::mutex incidents_mutex_;
-  std::vector<std::string> incidents_;
+  mutable Mutex incidents_mutex_;
+  std::vector<std::string> incidents_ ARMNET_GUARDED_BY(incidents_mutex_);
 };
 
 }  // namespace armnet::serve

@@ -1,11 +1,11 @@
 #include "tensor/storage_pool.h"
 
 #include <algorithm>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "util/check.h"
+#include "util/sync.h"
 
 namespace armnet {
 
@@ -29,12 +29,12 @@ size_t RoundUpPow2(size_t n) {
 // the deleter of every storage block it has served. The mutex guards the
 // free lists and the stats.
 struct PoolCore {
-  std::mutex mu;
-  bool closed = false;
+  Mutex mu;
+  bool closed ARMNET_GUARDED_BY(mu) = false;
   // bucket (pow2 float count) -> idle buffers whose capacity >= bucket.
   std::unordered_map<size_t, std::vector<std::unique_ptr<std::vector<float>>>>
-      buckets;
-  TensorPoolStats stats;
+      buckets ARMNET_GUARDED_BY(mu);
+  TensorPoolStats stats ARMNET_GUARDED_BY(mu);
 };
 
 namespace {
@@ -51,7 +51,7 @@ struct PoolReturn {
 
   void operator()(std::vector<float>* buf) const {
     {
-      std::lock_guard<std::mutex> lock(core->mu);
+      MutexLock lock(core->mu);
       auto& idle = core->buckets[bucket];
       if (!core->closed && idle.size() < kMaxIdlePerBucket) {
         idle.emplace_back(buf);
@@ -78,7 +78,7 @@ std::shared_ptr<std::vector<float>> AllocateStorage(size_t n, bool zero) {
   const size_t bucket = RoundUpPow2(std::max<size_t>(n, size_t{1}));
   std::unique_ptr<std::vector<float>> buf;
   {
-    std::lock_guard<std::mutex> lock(core->mu);
+    MutexLock lock(core->mu);
     auto it = core->buckets.find(bucket);
     if (it != core->buckets.end() && !it->second.empty()) {
       buf = std::move(it->second.back());
@@ -112,14 +112,14 @@ TensorPool::TensorPool()
     : core_(std::make_shared<tensor_internal::PoolCore>()) {}
 
 TensorPool::~TensorPool() {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(core_->mu);
   core_->closed = true;
   core_->buckets.clear();
   core_->stats.bytes_pooled = 0;
 }
 
 TensorPoolStats TensorPool::stats() const {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(core_->mu);
   return core_->stats;
 }
 

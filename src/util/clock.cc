@@ -1,37 +1,31 @@
 #include "util/clock.h"
 
-#include <chrono>
-
 #include "util/check.h"
 
 namespace armnet {
 
-void SteadyClock::WaitFor(std::condition_variable& cv,
-                          std::unique_lock<std::mutex>& lock, double seconds) {
-  if (seconds <= 0) return;
-  cv.wait_for(lock, std::chrono::duration<double>(seconds));
+void SteadyClock::WaitFor(CondVar& cv, Mutex& mu, double seconds) {
+  cv.WaitFor(mu, seconds);
 }
 
 double VirtualClock::NowSeconds() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   return now_;
 }
 
-void VirtualClock::WaitFor(std::condition_variable& cv,
-                           std::unique_lock<std::mutex>& lock,
-                           double seconds) {
+void VirtualClock::WaitFor(CondVar& cv, Mutex& mu, double seconds) {
   if (seconds <= 0) return;
   // Virtual time does not pass on its own, so a full-duration real wait
   // would deadlock a test that never sleeps. Poll with a short real-time
   // bound instead: waiters notice both notifications and Advance() calls
   // quickly, while every deadline *decision* stays a function of the
   // virtual now.
-  cv.wait_for(lock, std::chrono::milliseconds(1));
+  cv.WaitFor(mu, 0.001);
 }
 
 void VirtualClock::Advance(double seconds) {
   ARMNET_CHECK_GE(seconds, 0) << "VirtualClock cannot move backwards";
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   now_ += seconds;
 }
 

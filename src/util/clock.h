@@ -1,10 +1,8 @@
 #ifndef ARMNET_UTIL_CLOCK_H_
 #define ARMNET_UTIL_CLOCK_H_
 
-#include <condition_variable>
-#include <mutex>
-
 #include "util/stopwatch.h"
+#include "util/sync.h"
 
 // Injectable time source for deadline-aware code (DESIGN.md §11).
 //
@@ -30,13 +28,14 @@ class Clock {
 
   virtual double NowSeconds() = 0;
 
-  // Blocks on `cv` (with `lock` held, standard CV contract) until notified
-  // or roughly `seconds` have passed. Real clocks wait the full duration;
-  // the virtual clock bounds each wait with a short real poll so waiters
-  // observe Advance() promptly without any real-time dependence in the
-  // *decisions* made from NowSeconds().
-  virtual void WaitFor(std::condition_variable& cv,
-                       std::unique_lock<std::mutex>& lock, double seconds) = 0;
+  // Blocks on `cv` (with `mu` held — the standard CV contract, stated as a
+  // capability requirement) until notified or roughly `seconds` have
+  // passed. Real clocks wait the full duration; the virtual clock bounds
+  // each wait with a short real poll so waiters observe Advance() promptly
+  // without any real-time dependence in the *decisions* made from
+  // NowSeconds().
+  virtual void WaitFor(CondVar& cv, Mutex& mu, double seconds)
+      ARMNET_REQUIRES(mu) = 0;
 
   // Moves a virtual clock forward; no-op on real clocks. Exists on the base
   // so injected stalls (fault::kClockStall) can act on whatever clock the
@@ -48,8 +47,8 @@ class Clock {
 class SteadyClock : public Clock {
  public:
   double NowSeconds() override { return watch_.ElapsedSeconds(); }
-  void WaitFor(std::condition_variable& cv,
-               std::unique_lock<std::mutex>& lock, double seconds) override;
+  void WaitFor(CondVar& cv, Mutex& mu, double seconds)
+      ARMNET_REQUIRES(mu) override;
 
  private:
   Stopwatch watch_;
@@ -59,16 +58,16 @@ class SteadyClock : public Clock {
 // a test thread may Advance() while a service worker reads NowSeconds().
 class VirtualClock : public Clock {
  public:
-  double NowSeconds() override;
-  void WaitFor(std::condition_variable& cv,
-               std::unique_lock<std::mutex>& lock, double seconds) override;
+  double NowSeconds() override ARMNET_EXCLUDES(mutex_);
+  void WaitFor(CondVar& cv, Mutex& mu, double seconds)
+      ARMNET_REQUIRES(mu) override;
 
   // Moves the clock forward by `seconds` (never backwards).
-  void Advance(double seconds) override;
+  void Advance(double seconds) override ARMNET_EXCLUDES(mutex_);
 
  private:
-  std::mutex mutex_;
-  double now_ = 0;
+  Mutex mutex_;
+  double now_ ARMNET_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace armnet

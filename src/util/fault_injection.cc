@@ -2,9 +2,10 @@
 
 #ifdef ARMNET_FAULT_INJECTION
 
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace armnet::fault {
 
@@ -22,21 +23,24 @@ struct SiteState {
   std::vector<ArmedFault> faults;
 };
 
-std::mutex& Mutex() {
-  static std::mutex* m = new std::mutex;
-  return *m;
-}
+// One mutex serializes arming, disarming, and every site query; workers may
+// query concurrently with a test arming the next fault.
+struct FaultRegistry {
+  Mutex mu;
+  std::unordered_map<std::string, SiteState> sites ARMNET_GUARDED_BY(mu);
+};
 
-std::unordered_map<std::string, SiteState>& Sites() {
-  static auto* sites = new std::unordered_map<std::string, SiteState>;
-  return *sites;
+FaultRegistry& Registry() {
+  static auto* registry = new FaultRegistry;
+  return *registry;
 }
 
 // Finds the first armed fault of `kind` at `site` and advances its trigger
 // state. Returns true (with the magnitude) exactly when the fault fires.
 bool Fire(const char* site, Kind kind, double* magnitude) {
-  std::lock_guard<std::mutex> lock(Mutex());
-  SiteState& state = Sites()[site];
+  FaultRegistry& registry = Registry();
+  MutexLock lock(registry.mu);
+  SiteState& state = registry.sites[site];
   ++state.hits;
   for (auto it = state.faults.begin(); it != state.faults.end(); ++it) {
     if (it->kind != kind) continue;
@@ -55,19 +59,23 @@ bool Fire(const char* site, Kind kind, double* magnitude) {
 
 void Arm(const std::string& site, Kind kind, int after, int times,
          double magnitude) {
-  std::lock_guard<std::mutex> lock(Mutex());
-  Sites()[site].faults.push_back(ArmedFault{kind, after, times, magnitude});
+  FaultRegistry& registry = Registry();
+  MutexLock lock(registry.mu);
+  registry.sites[site].faults.push_back(
+      ArmedFault{kind, after, times, magnitude});
 }
 
 void DisarmAll() {
-  std::lock_guard<std::mutex> lock(Mutex());
-  Sites().clear();
+  FaultRegistry& registry = Registry();
+  MutexLock lock(registry.mu);
+  registry.sites.clear();
 }
 
 int HitCount(const std::string& site) {
-  std::lock_guard<std::mutex> lock(Mutex());
-  auto it = Sites().find(site);
-  return it == Sites().end() ? 0 : it->second.hits;
+  FaultRegistry& registry = Registry();
+  MutexLock lock(registry.mu);
+  auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.hits;
 }
 
 bool ShouldFail(const char* site, Kind kind) {

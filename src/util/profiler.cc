@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
+
+#include "util/sync.h"
 
 namespace armnet::prof {
 
@@ -19,15 +20,17 @@ constexpr int kWindow = 2048;
 }  // namespace
 
 struct ScopeEntry {
+  // Written once at registration (under the registry mutex) and immutable
+  // afterwards, so snapshot reads need no lock on it.
   std::string name;
-  std::mutex mu;
-  int64_t count = 0;
-  double total_ms = 0;
-  double min_ms = 0;
-  double max_ms = 0;
-  float window[kWindow];
-  int window_size = 0;
-  int window_pos = 0;
+  Mutex mu;
+  int64_t count ARMNET_GUARDED_BY(mu) = 0;
+  double total_ms ARMNET_GUARDED_BY(mu) = 0;
+  double min_ms ARMNET_GUARDED_BY(mu) = 0;
+  double max_ms ARMNET_GUARDED_BY(mu) = 0;
+  float window[kWindow] ARMNET_GUARDED_BY(mu);
+  int window_size ARMNET_GUARDED_BY(mu) = 0;
+  int window_pos ARMNET_GUARDED_BY(mu) = 0;
 };
 
 struct CounterEntry {
@@ -38,11 +41,13 @@ struct CounterEntry {
 namespace {
 
 struct Registry {
-  std::mutex mu;
+  Mutex mu;
   // unique_ptr entries: pointers stay stable across rehashes, so call sites
   // can cache them in function-local statics.
-  std::unordered_map<std::string, std::unique_ptr<ScopeEntry>> scopes;
-  std::unordered_map<std::string, std::unique_ptr<CounterEntry>> counters;
+  std::unordered_map<std::string, std::unique_ptr<ScopeEntry>> scopes
+      ARMNET_GUARDED_BY(mu);
+  std::unordered_map<std::string, std::unique_ptr<CounterEntry>> counters
+      ARMNET_GUARDED_BY(mu);
 };
 
 Registry& GetRegistry() {
@@ -72,7 +77,7 @@ double Percentile(std::vector<float>& sorted_window, double q) {
 
 ScopeEntry* RegisterScope(const char* name) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   std::unique_ptr<ScopeEntry>& slot = registry.scopes[name];
   if (slot == nullptr) {
     slot = std::make_unique<ScopeEntry>();
@@ -83,7 +88,7 @@ ScopeEntry* RegisterScope(const char* name) {
 
 CounterEntry* RegisterCounter(const char* name) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   std::unique_ptr<CounterEntry>& slot = registry.counters[name];
   if (slot == nullptr) {
     slot = std::make_unique<CounterEntry>();
@@ -93,7 +98,7 @@ CounterEntry* RegisterCounter(const char* name) {
 }
 
 void RecordScope(ScopeEntry* entry, double elapsed_ms) {
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(entry->mu);
   if (entry->count == 0) {
     entry->min_ms = elapsed_ms;
     entry->max_ms = elapsed_ms;
@@ -142,10 +147,10 @@ void SetEnabled(bool enabled) {
 std::vector<ScopeStats> ScopeSnapshot() {
   internal::Registry& registry = internal::GetRegistry();
   std::vector<ScopeStats> snapshot;
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   snapshot.reserve(registry.scopes.size());
   for (const auto& [name, entry] : registry.scopes) {
-    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    MutexLock entry_lock(entry->mu);
     if (entry->count == 0) continue;
     ScopeStats stats;
     stats.name = name;
@@ -170,7 +175,7 @@ std::vector<ScopeStats> ScopeSnapshot() {
 std::vector<CounterStats> CounterSnapshot() {
   internal::Registry& registry = internal::GetRegistry();
   std::vector<CounterStats> snapshot;
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   snapshot.reserve(registry.counters.size());
   for (const auto& [name, entry] : registry.counters) {
     const int64_t count = entry->count.load(std::memory_order_relaxed);
@@ -186,10 +191,10 @@ std::vector<CounterStats> CounterSnapshot() {
 
 void Reset() {
   internal::Registry& registry = internal::GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   for (const auto& kv : registry.scopes) {
     internal::ScopeEntry* entry = kv.second.get();
-    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    MutexLock entry_lock(entry->mu);
     entry->count = 0;
     entry->total_ms = 0;
     entry->min_ms = 0;

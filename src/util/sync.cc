@@ -1,0 +1,29 @@
+#include "util/sync.h"
+
+#include <chrono>
+
+namespace armnet {
+
+// The facade owns the one place where an armnet::Mutex meets the raw
+// std::condition_variable API: std::cv wants a std::unique_lock, so the
+// already-held mutex is adopted for the duration of the wait and released
+// from the unique_lock (not unlocked) on the way out. The caller's
+// capability view — "mu held before and after" — is unchanged, which is why
+// Wait/WaitFor carry ARMNET_REQUIRES(mu) rather than release/acquire pairs.
+
+void CondVar::Wait(Mutex& mu) {
+  std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+}
+
+bool CondVar::WaitFor(Mutex& mu, double seconds) {
+  if (seconds <= 0) return false;
+  std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+  const std::cv_status status =
+      cv_.wait_for(lock, std::chrono::duration<double>(seconds));
+  lock.release();
+  return status == std::cv_status::no_timeout;
+}
+
+}  // namespace armnet

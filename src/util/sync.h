@@ -1,0 +1,199 @@
+#ifndef ARMNET_UTIL_SYNC_H_
+#define ARMNET_UTIL_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+
+// Annotated locking facade (DESIGN.md §12).
+//
+// Every mutex in src/ goes through these wrappers so Clang's thread-safety
+// analysis (the Abseil capability model) can prove lock discipline at
+// compile time: which mutex guards which state is written into the type
+// system via ARMNET_GUARDED_BY, and "who must hold what" becomes part of
+// each function signature via ARMNET_REQUIRES / ARMNET_EXCLUDES. The
+// `thread-safety` CMake preset compiles with -Werror=thread-safety, turning
+// any unguarded access or lock-order violation into a build failure; on
+// non-Clang toolchains every annotation expands to nothing and the wrappers
+// cost exactly one inlined call into std::mutex.
+//
+// tools/lint.py enforces the facade (rule `mutex-facade`): raw std::mutex /
+// std::lock_guard / std::condition_variable anywhere else in src/ is a lint
+// failure, so new code cannot silently opt out of the analysis.
+//
+// Conventions (see DESIGN.md §12 for the full list):
+//   - Fields: `T state_ ARMNET_GUARDED_BY(mu_);` — and for pointers whose
+//     *pointee* the mutex guards, `T* p_ ARMNET_PT_GUARDED_BY(mu_);`.
+//   - Private helpers called with a lock held declare it:
+//     `void Tick() ARMNET_REQUIRES(mu_);`.
+//   - Public entry points that take a lock internally declare
+//     `ARMNET_EXCLUDES(mu_)` so re-entry deadlocks are caught at the caller.
+//   - Predicate lambdas passed to CondVar::Wait must carry
+//     `ARMNET_REQUIRES(mu)` — the analysis checks lambda bodies as separate
+//     functions.
+//   - ARMNET_NO_THREAD_SAFETY_ANALYSIS is an escape of last resort: every
+//     use outside this header must carry an explanatory comment on the
+//     preceding line (rule `ts-escape`); an escape without a written
+//     justification is a lint failure.
+
+#if defined(__clang__)
+#define ARMNET_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define ARMNET_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+// A type that is a lockable capability ("mutex" names the capability kind in
+// diagnostics).
+#define ARMNET_CAPABILITY(x) ARMNET_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// An RAII type that acquires a capability in its constructor and releases it
+// in its destructor (MutexLock, ReleasableMutexLock).
+#define ARMNET_SCOPED_CAPABILITY \
+  ARMNET_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Field/variable may only be accessed while holding the given capability.
+#define ARMNET_GUARDED_BY(x) ARMNET_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// Pointer field whose *pointee* (not the pointer itself) is guarded.
+#define ARMNET_PT_GUARDED_BY(x) \
+  ARMNET_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// Function requires the capability to be held on entry (and does not release
+// it): the lock contract written into the signature.
+#define ARMNET_REQUIRES(...) \
+  ARMNET_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+// Function must NOT be called with the capability held (it acquires it
+// itself); catches self-deadlock at the call site.
+#define ARMNET_EXCLUDES(...) \
+  ARMNET_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Function acquires / releases the capability (Lock()/Unlock() and the
+// scoped-capability constructor/destructor pairs).
+#define ARMNET_ACQUIRE(...) \
+  ARMNET_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ARMNET_RELEASE(...) \
+  ARMNET_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+// Function attempts the acquisition; holds the capability iff it returned
+// the given value.
+#define ARMNET_TRY_ACQUIRE(...) \
+  ARMNET_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+// Documented lock-ordering edges, enforced under -Wthread-safety-beta.
+#define ARMNET_ACQUIRED_BEFORE(...) \
+  ARMNET_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ARMNET_ACQUIRED_AFTER(...) \
+  ARMNET_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (adds it to the analysis
+// state without an acquire); for call paths the analysis cannot follow.
+#define ARMNET_ASSERT_CAPABILITY(x) \
+  ARMNET_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+// Accessor returns a reference to the given capability.
+#define ARMNET_RETURN_CAPABILITY(x) \
+  ARMNET_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function body. Policy: every
+// use outside util/sync.{h,cc} needs a justification comment directly above
+// the attribute (lint rule `ts-escape`).
+#define ARMNET_NO_THREAD_SAFETY_ANALYSIS \
+  ARMNET_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace armnet {
+
+class CondVar;
+
+// Annotated std::mutex. Prefer the RAII MutexLock/ReleasableMutexLock over
+// manual Lock()/Unlock() pairs; the manual form exists for the rare
+// acquire-here-release-there shape (and still type-checks under the
+// analysis, which tracks the capability across the calls).
+class ARMNET_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ARMNET_ACQUIRE() { mu_.lock(); }
+  void Unlock() ARMNET_RELEASE() { mu_.unlock(); }
+  bool TryLock() ARMNET_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock for one scope; the std::lock_guard replacement.
+class ARMNET_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ARMNET_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() ARMNET_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// RAII lock that may be released before scope exit — the pattern for
+// "mutate under the lock, then notify/complete outside it". Accessing
+// guarded state after Release() is a compile error under the analysis.
+class ARMNET_SCOPED_CAPABILITY ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex& mu) ARMNET_ACQUIRE(mu) : mu_(&mu) {
+    mu_->Lock();
+  }
+  ~ReleasableMutexLock() ARMNET_RELEASE() {
+    if (mu_ != nullptr) mu_->Unlock();
+  }
+
+  // Releases early; calling twice is a programming error (and a
+  // thread-safety-analysis error where the analysis can see it).
+  void Release() ARMNET_RELEASE() {
+    mu_->Unlock();
+    mu_ = nullptr;
+  }
+
+  ReleasableMutexLock(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock& operator=(const ReleasableMutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+// Annotated std::condition_variable bound to the Mutex facade. Waits take
+// the Mutex itself (not a lock object): the caller must already hold it,
+// which is exactly what ARMNET_REQUIRES states — the analysis treats the
+// wait as "lock held throughout", matching the caller-observable contract.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Blocks until notified (spurious wakeups possible, as with the raw CV).
+  void Wait(Mutex& mu) ARMNET_REQUIRES(mu);
+
+  // Blocks until `pred()` holds. The predicate runs with `mu` held and must
+  // be annotated ARMNET_REQUIRES(mu) when it touches guarded state.
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) ARMNET_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  // Blocks until notified or roughly `seconds` elapsed (no-op if <= 0).
+  // Returns true if notified before the timeout expired (i.e. not a
+  // timeout), mirroring std::cv_status semantics without exposing chrono.
+  bool WaitFor(Mutex& mu, double seconds) ARMNET_REQUIRES(mu);
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace armnet
+
+#endif  // ARMNET_UTIL_SYNC_H_

@@ -26,19 +26,18 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push(std::move(task));
-  }
-  cv_.notify_one();
+  ReleasableMutexLock lock(mutex_);
+  tasks_.push(std::move(task));
+  lock.Release();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -46,8 +45,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      cv_.Wait(mutex_, [this]() ARMNET_REQUIRES(mutex_) {
+        return shutdown_ || !tasks_.empty();
+      });
       if (shutdown_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -77,12 +78,15 @@ void ThreadPool::ParallelFor(int64_t total,
   // the caller returns. An atomic counter + stack-allocated cv here is the
   // classic use-after-free TSan flags.
   struct Latch {
-    std::mutex mutex;
-    std::condition_variable cv;
-    int remaining;
+    Mutex mutex;
+    CondVar cv;
+    int remaining ARMNET_GUARDED_BY(mutex) = 0;
   };
   auto latch = std::make_shared<Latch>();
-  latch->remaining = chunks - 1;
+  {
+    MutexLock lock(latch->mutex);
+    latch->remaining = chunks - 1;
+  }
 
   for (int c = 1; c < chunks; ++c) {
     const int64_t begin = c * chunk_size;
@@ -91,16 +95,18 @@ void ThreadPool::ParallelFor(int64_t total,
       fn(begin, end);
       bool last;
       {
-        std::lock_guard<std::mutex> lock(latch->mutex);
+        MutexLock lock(latch->mutex);
         last = --latch->remaining == 0;
       }
-      if (last) latch->cv.notify_one();
+      if (last) latch->cv.NotifyOne();
     });
   }
   // The calling thread processes the first chunk.
   fn(0, std::min<int64_t>(chunk_size, total));
-  std::unique_lock<std::mutex> lock(latch->mutex);
-  latch->cv.wait(lock, [&] { return latch->remaining == 0; });
+  MutexLock lock(latch->mutex);
+  latch->cv.Wait(latch->mutex, [&latch]() ARMNET_REQUIRES(latch->mutex) {
+    return latch->remaining == 0;
+  });
 }
 
 ThreadPool& ThreadPool::Global() {

@@ -1,13 +1,13 @@
 #ifndef ARMNET_UTIL_THREAD_POOL_H_
 #define ARMNET_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace armnet {
 
@@ -20,7 +20,7 @@ namespace armnet {
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
-  ~ThreadPool();
+  ~ThreadPool() ARMNET_EXCLUDES(mutex_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -33,21 +33,22 @@ class ThreadPool {
   // worker (nested ParallelFor would deadlock if fanned out). Safe to call
   // concurrently from multiple threads.
   void ParallelFor(int64_t total,
-                   const std::function<void(int64_t, int64_t)>& fn);
+                   const std::function<void(int64_t, int64_t)>& fn)
+      ARMNET_EXCLUDES(mutex_);
 
   // Process-wide pool sized to the hardware concurrency (minus one, since
   // the caller participates). Never destroyed (static lifetime).
   static ThreadPool& Global();
 
  private:
-  void Submit(std::function<void()> task);
-  void WorkerLoop();
+  void Submit(std::function<void()> task) ARMNET_EXCLUDES(mutex_);
+  void WorkerLoop() ARMNET_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> tasks_ ARMNET_GUARDED_BY(mutex_);
+  bool shutdown_ ARMNET_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace armnet

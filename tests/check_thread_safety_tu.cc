@@ -1,0 +1,53 @@
+// Pins the compile-time half of the locking-facade contract (util/sync.h,
+// DESIGN.md §12), in the spirit of check_ndebug_tu.cc.
+//
+// Two things are verified:
+//
+//   1. Control path (every build): this TU compiles cleanly, proving the
+//      annotations are syntactically valid and expand to nothing on
+//      non-Clang toolchains.
+//
+//   2. Violation path (thread-safety preset only): the ctest entry
+//      thread_safety_violation_tu re-compiles this TU with
+//      ARMNET_TS_VIOLATION defined and -Werror=thread-safety, and is marked
+//      WILL_FAIL — the test passes only if the compiler REJECTS the
+//      unguarded access below. That keeps the analysis itself honest: if a
+//      toolchain or flag change ever silenced it, the suite would go red.
+
+#include "util/sync.h"
+
+namespace armnet::testonly {
+
+class Guarded {
+ public:
+  void Set(int v) ARMNET_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    value_ = v;
+  }
+
+  int Get() ARMNET_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return value_;
+  }
+
+#if defined(ARMNET_TS_VIOLATION)
+  // Deliberate defect: writes ARMNET_GUARDED_BY state with no lock held.
+  // Must NOT compile under -Werror=thread-safety.
+  void UnsafeSet(int v) { value_ = v; }
+#endif
+
+ private:
+  Mutex mu_;
+  int value_ ARMNET_GUARDED_BY(mu_) = 0;
+};
+
+bool ThreadSafetyTuControl() {
+  Guarded g;
+  g.Set(7);
+#if defined(ARMNET_TS_VIOLATION)
+  g.UnsafeSet(8);
+#endif
+  return g.Get() == 7;
+}
+
+}  // namespace armnet::testonly

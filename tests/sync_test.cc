@@ -1,0 +1,209 @@
+// Runtime semantics of the annotated locking facade (util/sync.h,
+// DESIGN.md §12). These tests run in every preset; under the tsan preset
+// they double as a data-race check on the facade itself (mutual exclusion,
+// release-before-notify, condvar handoff). The compile-time half of the
+// contract — that the annotations reject unguarded access — is pinned by
+// check_thread_safety_tu.cc under the thread-safety preset.
+//
+// The tests are themselves annotated (guarded fields, REQUIRES'd
+// predicates) so the thread-safety preset analyzes them like any other
+// code in the repo.
+
+#include "util/sync.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace armnet {
+namespace {
+
+TEST(MutexTest, MutexLockExcludesConcurrentIncrements) {
+  struct State {
+    Mutex mu;
+    long counter ARMNET_GUARDED_BY(mu) = 0;
+  } s;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&s]() {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(s.mu);
+        ++s.counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  MutexLock lock(s.mu);
+  EXPECT_EQ(s.counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(MutexTest, ManualLockUnlockPairs) {
+  struct State {
+    Mutex mu;
+    int value ARMNET_GUARDED_BY(mu) = 0;
+  } s;
+  s.mu.Lock();
+  s.value = 41;
+  ++s.value;
+  s.mu.Unlock();
+  MutexLock lock(s.mu);
+  EXPECT_EQ(s.value, 42);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldElsewhere) {
+  Mutex mu;
+  mu.Lock();
+  // Probe from a different thread: std::mutex::try_lock from the owning
+  // thread would be UB, and the facade inherits that contract.
+  std::thread prober([&mu]() {
+    bool locked = mu.TryLock();
+    EXPECT_FALSE(locked);
+    if (locked) mu.Unlock();
+  });
+  prober.join();
+  mu.Unlock();
+
+  std::thread reprober([&mu]() {
+    bool locked = mu.TryLock();
+    EXPECT_TRUE(locked);
+    if (locked) mu.Unlock();
+  });
+  reprober.join();
+}
+
+TEST(MutexTest, ReleasableMutexLockReleasesEarly) {
+  struct State {
+    Mutex mu;
+    int value ARMNET_GUARDED_BY(mu) = 0;
+  } s;
+  {
+    ReleasableMutexLock guard(s.mu);
+    s.value = 7;
+    guard.Release();
+    // The mutex is free here: another thread can take it while this scope
+    // is still alive, which is the whole point of the early release.
+    std::thread other([&s]() {
+      MutexLock lock(s.mu);
+      ++s.value;
+    });
+    other.join();
+  }  // Destructor must not unlock a second time.
+  MutexLock lock(s.mu);
+  EXPECT_EQ(s.value, 8);
+}
+
+TEST(MutexTest, ReleasableMutexLockDtorReleasesWhenNotReleased) {
+  struct State {
+    Mutex mu;
+    int value ARMNET_GUARDED_BY(mu) = 0;
+  } s;
+  {
+    ReleasableMutexLock guard(s.mu);
+    s.value = 1;
+  }
+  std::thread other([&s]() {
+    bool locked = s.mu.TryLock();
+    EXPECT_TRUE(locked) << "destructor did not release the mutex";
+    if (locked) s.mu.Unlock();
+  });
+  other.join();
+}
+
+TEST(CondVarTest, WaitWithPredicateSeesPublishedState) {
+  struct State {
+    Mutex mu;
+    CondVar cv;
+    bool ready ARMNET_GUARDED_BY(mu) = false;
+    int payload ARMNET_GUARDED_BY(mu) = 0;
+  } s;
+  std::thread producer([&s]() {
+    // Canonical shape: mutate under the lock, release, then notify.
+    ReleasableMutexLock guard(s.mu);
+    s.payload = 99;
+    s.ready = true;
+    guard.Release();
+    s.cv.NotifyOne();
+  });
+  {
+    MutexLock lock(s.mu);
+    s.cv.Wait(s.mu, [&s]() ARMNET_REQUIRES(s.mu) { return s.ready; });
+    EXPECT_EQ(s.payload, 99);
+  }
+  producer.join();
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  struct State {
+    Mutex mu;
+    CondVar cv;
+    bool go ARMNET_GUARDED_BY(mu) = false;
+    int awake ARMNET_GUARDED_BY(mu) = 0;
+  } s;
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&s]() {
+      MutexLock lock(s.mu);
+      s.cv.Wait(s.mu, [&s]() ARMNET_REQUIRES(s.mu) { return s.go; });
+      ++s.awake;
+    });
+  }
+  {
+    ReleasableMutexLock guard(s.mu);
+    s.go = true;
+    guard.Release();
+    s.cv.NotifyAll();
+  }
+  for (auto& th : waiters) th.join();
+  MutexLock lock(s.mu);
+  EXPECT_EQ(s.awake, kWaiters);
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutNotify) {
+  struct State {
+    Mutex mu;
+    CondVar cv;
+  } s;
+  MutexLock lock(s.mu);
+  // Spurious wakeups report "notified"; an un-notified wait must still
+  // reach a genuine timeout within a bounded number of attempts.
+  bool timed_out = false;
+  for (int attempt = 0; attempt < 100 && !timed_out; ++attempt) {
+    timed_out = !s.cv.WaitFor(s.mu, 0.01);
+  }
+  EXPECT_TRUE(timed_out);
+  // A non-positive timeout is a no-op timeout, never a hang.
+  EXPECT_FALSE(s.cv.WaitFor(s.mu, 0.0));
+  EXPECT_FALSE(s.cv.WaitFor(s.mu, -1.0));
+}
+
+TEST(CondVarTest, WaitForReportsNotifyBeforeTimeout) {
+  struct State {
+    Mutex mu;
+    CondVar cv;
+    bool ready ARMNET_GUARDED_BY(mu) = false;
+  } s;
+  std::thread producer([&s]() {
+    ReleasableMutexLock guard(s.mu);
+    s.ready = true;
+    guard.Release();
+    s.cv.NotifyOne();
+  });
+  {
+    MutexLock lock(s.mu);
+    // Generous timeout: the producer's notify must land well inside it.
+    while (!s.ready) {
+      EXPECT_TRUE(s.cv.WaitFor(s.mu, 30.0));
+    }
+    EXPECT_TRUE(s.ready);
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace armnet

@@ -29,6 +29,16 @@ tooling"):
                establish a NoGradGuard before calling a model Forward, so
                serving paths stay tape-free (allowlist: the trainer, whose
                training step differentiates through Forward)
+  mutex-facade no raw std::mutex / std::lock_guard / std::unique_lock /
+               std::condition_variable in src/ outside util/sync.{h,cc};
+               concurrency goes through the annotated facade so Clang's
+               thread-safety analysis sees every lock (DESIGN.md §12)
+  ts-escape    every ARMNET_NO_THREAD_SAFETY_ANALYSIS outside util/sync.h
+               carries a justification comment directly above it
+               (empty-by-default policy, like sanitizer suppressions)
+  layering     the include graph respects the layer DAG declared in
+               tools/layering.py (no up-layer includes, no same-layer
+               directory cycles)
 
 Usage:
   tools/lint.py                 # run all text lints on src/ and tools/
@@ -167,7 +177,7 @@ CHRONO_ALLOWLIST = {
     Path("util") / "stopwatch.h",  # the steady-clock wrapper itself
     Path("util") / "profiler.h",   # scoped-timer instrumentation layer
     Path("util") / "profiler.cc",
-    Path("util") / "clock.cc",     # Clock's timed CV waits (header is clean)
+    Path("util") / "sync.cc",      # CondVar::WaitFor's timed wait
 }
 
 
@@ -215,6 +225,65 @@ def check_nograd_eval():
                            "model Forward without an established NoGradGuard;"
                            " evaluation paths must be tape-free (see "
                            "autograd/grad_mode.h)")
+
+
+# Raw standard-library synchronization primitives are invisible to Clang's
+# thread-safety analysis: a std::lock_guard on a std::mutex carries no
+# capability, so guarded state can be touched with no lock held and the
+# analysis stays silent. All locking in src/ goes through the annotated
+# facade (armnet::Mutex / MutexLock / CondVar in util/sync.h) so every
+# critical section is visible to -Wthread-safety. Only the facade itself may
+# name the std primitives it wraps.
+RAW_SYNC_RE = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|shared_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|condition_variable(_any)?)\b"
+    r"|#include\s*<(mutex|condition_variable|shared_mutex)>")
+SYNC_ALLOWLIST = {
+    Path("util") / "sync.h",   # the annotated facade itself
+    Path("util") / "sync.cc",  # CondVar's adopt-lock bridge to std::mutex
+}
+
+
+def check_mutex_facade():
+    for path in sorted(list(SRC.rglob("*.h")) + list(SRC.rglob("*.cc"))):
+        if path.relative_to(SRC) in SYNC_ALLOWLIST:
+            continue
+        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+            if RAW_SYNC_RE.search(strip_comments(raw)):
+                report(path, lineno, "mutex-facade",
+                       "raw standard-library synchronization primitive; use "
+                       "armnet::Mutex/MutexLock/CondVar from util/sync.h so "
+                       "thread-safety analysis sees the lock (DESIGN.md §12)")
+
+
+# Escapes from thread-safety analysis follow the same empty-by-default policy
+# as sanitizer suppressions: each one outside the facade header needs a
+# justification comment directly above it explaining why the analysis cannot
+# see the invariant that makes the code safe.
+TS_ESCAPE = "ARMNET_NO_THREAD_SAFETY_ANALYSIS"
+
+
+def check_ts_escapes():
+    sync_h = SRC / "util" / "sync.h"
+    for path in sorted(list(SRC.rglob("*.h")) + list(SRC.rglob("*.cc"))):
+        if path == sync_h:
+            continue
+        lines = path.read_text().splitlines()
+        for lineno, raw in enumerate(lines, start=1):
+            if TS_ESCAPE not in strip_comments(raw):
+                continue
+            prev = lines[lineno - 2].strip() if lineno >= 2 else ""
+            justified = prev.startswith("//") and prev.strip("/ ").strip()
+            if not justified:
+                report(path, lineno, "ts-escape",
+                       f"{TS_ESCAPE} without a justification comment "
+                       "directly above it (empty-by-default policy, "
+                       "DESIGN.md §12)")
+
+
+def check_layering():
+    import layering
+    findings.extend(layering.check_files(layering.load_repo_files()))
 
 
 def check_suppression_policy():
@@ -270,6 +339,9 @@ def main() -> int:
     check_raw_ofstream()
     check_raw_chrono()
     check_nograd_eval()
+    check_mutex_facade()
+    check_ts_escapes()
+    check_layering()
     check_suppression_policy()
 
     for finding in findings:
