@@ -1,27 +1,42 @@
-// Serving-path benchmark (DESIGN.md §11): single-request latency through
-// the full validate → map → queue → pooled-forward pipeline, burst behaviour
-// under offered load past the admission bound, and hot-reload cost.
+// Serving-path benchmark (DESIGN.md §11, §13): single-request latency
+// through the full validate → map → queue → pooled-forward pipeline, burst
+// behaviour under offered load past the admission bound, hot-reload cost,
+// an open-loop Poisson worker-count × offered-load sweep, and reload churn
+// under sustained load.
 //
-// The service runs in manual-drain mode on the measuring thread so the
-// numbers are the pipeline's own cost, not worker-thread scheduling noise.
+// The latency/burst/reload sections run in manual-drain mode on the
+// measuring thread so the numbers are the pipeline's own cost, not
+// worker-thread scheduling noise. The sweep and reload-under-load sections
+// run real worker pools with an open-loop arrival process (the generator
+// never waits for completions, so queueing delay is measured rather than
+// hidden — the coordinated-omission trap a closed loop falls into).
 // Requests mix in-vocabulary rows with OOV categoricals and out-of-range
 // numericals, so the UNK/clamp paths are part of the measured steady state.
 //
+// Per-cell latency percentiles come from PredictResult::latency_seconds —
+// service-clock submit-to-terminal time — and shed/overload/expired rates
+// come from counter deltas. Report schema is v2 (sweep rows added).
+//
 // Flags: --requests=<n> latency samples (default 2000), --capacity=<n>
 // queue bound (default 256), --batch=<n> micro-batch cap (default 64),
-// --reloads=<n> hot-reload samples (default 20), --json=<path> to also
-// write the BENCH_serving.json report.
+// --reloads=<n> hot-reload samples (default 20), --sweep_requests=<n>
+// arrivals per sweep cell (default 400), --json=<path> to also write the
+// BENCH_serving.json report.
 
 #include "bench/common.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <filesystem>
+#include <thread>
 
 #include "data/feature_space.h"
 #include "data/loader.h"
 #include "models/lr.h"
 #include "nn/serialize.h"
 #include "serve/service.h"
+#include "util/rng.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -45,6 +60,64 @@ double Percentile(std::vector<double> sorted, double p) {
   return sorted[idx];
 }
 
+// Outcome of one open-loop run: arrivals issued at the offered rate with
+// exponential gaps, every ticket waited at the end.
+struct OpenLoopResult {
+  double wall_seconds = 0;
+  double throughput_rps = 0;  // completed-ok per wall second
+  double p50_ms = 0;          // service-clock latency of completed requests
+  double p99_ms = 0;
+  double max_ms = 0;
+  int64_t completed = 0;
+  int64_t shed = 0;
+  int64_t overloaded = 0;
+  int64_t expired = 0;
+};
+
+// Drives `arrivals` Poisson arrivals at `rate_rps` against `service`.
+// Pacing is deficit-based: the generator sleeps only when ahead of the
+// arrival schedule, so coarse OS sleep granularity cannot deflate the
+// offered rate.
+OpenLoopResult RunOpenLoop(serve::PredictionService& service, int arrivals,
+                           double rate_rps, uint64_t seed) {
+  Rng rng(seed);
+  const serve::ServeCounters before = service.counters();
+  std::vector<std::shared_ptr<serve::PendingPrediction>> tickets;
+  tickets.reserve(static_cast<size_t>(arrivals));
+  Stopwatch watch;
+  double next_arrival = 0;
+  for (int i = 0; i < arrivals; ++i) {
+    next_arrival += -std::log(1.0 - rng.Uniform()) / rate_rps;
+    const double ahead = next_arrival - watch.ElapsedSeconds();
+    if (ahead > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(ahead));
+    }
+    tickets.push_back(service.Submit(MakeRequest(i), /*deadline=*/5.0));
+  }
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(tickets.size());
+  for (const auto& ticket : tickets) {
+    const serve::PredictResult& result = ticket->Wait();
+    if (result.code == serve::ServeCode::kOk) {
+      latencies_ms.push_back(result.latency_seconds * 1e3);
+    }
+  }
+  OpenLoopResult out;
+  out.wall_seconds = watch.ElapsedSeconds();
+  const serve::ServeCounters after = service.counters();
+  out.completed = after.completed_ok - before.completed_ok;
+  out.shed = after.shed - before.shed;
+  out.overloaded = after.rejected_overload - before.rejected_overload;
+  out.expired = after.expired - before.expired;
+  out.throughput_rps =
+      static_cast<double>(out.completed) / std::max(out.wall_seconds, 1e-9);
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  out.p50_ms = Percentile(latencies_ms, 0.5);
+  out.p99_ms = Percentile(latencies_ms, 0.99);
+  out.max_ms = latencies_ms.empty() ? 0 : latencies_ms.back();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -52,6 +125,8 @@ int main(int argc, char** argv) {
   const int64_t capacity = FlagInt(argc, argv, "capacity", 256);
   const int64_t batch = FlagInt(argc, argv, "batch", 64);
   const int reloads = static_cast<int>(FlagInt(argc, argv, "reloads", 20));
+  const int sweep_requests =
+      static_cast<int>(FlagInt(argc, argv, "sweep_requests", 400));
   const std::string json_path = FlagValue(argc, argv, "json", "");
 
   const std::string dir =
@@ -91,9 +166,11 @@ int main(int argc, char** argv) {
   serve::PredictionService service(&model, space, options);
 
   bench::BenchReport report("serving");
+  report.SetSchemaVersion(2);  // v2: sweep/* and reload/under_load rows
   report.ConfigInt("requests", requests);
   report.ConfigInt("capacity", capacity);
   report.ConfigInt("batch", batch);
+  report.ConfigInt("sweep_requests", sweep_requests);
 
   std::printf("=== Serving pipeline: validate -> map -> queue -> forward "
               "(LR, %lld-feature space) ===\n",
@@ -172,10 +249,122 @@ int main(int argc, char** argv) {
   reload_row.ms_per_batch = reload_mean;
   reload_row.cv = reload_cv;
 
+  // --- Open-loop Poisson sweep: worker count × offered load --------------
+  // Fresh service per cell (worker pools are a construction-time choice);
+  // the generator is open-loop, so queueing delay under overload shows up
+  // in p99 instead of throttling the arrival process. Note: throughput
+  // scaling across worker counts requires real cores — on a single-core
+  // host the sweep measures the overhead of concurrency, not its payoff.
+  std::printf("\n=== Open-loop sweep: workers x offered load "
+              "(%d Poisson arrivals per cell) ===\n",
+              sweep_requests);
+  for (const int workers : {1, 2, 4}) {
+    for (const double rate : {2000.0, 8000.0}) {
+      Rng cell_rng(7);
+      models::Lr cell_model(space.schema().num_features(), cell_rng);
+      models::Lr cell_standby(space.schema().num_features(), cell_rng);
+      ARMNET_CHECK(nn::LoadState(cell_model, state_path).ok());
+      serve::ServeOptions cell_options;
+      cell_options.start_worker = true;
+      cell_options.num_workers = workers;
+      cell_options.queue_capacity = capacity;
+      cell_options.max_batch_size = batch;
+      cell_options.latency_budget_seconds = 0.050;
+      serve::PredictionService cell(&cell_model, space, cell_options,
+                                    /*clock=*/nullptr, /*fallback=*/nullptr,
+                                    &cell_standby);
+      const OpenLoopResult r =
+          RunOpenLoop(cell, sweep_requests, rate, /*seed=*/17);
+      cell.Shutdown();
+      const serve::ServeCounters cc = cell.counters();
+      ARMNET_CHECK(cc.Terminal() == cc.submitted)
+          << "sweep cell identity violated";
+      std::printf("sweep/w%d/r%-5.0f: %7.0f rps  p50 %7.3f ms  p99 %7.3f ms"
+                  "  shed %lld  overload %lld  expired %lld\n",
+                  workers, rate, r.throughput_rps, r.p50_ms, r.p99_ms,
+                  static_cast<long long>(r.shed),
+                  static_cast<long long>(r.overloaded),
+                  static_cast<long long>(r.expired));
+      bench::BenchRow& row = report.AddRow(
+          StrFormat("sweep/w%d/r%.0f", workers, rate));
+      row.metrics.push_back({"offered_rps", rate});
+      row.metrics.push_back({"throughput_rps", r.throughput_rps});
+      row.metrics.push_back({"p50_ms", r.p50_ms});
+      row.metrics.push_back({"p99_ms", r.p99_ms});
+      const double denom = static_cast<double>(sweep_requests);
+      row.metrics.push_back(
+          {"shed_rate", static_cast<double>(r.shed) / denom});
+      row.metrics.push_back(
+          {"overload_rate", static_cast<double>(r.overloaded) / denom});
+      row.metrics.push_back(
+          {"expired_rate", static_cast<double>(r.expired) / denom});
+      row.counters.push_back({"workers", workers});
+      row.counters.push_back({"completed_ok", r.completed});
+    }
+  }
+
+  // --- Reload churn under sustained load ---------------------------------
+  // Warm-standby RCU reload: the stage runs off the serving path, so load
+  // must keep completing while reloads cycle. Reported: reload wall cost
+  // and the p99/max request latency observed during the churn window — if
+  // a reload blocked the workers, max_ms would jump by the reload cost.
+  {
+    Rng churn_rng(7);
+    models::Lr churn_model(space.schema().num_features(), churn_rng);
+    models::Lr churn_standby(space.schema().num_features(), churn_rng);
+    ARMNET_CHECK(nn::LoadState(churn_model, state_path).ok());
+    serve::ServeOptions churn_options;
+    churn_options.start_worker = true;
+    churn_options.num_workers = 2;
+    churn_options.queue_capacity = capacity;
+    churn_options.max_batch_size = batch;
+    serve::PredictionService churn(&churn_model, space, churn_options,
+                                   /*clock=*/nullptr, /*fallback=*/nullptr,
+                                   &churn_standby);
+    std::vector<double> reload_ms;
+    std::atomic<bool> churn_stop{false};
+    std::thread reloader([&] {
+      Stopwatch reload_watch;
+      while (!churn_stop.load()) {
+        reload_watch.Restart();
+        ARMNET_CHECK(churn.ReloadModel(state_path).ok());
+        reload_ms.push_back(reload_watch.ElapsedSeconds() * 1e3);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+    const OpenLoopResult under =
+        RunOpenLoop(churn, sweep_requests, 4000.0, /*seed=*/29);
+    churn_stop.store(true);
+    reloader.join();
+    churn.Shutdown();
+    const serve::ServeCounters cc = churn.counters();
+    ARMNET_CHECK(cc.Terminal() == cc.submitted)
+        << "reload-churn identity violated";
+    ARMNET_CHECK(cc.completed_ok > 0) << "no request completed under churn";
+    double churn_reload_mean = 0;
+    double churn_reload_cv = 0;
+    bench::MeanCv(reload_ms, &churn_reload_mean, &churn_reload_cv);
+    std::printf("reload/under_load: %zu reloads mean %.4f ms | traffic "
+                "p99 %.3f ms max %.3f ms (%lld ok)\n",
+                reload_ms.size(), churn_reload_mean, under.p99_ms,
+                under.max_ms, static_cast<long long>(under.completed));
+    bench::BenchRow& row = report.AddRow("reload/under_load");
+    row.ms_per_batch = churn_reload_mean;
+    row.cv = churn_reload_cv;
+    row.metrics.push_back({"p99_ms", under.p99_ms});
+    row.metrics.push_back({"max_ms", under.max_ms});
+    row.counters.push_back(
+        {"reloads", static_cast<int64_t>(reload_ms.size())});
+    row.counters.push_back({"completed_ok", under.completed});
+  }
+
   // --- Service counter snapshot (the run-metrics "serve" section) --------
   bench::BenchRow& totals = report.AddRow("counters/total");
   for (const prof::CounterStats& c : service.CounterSnapshot()) {
     totals.counters.push_back({c.name, c.count});
+  }
+  for (const auto& [name, value] : service.GaugeSnapshot()) {
+    totals.metrics.push_back({name, value});
   }
   const serve::ServeCounters counters = service.counters();
   ARMNET_CHECK(counters.Terminal() == counters.submitted)

@@ -161,6 +161,11 @@ class BenchReport {
  public:
   explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
 
+  // Benches whose result shape evolved past the v1 contract bump their own
+  // report's schema (e.g. serving's worker×load sweep is v2); everything
+  // else stays at the default v1 the CI validators pin.
+  void SetSchemaVersion(int version) { schema_version_ = version; }
+
   void ConfigInt(const std::string& key, int64_t value) {
     config_.push_back({key, Entry::kInt, value, 0, {}});
   }
@@ -180,7 +185,7 @@ class BenchReport {
   std::string Json() const {
     JsonWriter w;
     w.BeginObject();
-    w.Key("schema_version").Int(1);
+    w.Key("schema_version").Int(schema_version_);
     w.Key("bench").String(bench_);
     w.Key("config").BeginObject();
     for (const Entry& e : config_) {
@@ -233,6 +238,7 @@ class BenchReport {
     std::string s;
   };
   std::string bench_;
+  int schema_version_ = 1;
   std::vector<Entry> config_;
   std::vector<BenchRow> rows_;
 };

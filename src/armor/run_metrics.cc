@@ -18,11 +18,13 @@ RunMetrics CaptureRunMetrics(const TensorPool* pool) {
   return metrics;
 }
 
-RunMetrics CaptureRunMetrics(const TensorPool* pool,
-                             std::vector<prof::CounterStats> serve_counters) {
+RunMetrics CaptureRunMetrics(
+    const TensorPool* pool, std::vector<prof::CounterStats> serve_counters,
+    std::vector<std::pair<std::string, double>> serve_gauges) {
   RunMetrics metrics = CaptureRunMetrics(pool);
   metrics.has_serve = true;
   metrics.serve = std::move(serve_counters);
+  metrics.serve_gauges = std::move(serve_gauges);
   return metrics;
 }
 
@@ -70,6 +72,16 @@ std::string RunMetricsJson(const RunMetrics& metrics) {
       w.BeginObject();
       w.Key("name").String(c.name);
       w.Key("count").Int(c.count);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  if (!metrics.serve_gauges.empty()) {
+    w.Key("serve_gauges").BeginArray();
+    for (const auto& [name, value] : metrics.serve_gauges) {
+      w.BeginObject();
+      w.Key("name").String(name);
+      w.Key("value").Double(value);
       w.EndObject();
     }
     w.EndArray();

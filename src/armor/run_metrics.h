@@ -2,6 +2,7 @@
 #define ARMNET_ARMOR_RUN_METRICS_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "autograd/grad_mode.h"
@@ -28,6 +29,10 @@ struct RunMetrics {
   // the profiler being compiled in.
   bool has_serve = false;
   std::vector<prof::CounterStats> serve;
+  // Continuous serving operating-point gauges (adaptive batch wait, windowed
+  // p99 — serve::PredictionService::GaugeSnapshot). Counters answer "how
+  // many"; these answer "where is the control loop sitting right now".
+  std::vector<std::pair<std::string, double>> serve_gauges;
 };
 
 // Snapshots the process-wide tape stats and profiler registry, plus `pool`'s
@@ -37,10 +42,12 @@ struct RunMetrics {
 RunMetrics CaptureRunMetrics(const TensorPool* pool = nullptr);
 
 // As above, additionally embedding a prediction service's counter snapshot
-// (the "serve" section of the JSON). Takes the pre-extracted counter list
-// so armor does not depend on the serve library.
-RunMetrics CaptureRunMetrics(const TensorPool* pool,
-                             std::vector<prof::CounterStats> serve_counters);
+// (the "serve" section of the JSON) and optionally its operating-point
+// gauges (the "serve_gauges" section). Takes the pre-extracted lists so
+// armor does not depend on the serve library.
+RunMetrics CaptureRunMetrics(
+    const TensorPool* pool, std::vector<prof::CounterStats> serve_counters,
+    std::vector<std::pair<std::string, double>> serve_gauges = {});
 
 // Compact single-line JSON object:
 //   {"tape":{"nodes_recorded":N,"nodes_elided":N},
@@ -49,7 +56,8 @@ RunMetrics CaptureRunMetrics(const TensorPool* pool,
 //    "scopes":[{"name":s,"count":N,"total_ms":f,"min_ms":f,"max_ms":f,
 //               "p50_ms":f,"p99_ms":f},...],
 //    "counters":[{"name":s,"count":N},...],
-//    "serve":[{"name":s,"count":N},...]}                  // if has_serve
+//    "serve":[{"name":s,"count":N},...],                  // if has_serve
+//    "serve_gauges":[{"name":s,"value":f},...]}           // if non-empty
 std::string RunMetricsJson(const RunMetrics& metrics);
 
 }  // namespace armnet::armor

@@ -1,0 +1,120 @@
+#ifndef ARMNET_SERVE_BATCH_POLICY_H_
+#define ARMNET_SERVE_BATCH_POLICY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/sync.h"
+
+namespace armnet::serve {
+
+// Adaptive micro-batch accumulation policy under an explicit latency budget
+// (DESIGN.md §13).
+//
+// A serving worker that drains the queue the instant one request arrives
+// pays a full forward per request; one that always waits for a full batch
+// trades p99 latency for throughput blindly. This controller closes the
+// loop: it watches the windowed p99 of completed end-to-end request
+// latencies and sets the batch-accumulation wait accordingly —
+//
+//   p99 well under budget   headroom exists: grow the wait additively so
+//                           batches fill further and throughput rises
+//   p99 near the budget     hold the current wait
+//   p99 over the threshold  pressure: collapse the wait to zero so every
+//                           request drains immediately (AIMD, like TCP)
+//
+// Cold start (fewer than `min_samples` completions in the window) also
+// drains immediately: with no evidence, never spend latency on speculation.
+//
+// All methods are thread-safe (one leaf mutex); RecordLatency is called by
+// every worker per completed request, CurrentWaitSeconds once per batch.
+// The controller is deterministic — a pure function of the latency sequence
+// fed to it — so tests drive it with scripted latencies, no clocks.
+class AdaptiveBatchPolicy {
+ public:
+  struct Options {
+    double latency_budget_seconds = 0.050;  // the p99 target ceiling
+    double max_wait_seconds = 0.002;        // accumulation wait cap
+    double step_seconds = 0.00025;          // additive growth per calm sample
+    double grow_headroom = 0.5;     // grow while p99 < grow * budget
+    double collapse_headroom = 0.8; // collapse once p99 > collapse * budget
+    int window = 256;               // latency samples retained for p99
+    int min_samples = 16;           // below this: always drain immediately
+  };
+
+  explicit AdaptiveBatchPolicy(const Options& options) : options_(options) {
+    ARMNET_CHECK_GE(options_.latency_budget_seconds, 0);
+    ARMNET_CHECK_GE(options_.max_wait_seconds, 0);
+    ARMNET_CHECK_GE(options_.window, 1);
+    window_.reserve(static_cast<size_t>(options_.window));
+  }
+
+  // Feeds one completed request's end-to-end latency (submit to terminal
+  // completion, service-clock seconds) and re-runs the control law.
+  void RecordLatency(double seconds) ARMNET_EXCLUDES(mutex_) {
+    MutexLock guard(mutex_);
+    if (static_cast<int>(window_.size()) < options_.window) {
+      window_.push_back(seconds);
+    } else {
+      window_[next_slot_] = seconds;
+    }
+    next_slot_ = (next_slot_ + 1) % static_cast<size_t>(options_.window);
+    ++recorded_;
+    const double p99 = P99Locked();
+    if (recorded_ < options_.min_samples) {
+      wait_seconds_ = 0;
+    } else if (p99 > options_.collapse_headroom *
+                         options_.latency_budget_seconds) {
+      wait_seconds_ = 0;  // pressure: drain immediately
+    } else if (p99 < options_.grow_headroom *
+                         options_.latency_budget_seconds) {
+      wait_seconds_ = std::min(wait_seconds_ + options_.step_seconds,
+                               options_.max_wait_seconds);
+    }
+    // else: hold — p99 is inside the [grow, collapse] comfort band.
+  }
+
+  // The accumulation wait a worker should spend gathering a batch right now.
+  double CurrentWaitSeconds() const ARMNET_EXCLUDES(mutex_) {
+    MutexLock guard(mutex_);
+    return wait_seconds_;
+  }
+
+  // Windowed p99 of recorded latencies (0 until anything is recorded).
+  double WindowP99Seconds() const ARMNET_EXCLUDES(mutex_) {
+    MutexLock guard(mutex_);
+    return P99Locked();
+  }
+
+  int64_t recorded() const ARMNET_EXCLUDES(mutex_) {
+    MutexLock guard(mutex_);
+    return recorded_;
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  double P99Locked() const ARMNET_REQUIRES(mutex_) {
+    if (window_.empty()) return 0;
+    std::vector<double> sorted(window_);
+    const size_t idx = static_cast<size_t>(
+        0.99 * static_cast<double>(sorted.size() - 1));
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<ptrdiff_t>(idx),
+                     sorted.end());
+    return sorted[idx];
+  }
+
+  const Options options_;
+  mutable Mutex mutex_;
+  std::vector<double> window_ ARMNET_GUARDED_BY(mutex_);
+  size_t next_slot_ ARMNET_GUARDED_BY(mutex_) = 0;
+  int64_t recorded_ ARMNET_GUARDED_BY(mutex_) = 0;
+  double wait_seconds_ ARMNET_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace armnet::serve
+
+#endif  // ARMNET_SERVE_BATCH_POLICY_H_

@@ -87,6 +87,12 @@ class CircuitBreaker {
     return state_;
   }
 
+  // Fully closed — not merely "allowing requests": half-open still probes.
+  // Readiness checks want this stricter predicate.
+  bool Healthy() ARMNET_EXCLUDES(mutex_) {
+    return state() == State::kClosed;
+  }
+
  private:
   // Cooldown-elapse transition.
   void Tick() ARMNET_REQUIRES(mutex_) {

@@ -1,5 +1,6 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -21,6 +22,18 @@ float PriorLogit(double positive_rate) {
   return static_cast<float>(std::log(p / (1.0 - p)));
 }
 
+AdaptiveBatchPolicy::Options PolicyOptions(const ServeOptions& options) {
+  AdaptiveBatchPolicy::Options policy;
+  policy.latency_budget_seconds = options.latency_budget_seconds;
+  policy.max_wait_seconds = options.batch_wait_seconds;
+  return policy;
+}
+
+int64_t ReadyLowWatermark(const ServeOptions& options) {
+  return options.ready_low_watermark >= 0 ? options.ready_low_watermark
+                                          : options.queue_capacity / 2;
+}
+
 }  // namespace
 
 const char* ServeCodeName(ServeCode code) {
@@ -37,6 +50,23 @@ const char* ServeCodeName(ServeCode code) {
       return "UNAVAILABLE";
   }
   return "UNKNOWN";
+}
+
+void ServeCounters::MergeFrom(const ServeCounters& other) {
+  submitted += other.submitted;
+  rejected_invalid += other.rejected_invalid;
+  rejected_overload += other.rejected_overload;
+  shed += other.shed;
+  expired += other.expired;
+  completed_ok += other.completed_ok;
+  degraded_fallback += other.degraded_fallback;
+  degraded_prior += other.degraded_prior;
+  failed += other.failed;
+  oov_fields += other.oov_fields;
+  clamped_fields += other.clamped_fields;
+  batches += other.batches;
+  reloads_ok += other.reloads_ok;
+  reloads_rejected += other.reloads_rejected;
 }
 
 // --- PendingPrediction -------------------------------------------------------
@@ -70,46 +100,69 @@ void PendingPrediction::Complete(PredictResult result) {
 PredictionService::PredictionService(models::TabularModel* model,
                                      data::FeatureSpace space,
                                      ServeOptions options, Clock* clock,
-                                     models::TabularModel* fallback)
-    : model_(model),
+                                     models::TabularModel* fallback,
+                                     models::TabularModel* standby)
+    : slots_{model, standby},
       fallback_(fallback),
       space_(std::move(space)),
       options_(std::move(options)),
       clock_(clock != nullptr ? clock : &own_clock_),
-      breaker_(options_.breaker, clock != nullptr ? clock : &own_clock_) {
-  ARMNET_CHECK(model_ != nullptr) << "PredictionService needs a model";
+      breaker_(options_.breaker, clock != nullptr ? clock : &own_clock_),
+      policy_(PolicyOptions(options_)) {
+  ARMNET_CHECK(model != nullptr) << "PredictionService needs a model";
+  ARMNET_CHECK(standby != model) << "standby must be a distinct model copy";
   ARMNET_CHECK_GE(options_.queue_capacity, 1);
   ARMNET_CHECK_GE(options_.max_batch_size, 1);
+  ARMNET_CHECK_GE(options_.num_workers, 1);
+  // Shard 0 is the submit path (and manual DrainOnce); worker i gets i + 1.
+  shards_.reserve(static_cast<size_t>(options_.num_workers) + 1);
+  for (int i = 0; i <= options_.num_workers; ++i) {
+    shards_.push_back(std::make_unique<CounterShard>());
+  }
+  // Eval mode for the service's whole lifetime: a per-forward mode guard
+  // would be a write race between workers sharing one module tree.
+  model->SetTraining(false);
+  if (standby != nullptr) standby->SetTraining(false);
+  if (fallback != nullptr) fallback->SetTraining(false);
   if (options_.start_worker) {
-    worker_ = std::thread([this] { WorkerLoop(); });
+    MutexLock lock(shutdown_mutex_);
+    for (int i = 0; i < options_.num_workers; ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
+    }
   }
 }
 
-PredictionService::~PredictionService() {
+PredictionService::~PredictionService() { Shutdown(); }
+
+void PredictionService::Shutdown() {
+  MutexLock shutdown_lock(shutdown_mutex_);
   alive_.store(false);
   {
     MutexLock lock(queue_mutex_);
     running_ = false;
   }
   queue_cv_.NotifyAll();
-  if (worker_.joinable()) worker_.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
 
   // Flush: every still-queued request gets a typed terminal answer so no
-  // Wait() can hang past the service's lifetime.
+  // Wait() can hang past shutdown. A Submit racing this either pushed
+  // before running_ flipped (its ticket is in this flush) or observes
+  // running_ == false and completes kUnavailable itself.
   std::deque<std::shared_ptr<PendingPrediction>> leftover;
   {
     MutexLock lock(queue_mutex_);
     leftover.swap(queue_);
   }
   if (!leftover.empty()) {
-    MutexLock guard(counters_mutex_);
-    counters_.failed += static_cast<int64_t>(leftover.size());
+    MutexLock guard(shards_[0]->mutex);
+    shards_[0]->counters.failed += static_cast<int64_t>(leftover.size());
   }
   for (const auto& pending : leftover) {
-    PredictResult result;
-    result.code = ServeCode::kUnavailable;
-    result.message = "service shutting down";
-    pending->Complete(std::move(result));
+    CompleteTerminal(*pending, ServeCode::kUnavailable,
+                     "service shutting down");
   }
 }
 
@@ -117,9 +170,11 @@ std::shared_ptr<PendingPrediction> PredictionService::Submit(
     const std::vector<std::string>& cells, double deadline_seconds) {
   ARMNET_PROFILE_COUNT("serve/submitted", 1);
   auto pending = std::make_shared<PendingPrediction>();
+  pending->submitted_at_ = clock_->NowSeconds();
+  CounterShard& shard = *shards_[0];
   {
-    MutexLock guard(counters_mutex_);
-    ++counters_.submitted;
+    MutexLock guard(shard.mutex);
+    ++shard.counters.submitted;
   }
 
   data::MappedRow mapped;
@@ -127,13 +182,10 @@ std::shared_ptr<PendingPrediction> PredictionService::Submit(
   if (!status.ok()) {
     ARMNET_PROFILE_COUNT("serve/rejected_invalid", 1);
     {
-      MutexLock guard(counters_mutex_);
-      ++counters_.rejected_invalid;
+      MutexLock guard(shard.mutex);
+      ++shard.counters.rejected_invalid;
     }
-    PredictResult result;
-    result.code = ServeCode::kInvalidArgument;
-    result.message = status.message();
-    pending->Complete(std::move(result));
+    CompleteTerminal(*pending, ServeCode::kInvalidArgument, status.message());
     return pending;
   }
   pending->ids_ = std::move(mapped.ids);
@@ -143,50 +195,95 @@ std::shared_ptr<PendingPrediction> PredictionService::Submit(
   if (mapped.oov_fields > 0 || mapped.clamped_fields > 0) {
     ARMNET_PROFILE_COUNT("serve/oov_fields", mapped.oov_fields);
     ARMNET_PROFILE_COUNT("serve/clamped_fields", mapped.clamped_fields);
-    MutexLock guard(counters_mutex_);
-    counters_.oov_fields += mapped.oov_fields;
-    counters_.clamped_fields += mapped.clamped_fields;
+    MutexLock guard(shard.mutex);
+    shard.counters.oov_fields += mapped.oov_fields;
+    shard.counters.clamped_fields += mapped.clamped_fields;
   }
 
   const double budget = deadline_seconds < 0
                             ? options_.default_deadline_seconds
                             : deadline_seconds;
-  pending->deadline_ = clock_->NowSeconds() + budget;
+  pending->deadline_ = pending->submitted_at_ + budget;
   if (budget <= 0) {
     ARMNET_PROFILE_COUNT("serve/expired", 1);
     {
-      MutexLock guard(counters_mutex_);
-      ++counters_.expired;
+      MutexLock guard(shard.mutex);
+      ++shard.counters.expired;
     }
-    PredictResult result;
-    result.code = ServeCode::kDeadlineExceeded;
-    result.message = "deadline expired before admission";
-    pending->Complete(std::move(result));
+    CompleteTerminal(*pending, ServeCode::kDeadlineExceeded,
+                     "deadline expired before admission");
     return pending;
   }
 
   bool admitted = false;
+  bool accepting = true;
+  std::vector<std::shared_ptr<PendingPrediction>> victims;
   {
     MutexLock lock(queue_mutex_);
-    if (running_ && alive_.load() &&
-        static_cast<int64_t>(queue_.size()) < options_.queue_capacity) {
+    if (!running_ || !alive_.load()) {
+      accepting = false;
+    } else if (static_cast<int64_t>(queue_.size()) < options_.queue_capacity) {
       queue_.push_back(pending);
       admitted = true;
+      if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
+        ready_saturated_ = true;
+      }
+      // High-watermark shed: above the watermark, evict the requests with
+      // the most deadline remaining — the ones nearest their deadline keep
+      // their place, and the shed clients get a typed answer now instead of
+      // an expiry later.
+      if (options_.shed_watermark >= 0) {
+        while (static_cast<int64_t>(queue_.size()) > options_.shed_watermark) {
+          auto victim = std::max_element(
+              queue_.begin(), queue_.end(),
+              [](const std::shared_ptr<PendingPrediction>& a,
+                 const std::shared_ptr<PendingPrediction>& b) {
+                return a->deadline_ < b->deadline_;
+              });
+          victims.push_back(std::move(*victim));
+          queue_.erase(victim);
+        }
+      }
+    } else {
+      ready_saturated_ = true;
     }
+  }
+  if (!accepting) {
+    // Lost the race with Shutdown: still a typed terminal, never a hung
+    // ticket.
+    ARMNET_PROFILE_COUNT("serve/failed", 1);
+    {
+      MutexLock guard(shard.mutex);
+      ++shard.counters.failed;
+    }
+    CompleteTerminal(*pending, ServeCode::kUnavailable,
+                     "service shutting down");
+    return pending;
   }
   if (!admitted) {
     ARMNET_PROFILE_COUNT("serve/rejected_overload", 1);
     {
-      MutexLock guard(counters_mutex_);
-      ++counters_.rejected_overload;
+      MutexLock guard(shard.mutex);
+      ++shard.counters.rejected_overload;
     }
-    PredictResult result;
-    result.code = ServeCode::kOverloaded;
-    result.message = StrFormat("queue at capacity (%lld)",
+    CompleteTerminal(*pending, ServeCode::kOverloaded,
+                     StrFormat("queue at capacity (%lld)",
                                static_cast<long long>(
-                                   options_.queue_capacity));
-    pending->Complete(std::move(result));
+                                   options_.queue_capacity)));
     return pending;
+  }
+  if (!victims.empty()) {
+    ARMNET_PROFILE_COUNT("serve/shed", static_cast<int64_t>(victims.size()));
+    {
+      MutexLock guard(shard.mutex);
+      shard.counters.shed += static_cast<int64_t>(victims.size());
+    }
+    for (const auto& victim : victims) {
+      CompleteTerminal(*victim, ServeCode::kOverloaded,
+                       StrFormat("shed past high watermark (%lld)",
+                                 static_cast<long long>(
+                                     options_.shed_watermark)));
+    }
   }
   queue_cv_.NotifyOne();
   return pending;
@@ -197,7 +294,9 @@ PredictResult PredictionService::Predict(const std::vector<std::string>& cells,
   return Submit(cells, deadline_seconds)->Wait();
 }
 
-int64_t PredictionService::DrainOnce() {
+int64_t PredictionService::DrainOnce() { return DrainBatch(*shards_[0]); }
+
+int64_t PredictionService::DrainBatch(CounterShard& shard) {
   // An armed queue stall models a wedged worker: the queue keeps admitting
   // (until capacity) but nothing is popped while the fault fires.
   if (fault::ShouldFail(fault::kSiteServeQueueStall, fault::Kind::kFailOpen)) {
@@ -211,6 +310,10 @@ int64_t PredictionService::DrainOnce() {
       taken.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    if (ready_saturated_ &&
+        static_cast<int64_t>(queue_.size()) <= ReadyLowWatermark(options_)) {
+      ready_saturated_ = false;
+    }
   }
   if (taken.empty()) return 0;
 
@@ -223,39 +326,85 @@ int64_t PredictionService::DrainOnce() {
     if (pending->deadline_ <= now) {
       ARMNET_PROFILE_COUNT("serve/expired", 1);
       ++newly_expired;
-      PredictResult result;
-      result.code = ServeCode::kDeadlineExceeded;
-      result.message = "deadline expired in queue";
-      pending->Complete(std::move(result));
+      CompleteTerminal(*pending, ServeCode::kDeadlineExceeded,
+                       "deadline expired in queue");
     } else {
       live.push_back(std::move(pending));
     }
   }
   if (newly_expired > 0) {
-    MutexLock guard(counters_mutex_);
-    counters_.expired += newly_expired;
+    MutexLock guard(shard.mutex);
+    shard.counters.expired += newly_expired;
   }
-  if (!live.empty()) ProcessBatch(live);
+  if (!live.empty()) ProcessBatch(live, shard);
   return static_cast<int64_t>(taken.size());
 }
 
-void PredictionService::WorkerLoop() {
+void PredictionService::WorkerLoop(int worker_index) {
+  CounterShard& shard = *shards_[static_cast<size_t>(worker_index) + 1];
   while (true) {
     {
       MutexLock lock(queue_mutex_);
+      // Idle workers block here — an enqueue or shutdown notifies; no
+      // timed polling while the queue is empty.
+      queue_cv_.Wait(queue_mutex_, [this]() ARMNET_REQUIRES(queue_mutex_) {
+        return !running_ || !queue_.empty();
+      });
       if (!running_) break;
-      if (queue_.empty()) {
-        clock_->WaitFor(queue_cv_, queue_mutex_, options_.batch_wait_seconds);
+      // Adaptive accumulation: give the batch time to fill while the
+      // controller reports latency headroom — but never past the earliest
+      // queued deadline and never once the batch is already full.
+      double wait = policy_.CurrentWaitSeconds();
+      if (wait > 0 &&
+          static_cast<int64_t>(queue_.size()) < options_.max_batch_size) {
+        double earliest = queue_.front()->deadline_;
+        for (const auto& pending : queue_) {
+          earliest = std::min(earliest, pending->deadline_);
+        }
+        wait = std::min(wait, earliest - clock_->NowSeconds());
+        if (wait > 0) clock_->WaitFor(queue_cv_, queue_mutex_, wait);
         if (!running_) break;
         if (queue_.empty()) continue;
       }
     }
-    DrainOnce();
+    // An armed worker stall parks this worker mid-drain (GC pause, page-in,
+    // scheduler eviction): bounded in real time so tests cannot hang, and
+    // mirrored onto the clock so queued deadlines burn down behind it.
+    const double stall =
+        fault::ClockStallSeconds(fault::kSiteServeWorkerStall);
+    if (stall > 0) {
+      Mutex park_mutex;
+      CondVar park_cv;
+      {
+        MutexLock park(park_mutex);
+        park_cv.WaitFor(park_mutex, std::min(stall, 0.050));
+      }
+      clock_->Advance(stall);
+    }
+    DrainBatch(shard);
   }
 }
 
+models::TabularModel* PredictionService::AcquireActiveModel(int* slot) {
+  MutexLock lock(model_mutex_);
+  // Only an in-place (no-standby) reload ever makes readers wait; the RCU
+  // path swaps the active index without touching quiescing_.
+  model_cv_.Wait(model_mutex_,
+                 [this]() ARMNET_REQUIRES(model_mutex_) { return !quiescing_; });
+  *slot = active_index_;
+  ++slot_readers_[active_index_];
+  return slots_[active_index_];
+}
+
+void PredictionService::ReleaseActiveModel(int slot) {
+  MutexLock lock(model_mutex_);
+  --slot_readers_[slot];
+  if (slot_readers_[slot] == 0) model_cv_.NotifyAll();
+}
+
 void PredictionService::ProcessBatch(
-    const std::vector<std::shared_ptr<PendingPrediction>>& batch) {
+    const std::vector<std::shared_ptr<PendingPrediction>>& batch,
+    CounterShard& shard) {
   ARMNET_PROFILE_SCOPE("serve/ProcessBatch");
   // An injected stall models a slow forward (page-in, contended CPU): the
   // clock jumps so requests queued behind this batch see their deadlines
@@ -265,26 +414,27 @@ void PredictionService::ProcessBatch(
   if (stall > 0) clock_->Advance(stall);
 
   if (!breaker_.AllowRequest()) {
-    Degrade(batch, "circuit breaker open");
+    Degrade(batch, shard, "circuit breaker open");
     return;
   }
   const data::Batch b = AssembleBatch(batch);
   std::vector<float> logits;
-  bool finite;
-  {
-    MutexLock model_lock(model_mutex_);
-    finite = ForwardBatch(*model_, b, &logits);
-  }
+  // RCU read side: hold a reader reference on the active slot for the
+  // forward — never a lock. A concurrent reload stages into the other slot.
+  int slot = 0;
+  models::TabularModel* model = AcquireActiveModel(&slot);
+  const bool finite = ForwardBatch(*model, b, &logits);
+  ReleaseActiveModel(slot);
   if (!finite) {
     // The attempt still counts as a batch (the breaker-open path above does
     // not): `batches` tracks forwards issued to the primary model.
     {
-      MutexLock guard(counters_mutex_);
-      ++counters_.batches;
+      MutexLock guard(shard.mutex);
+      ++shard.counters.batches;
     }
     breaker_.RecordFailure();
     RecordIncident("primary model produced non-finite logits");
-    Degrade(batch, "primary model produced non-finite logits");
+    Degrade(batch, shard, "primary model produced non-finite logits");
     return;
   }
   breaker_.RecordSuccess();
@@ -294,9 +444,9 @@ void PredictionService::ProcessBatch(
     // One critical section for the batch and its outcomes: a concurrent
     // counters() snapshot can never observe the batch without its
     // completions (the torn window the annotations audit flagged).
-    MutexLock guard(counters_mutex_);
-    ++counters_.batches;
-    counters_.completed_ok += static_cast<int64_t>(batch.size());
+    MutexLock guard(shard.mutex);
+    ++shard.counters.batches;
+    shard.counters.completed_ok += static_cast<int64_t>(batch.size());
   }
   for (size_t i = 0; i < batch.size(); ++i) {
     CompleteOk(*batch[i], logits[i], /*degraded=*/false);
@@ -324,10 +474,10 @@ bool PredictionService::ForwardBatch(models::TabularModel& model,
                                      const data::Batch& b,
                                      std::vector<float>* logits) {
   ARMNET_PROFILE_SCOPE("serve/Forward");
-  // Caller holds model_mutex_ for the whole forward (ARMNET_REQUIRES above)
-  // so a hot-reload can never swap weights mid-batch. Tape-free and pooled,
-  // mirroring armor/evaluator.
-  nn::TrainingModeGuard eval_mode(model, /*training=*/false);
+  // The model is in eval mode for the service's lifetime and the caller
+  // holds an RCU reader reference (reloads stage only into reader-free
+  // slots), so the forward is a pure read — safe concurrently from every
+  // worker. Tape-free and pooled, mirroring armor/evaluator.
   NoGradGuard no_grad;
   ScopedTensorPool scoped_pool(pool_);
   Rng rng(0);  // eval mode uses no randomness
@@ -345,22 +495,20 @@ bool PredictionService::ForwardBatch(models::TabularModel& model,
 
 void PredictionService::Degrade(
     const std::vector<std::shared_ptr<PendingPrediction>>& batch,
-    const std::string& why) {
+    CounterShard& shard, const std::string& why) {
   ARMNET_PROFILE_SCOPE("serve/Degrade");
   if (fallback_ != nullptr) {
     const data::Batch b = AssembleBatch(batch);
     std::vector<float> logits;
-    bool finite;
-    {
-      MutexLock model_lock(model_mutex_);
-      finite = ForwardBatch(*fallback_, b, &logits);
-    }
+    // The fallback is never reloaded, so concurrent degraded forwards
+    // through it are pure reads — no lock, no reader reference needed.
+    const bool finite = ForwardBatch(*fallback_, b, &logits);
     if (finite) {
       ARMNET_PROFILE_COUNT("serve/degraded_fallback",
                            static_cast<int64_t>(batch.size()));
       {
-        MutexLock guard(counters_mutex_);
-        counters_.degraded_fallback += static_cast<int64_t>(batch.size());
+        MutexLock guard(shard.mutex);
+        shard.counters.degraded_fallback += static_cast<int64_t>(batch.size());
       }
       for (size_t i = 0; i < batch.size(); ++i) {
         CompleteOk(*batch[i], logits[i], /*degraded=*/true);
@@ -374,8 +522,8 @@ void PredictionService::Degrade(
     ARMNET_PROFILE_COUNT("serve/degraded_prior",
                          static_cast<int64_t>(batch.size()));
     {
-      MutexLock guard(counters_mutex_);
-      counters_.degraded_prior += static_cast<int64_t>(batch.size());
+      MutexLock guard(shard.mutex);
+      shard.counters.degraded_prior += static_cast<int64_t>(batch.size());
     }
     for (const auto& pending : batch) {
       CompleteOk(*pending, logit, /*degraded=*/true);
@@ -384,14 +532,11 @@ void PredictionService::Degrade(
   }
   ARMNET_PROFILE_COUNT("serve/failed", static_cast<int64_t>(batch.size()));
   {
-    MutexLock guard(counters_mutex_);
-    counters_.failed += static_cast<int64_t>(batch.size());
+    MutexLock guard(shard.mutex);
+    shard.counters.failed += static_cast<int64_t>(batch.size());
   }
   for (const auto& pending : batch) {
-    PredictResult result;
-    result.code = ServeCode::kUnavailable;
-    result.message = why;
-    pending->Complete(std::move(result));
+    CompleteTerminal(*pending, ServeCode::kUnavailable, why);
   }
 }
 
@@ -402,26 +547,79 @@ void PredictionService::CompleteOk(PendingPrediction& pending, float logit,
   result.logit = logit;
   result.probability = Sigmoid(logit);
   result.degraded = degraded;
+  const double latency =
+      std::max(0.0, clock_->NowSeconds() - pending.submitted_at_);
+  result.latency_seconds = latency;
+  // Every answered request feeds the adaptive-batching control loop.
+  policy_.RecordLatency(latency);
+  pending.Complete(std::move(result));
+}
+
+void PredictionService::CompleteTerminal(PendingPrediction& pending,
+                                         ServeCode code, std::string message) {
+  PredictResult result;
+  result.code = code;
+  result.message = std::move(message);
+  result.latency_seconds =
+      std::max(0.0, clock_->NowSeconds() - pending.submitted_at_);
   pending.Complete(std::move(result));
 }
 
 Status PredictionService::ReloadModel(const std::string& path) {
   ARMNET_PROFILE_SCOPE("serve/ReloadModel");
+  MutexLock reload_lock(reload_mutex_);
   Status status;
   if (fault::ShouldFail(fault::kSiteServeReloadCorrupt,
                         fault::Kind::kFailOpen)) {
     status = Status::Error("injected corrupt reload: " + path);
-  } else {
+  } else if (slots_[1] != nullptr) {
+    // Warm standby: stage into the idle slot entirely off the serving path.
+    // New readers only ever acquire the active slot, so once the idle
+    // slot's stragglers (from before the previous swap) drain, its weights
+    // are exclusively ours to mutate — no forward ever waits on the stage.
+    int idle;
+    {
+      MutexLock lock(model_mutex_);
+      idle = 1 - active_index_;
+      model_cv_.Wait(model_mutex_,
+                     [this, idle]() ARMNET_REQUIRES(model_mutex_) {
+                       return slot_readers_[idle] == 0;
+                     });
+    }
     // LoadState stages and validates the whole file before touching any
-    // module state, so a failure here leaves the old weights serving.
-    MutexLock model_lock(model_mutex_);
-    status = nn::LoadState(*model_, path);
+    // module state; on failure the idle slot keeps its (stale but intact)
+    // weights and the active copy was never involved at all.
+    status = nn::LoadState(*slots_[idle], path);
+    if (status.ok()) {
+      slots_[idle]->SetTraining(false);
+      // RCU publish: the next AcquireActiveModel serves the new weights.
+      MutexLock lock(model_mutex_);
+      active_index_ = idle;
+    }
+  } else {
+    // Legacy in-place reload: quiesce the forwards for the stage duration.
+    {
+      MutexLock lock(model_mutex_);
+      quiescing_ = true;
+      model_cv_.Wait(model_mutex_, [this]() ARMNET_REQUIRES(model_mutex_) {
+        return slot_readers_[0] == 0 && slot_readers_[1] == 0;
+      });
+    }
+    status = nn::LoadState(*slots_[0], path);
+    if (status.ok()) slots_[0]->SetTraining(false);
+    {
+      MutexLock lock(model_mutex_);
+      quiescing_ = false;
+    }
+    model_cv_.NotifyAll();
   }
+
+  CounterShard& shard = *shards_[0];
   if (!status.ok()) {
     ARMNET_PROFILE_COUNT("serve/reloads_rejected", 1);
     {
-      MutexLock guard(counters_mutex_);
-      ++counters_.reloads_rejected;
+      MutexLock guard(shard.mutex);
+      ++shard.counters.reloads_rejected;
     }
     RecordIncident("reload rejected, old model keeps serving: " +
                    status.message());
@@ -429,8 +627,8 @@ Status PredictionService::ReloadModel(const std::string& path) {
   }
   ARMNET_PROFILE_COUNT("serve/reloads_ok", 1);
   {
-    MutexLock guard(counters_mutex_);
-    ++counters_.reloads_ok;
+    MutexLock guard(shard.mutex);
+    ++shard.counters.reloads_ok;
   }
   // Whatever failures the breaker accumulated were about the old weights.
   breaker_.Reset();
@@ -441,18 +639,24 @@ bool PredictionService::Alive() const { return alive_.load(); }
 
 bool PredictionService::Ready() {
   if (!alive_.load()) return false;
-  {
-    MutexLock lock(queue_mutex_);
-    if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
-      return false;
-    }
+  // Half-open means "probing after failures" — recovering, not yet ready.
+  if (!breaker_.Healthy()) return false;
+  MutexLock lock(queue_mutex_);
+  const int64_t size = static_cast<int64_t>(queue_.size());
+  if (size >= options_.queue_capacity) ready_saturated_ = true;
+  if (ready_saturated_ && size <= ReadyLowWatermark(options_)) {
+    ready_saturated_ = false;
   }
-  return breaker_.state() != CircuitBreaker::State::kOpen;
+  return !ready_saturated_;
 }
 
 ServeCounters PredictionService::counters() const {
-  MutexLock guard(counters_mutex_);
-  return counters_;
+  ServeCounters total;
+  for (const auto& shard : shards_) {
+    MutexLock guard(shard->mutex);
+    total.MergeFrom(shard->counters);
+  }
+  return total;
 }
 
 std::vector<prof::CounterStats> PredictionService::CounterSnapshot() const {
@@ -461,6 +665,7 @@ std::vector<prof::CounterStats> PredictionService::CounterSnapshot() const {
       {"serve/submitted", c.submitted},
       {"serve/rejected_invalid", c.rejected_invalid},
       {"serve/rejected_overload", c.rejected_overload},
+      {"serve/shed", c.shed},
       {"serve/expired", c.expired},
       {"serve/completed_ok", c.completed_ok},
       {"serve/degraded_fallback", c.degraded_fallback},
@@ -471,6 +676,14 @@ std::vector<prof::CounterStats> PredictionService::CounterSnapshot() const {
       {"serve/batches", c.batches},
       {"serve/reloads_ok", c.reloads_ok},
       {"serve/reloads_rejected", c.reloads_rejected},
+  };
+}
+
+std::vector<std::pair<std::string, double>> PredictionService::GaugeSnapshot()
+    const {
+  return {
+      {"serve/batch_wait_seconds", policy_.CurrentWaitSeconds()},
+      {"serve/window_p99_seconds", policy_.WindowP99Seconds()},
   };
 }
 

@@ -7,10 +7,12 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/tabular.h"
 #include "data/feature_space.h"
+#include "serve/batch_policy.h"
 #include "serve/circuit_breaker.h"
 #include "tensor/storage_pool.h"
 #include "util/clock.h"
@@ -20,7 +22,7 @@
 
 namespace armnet::serve {
 
-// In-process prediction service (DESIGN.md §11).
+// In-process prediction service (DESIGN.md §11, §13).
 //
 // Owns the request path from raw string cells to a logit, hardened in the
 // style of production model servers (Clipper, TF-Serving):
@@ -31,38 +33,60 @@ namespace armnet::serve {
 //              to the train-time [lo, hi] range; both merely counted, never
 //              fatal — a trained model must survive data it didn't train on
 //   queue      bounded micro-batching queue; admission control rejects with
-//              kOverloaded instead of growing without bound, and requests
-//              whose deadline passed in the queue return kDeadlineExceeded
-//              without ever being forwarded
-//   forward    NoGradGuard + pooled micro-batch forward under the breaker;
-//              non-finite logits count as internal failures
+//              kOverloaded instead of growing without bound, a high-
+//              watermark shed policy evicts the newest-deadline entries
+//              under sustained overload, and requests whose deadline passed
+//              in the queue return kDeadlineExceeded without ever being
+//              forwarded
+//   forward    N worker threads (ServeOptions::num_workers) drain the queue
+//              concurrently; batch accumulation adapts to the measured p99
+//              against ServeOptions::latency_budget_seconds (see
+//              serve/batch_policy.h); the forward runs NoGradGuard + pooled
+//              under the breaker, non-finite logits count as failures
 //   degrade    when the breaker is open or the forward failed: fallback
 //              model if configured, else the train-prior logit, else
 //              kUnavailable — a typed answer in every case
 //
-// Weights hot-reload atomically through the CRC-framed envelope: a corrupt
-// or mismatched file is rejected whole and the old model keeps serving.
-// Every request ends in exactly one terminal counter, so
-//   submitted == rejected_invalid + rejected_overload + expired
-//              + completed_ok + degraded_fallback + degraded_prior + failed
-// holds at quiescence — the accounting identity the E2E test asserts.
+// Weights hot-reload through the CRC-framed envelope. With a warm standby
+// configured, `ReloadModel` stages `LoadState` into the idle model copy off
+// the serving path and publishes it with an RCU-style swap — workers never
+// wait on a reload, and a corrupt file leaves the active copy untouched.
+// Without a standby the legacy in-place reload quiesces the forwards for
+// the duration of the stage.
 //
-// Lock discipline (DESIGN.md §12): three mutexes, never nested —
-//   model_mutex_     the pointees of model_/fallback_ plus the forward
-//                    itself, so a hot reload can never interleave with a
-//                    batch using the weights it replaces
-//   queue_mutex_     the micro-batch queue and the running_ flag
-//   counters_mutex_  the ServeCounters aggregate
-// incidents_mutex_ is a leaf for the incident log. Every guarded field and
-// every lock contract below is enforced at compile time by the
+// Every request ends in exactly one terminal counter, so
+//   submitted == rejected_invalid + rejected_overload + shed + expired
+//              + completed_ok + degraded_fallback + degraded_prior + failed
+// holds at quiescence — the accounting identity the E2E test, the soak
+// harness, and the bench all assert. Counters are sharded per worker (plus
+// one submit-side shard) and merged on read, so worker threads never
+// contend on a global counters mutex.
+//
+// Lock discipline (DESIGN.md §12): mutexes are never nested except where
+// stated —
+//   reload_mutex_    serializes ReloadModel calls; taken before model_mutex_
+//   model_mutex_     the RCU slot bookkeeping (active index, per-slot
+//                    reader counts, quiesce flag) — NOT the forward itself:
+//                    forwards run outside the lock on a slot they hold a
+//                    reader reference to
+//   queue_mutex_     the micro-batch queue, running_, and the readiness
+//                    hysteresis state
+//   shutdown_mutex_  serializes Shutdown(); taken before queue_mutex_
+//   per-shard mutex  one CounterShard each; leaves
+// incidents_mutex_ and the policy's internal mutex are leaves. Every
+// guarded field and lock contract below is enforced at compile time by the
 // `thread-safety` preset.
+//
+// The service puts its models into eval mode (SetTraining(false)) for its
+// whole lifetime — per-forward mode guards would be a write race between
+// workers sharing one module tree.
 
 // Typed per-request outcome. Never a crash: hostile input maps to one of
 // these.
 enum class ServeCode {
   kOk,
   kInvalidArgument,   // malformed request (arity, unparsable numeric cell)
-  kOverloaded,        // admission control: queue at capacity
+  kOverloaded,        // admission control: queue at capacity, or shed
   kDeadlineExceeded,  // deadline passed before the forward ran
   kUnavailable,       // no model, fallback, or prior could answer
 };
@@ -77,6 +101,10 @@ struct PredictResult {
   bool degraded = false;   // answered by the fallback/prior, not the model
   int oov_fields = 0;      // categorical cells mapped to UNK
   int clamped_fields = 0;  // numerical cells clamped into [lo, hi]
+  // Submit-to-terminal-completion time in service-clock seconds (0 for
+  // synchronous rejections). The open-loop bench builds its p50/p99 from
+  // this, so the numbers are service-side, not Wait()-scheduling noise.
+  double latency_seconds = 0;
 };
 
 // Handle for one submitted request; Wait() blocks until a terminal result.
@@ -97,20 +125,41 @@ class PendingPrediction {
 
   // Request state owned by the service side. Deliberately unguarded: the
   // submitting thread writes these before the handle enters the queue, and
-  // only the draining thread reads them after it leaves — ownership hands
-  // off through queue_mutex_'s push/pop ordering, never shared.
+  // they are only read after it leaves (by the draining worker) or while it
+  // sits in the queue (by the shed scan, under queue_mutex_) — ownership
+  // hands off through queue_mutex_'s push/pop ordering, never shared.
   std::vector<int64_t> ids_;
   std::vector<float> values_;
   double deadline_ = 0;  // absolute, service-clock seconds
+  double submitted_at_ = 0;
   int oov_fields_ = 0;
   int clamped_fields_ = 0;
 };
 
 struct ServeOptions {
+  int num_workers = 1;            // drain threads when start_worker is true
   int64_t queue_capacity = 256;   // admission-control bound
   int64_t max_batch_size = 64;    // micro-batch cap per forward
-  double batch_wait_seconds = 0.002;  // worker idle-poll interval
+  // Upper bound on the adaptive batch-accumulation wait. The controller
+  // (serve/batch_policy.h) moves the actual wait between 0 and this bound
+  // from the measured p99; workers never idle-poll on it — idle workers
+  // block on the queue CondVar until an enqueue.
+  double batch_wait_seconds = 0.002;
+  // The p99 target the adaptive controller defends: accumulation grows only
+  // while the windowed p99 leaves headroom against this budget.
+  double latency_budget_seconds = 0.050;
   double default_deadline_seconds = 1.0;
+  // Load shedding: when the queue grows past this many entries, the
+  // newest-deadline requests are evicted (completed kOverloaded) until the
+  // queue is back at the watermark — under sustained overload the requests
+  // closest to their deadline keep their place, and the shed clients learn
+  // their fate immediately instead of timing out. -1 disables shedding
+  // (the only backpressure is capacity rejection).
+  int64_t shed_watermark = -1;
+  // Readiness hysteresis: Ready() reports false once the queue reaches
+  // capacity and true again only after it drains to this level, so
+  // readiness cannot flap at exactly queue_capacity. -1 = capacity / 2.
+  int64_t ready_low_watermark = -1;
   CircuitBreaker::Options breaker;
   // Degrade to the train-prior logit when no fallback model is configured.
   // With this false and no fallback, breaker-open requests get
@@ -127,6 +176,7 @@ struct ServeCounters {
   int64_t submitted = 0;
   int64_t rejected_invalid = 0;
   int64_t rejected_overload = 0;
+  int64_t shed = 0;  // evicted past the high watermark (newest deadline)
   int64_t expired = 0;
   int64_t completed_ok = 0;
   int64_t degraded_fallback = 0;
@@ -140,9 +190,11 @@ struct ServeCounters {
   int64_t reloads_rejected = 0;
 
   int64_t Terminal() const {
-    return rejected_invalid + rejected_overload + expired + completed_ok +
-           degraded_fallback + degraded_prior + failed;
+    return rejected_invalid + rejected_overload + shed + expired +
+           completed_ok + degraded_fallback + degraded_prior + failed;
   }
+
+  void MergeFrom(const ServeCounters& other);
 };
 
 class PredictionService {
@@ -150,24 +202,33 @@ class PredictionService {
   // `model` must outlive the service (non-owning; the trainer or test owns
   // module lifetime). `clock` may be null for a service-owned SteadyClock.
   // `fallback` is the optional lightweight degradation model (e.g. LR);
-  // also non-owning.
+  // `standby` is the optional warm-standby copy (same architecture as
+  // `model`) that makes ReloadModel an off-path stage + RCU swap instead of
+  // an in-place quiesce. Both non-owning. The service switches every model
+  // it was given into eval mode for its lifetime.
   PredictionService(models::TabularModel* model, data::FeatureSpace space,
                     ServeOptions options, Clock* clock = nullptr,
-                    models::TabularModel* fallback = nullptr);
-  // Stops the worker and completes any still-queued requests with
-  // kUnavailable, so no Wait() ever hangs.
+                    models::TabularModel* fallback = nullptr,
+                    models::TabularModel* standby = nullptr);
+  // Equivalent to Shutdown().
   ~PredictionService();
 
   PredictionService(const PredictionService&) = delete;
   PredictionService& operator=(const PredictionService&) = delete;
 
+  // Stops accepting work, joins the workers, and completes every
+  // still-queued request with kUnavailable, so no Wait() ever hangs.
+  // Idempotent and safe to race with concurrent Submit calls: a submission
+  // that loses the race gets a typed kUnavailable, never a lost ticket.
+  void Shutdown() ARMNET_EXCLUDES(shutdown_mutex_, queue_mutex_);
+
   // Validates, maps, and enqueues one request. Terminal rejections
-  // (invalid, overloaded, already-expired) complete the returned ticket
-  // before it is handed back. `deadline_seconds` < 0 uses the default;
-  // == 0 expires immediately.
+  // (invalid, overloaded, shed, already-expired) complete the returned
+  // ticket before it is handed back. `deadline_seconds` < 0 uses the
+  // default; == 0 expires immediately.
   std::shared_ptr<PendingPrediction> Submit(
       const std::vector<std::string>& cells, double deadline_seconds = -1)
-      ARMNET_EXCLUDES(queue_mutex_, counters_mutex_);
+      ARMNET_EXCLUDES(queue_mutex_);
 
   // Blocking convenience: Submit + Wait. With start_worker=false the queue
   // must be drained from another thread (or use Submit + DrainOnce).
@@ -176,68 +237,109 @@ class PredictionService {
 
   // Processes at most one micro-batch from the queue; returns the number of
   // requests it completed. The manual-mode pump for deterministic tests.
-  int64_t DrainOnce()
-      ARMNET_EXCLUDES(queue_mutex_, model_mutex_, counters_mutex_);
+  int64_t DrainOnce() ARMNET_EXCLUDES(queue_mutex_, model_mutex_);
 
   // Atomically replaces the model weights from a CRC-framed state file.
-  // Any validation failure leaves the old weights serving, records an
-  // incident, and returns the error; success resets the circuit breaker.
+  // Any validation failure leaves the currently-serving weights untouched,
+  // records an incident, and returns the error; success resets the circuit
+  // breaker. With a warm standby the stage runs entirely off the serving
+  // path and publishing is an RCU swap; workers never wait on it.
   Status ReloadModel(const std::string& path)
-      ARMNET_EXCLUDES(model_mutex_, counters_mutex_);
+      ARMNET_EXCLUDES(reload_mutex_, model_mutex_);
 
-  // Liveness: the service accepts submissions (true until destruction
-  // begins).
+  // Liveness: the service accepts submissions (true until shutdown begins).
   bool Alive() const;
-  // Readiness: accepting AND likely to answer — queue below capacity and
-  // breaker not open.
+  // Readiness: accepting AND likely to answer — breaker closed (half-open
+  // still counts as recovering) and the queue below the hysteresis band
+  // (unready at capacity, ready again only at/below ready_low_watermark).
   bool Ready() ARMNET_EXCLUDES(queue_mutex_);
 
-  ServeCounters counters() const ARMNET_EXCLUDES(counters_mutex_);
+  // Merged view over all counter shards. The accounting identity holds
+  // exactly at quiescence; mid-flight snapshots may observe a submission
+  // before its terminal bucket.
+  ServeCounters counters() const;
   // Counter snapshot in the profiler's CounterStats shape, for embedding
   // into armor::RunMetrics ("serve" section of the run-metrics JSON).
   std::vector<prof::CounterStats> CounterSnapshot() const;
+  // Continuous operating-point gauges (adaptive batch wait, windowed p99),
+  // for the run-metrics "serve_gauges" section.
+  std::vector<std::pair<std::string, double>> GaugeSnapshot() const;
 
   // Operator-visible anomalies (rejected reloads, degradation activations).
   std::vector<std::string> incidents() const ARMNET_EXCLUDES(incidents_mutex_);
 
   CircuitBreaker& breaker() { return breaker_; }
   const data::FeatureSpace& feature_space() const { return space_; }
+  const AdaptiveBatchPolicy& batch_policy() const { return policy_; }
 
  private:
-  void WorkerLoop() ARMNET_EXCLUDES(queue_mutex_);
+  // One worker's (or the submit path's) slice of the counters. Sharding
+  // keeps the drain threads from serializing on one counters mutex; reads
+  // merge all shards.
+  struct CounterShard {
+    mutable Mutex mutex;
+    ServeCounters counters ARMNET_GUARDED_BY(mutex);
+  };
+
+  void WorkerLoop(int worker_index) ARMNET_EXCLUDES(queue_mutex_);
+  // Pops and processes at most one micro-batch, crediting `shard`.
+  int64_t DrainBatch(CounterShard& shard)
+      ARMNET_EXCLUDES(queue_mutex_, model_mutex_);
   // Runs one micro-batch through the model (or the degradation ladder).
   void ProcessBatch(
-      const std::vector<std::shared_ptr<PendingPrediction>>& batch)
-      ARMNET_EXCLUDES(model_mutex_, counters_mutex_);
+      const std::vector<std::shared_ptr<PendingPrediction>>& batch,
+      CounterShard& shard) ARMNET_EXCLUDES(model_mutex_);
   // Flattens the per-request mapped rows into one forward-ready batch.
   data::Batch AssembleBatch(
       const std::vector<std::shared_ptr<PendingPrediction>>& batch) const;
-  // Forwards the assembled batch through `model` under eval-mode +
-  // NoGradGuard + pooled allocation; returns false if any logit came back
-  // non-finite. The caller must hold model_mutex_ — the contract that makes
-  // "no forward may interleave with a reload" a compile-time fact.
+  // Forwards the assembled batch through `model` under NoGradGuard + pooled
+  // allocation; returns false if any logit came back non-finite. The caller
+  // must hold a reader reference on the slot `model` came from (or, for the
+  // fallback, rely on it never being mutated).
   bool ForwardBatch(models::TabularModel& model, const data::Batch& b,
-                    std::vector<float>* logits)
-      ARMNET_REQUIRES(model_mutex_);
+                    std::vector<float>* logits);
   void Degrade(const std::vector<std::shared_ptr<PendingPrediction>>& batch,
-               const std::string& why)
-      ARMNET_EXCLUDES(model_mutex_, counters_mutex_);
+               CounterShard& shard, const std::string& why)
+      ARMNET_EXCLUDES(model_mutex_);
   void CompleteOk(PendingPrediction& pending, float logit, bool degraded);
+  void CompleteTerminal(PendingPrediction& pending, ServeCode code,
+                        std::string message);
   void RecordIncident(std::string message) ARMNET_EXCLUDES(incidents_mutex_);
 
-  // The pointees are guarded by model_mutex_ (weights mutate under reload);
-  // the pointers themselves are set once in the constructor.
-  models::TabularModel* model_ ARMNET_PT_GUARDED_BY(model_mutex_);
-  models::TabularModel* fallback_ ARMNET_PT_GUARDED_BY(model_mutex_);
+  // RCU reader side: returns the active model with this thread registered
+  // as a reader of its slot (blocks only while an in-place reload is
+  // quiescing). The weights of a slot with a nonzero reader count are never
+  // mutated — ReloadModel stages only into a quiesced slot — so the forward
+  // itself runs without any lock held.
+  models::TabularModel* AcquireActiveModel(int* slot)
+      ARMNET_EXCLUDES(model_mutex_);
+  void ReleaseActiveModel(int slot) ARMNET_EXCLUDES(model_mutex_);
+
+  // Model slots. slots_[0] is the constructor's `model`, slots_[1] the
+  // optional standby (null when not configured). The array entries are set
+  // once in the constructor; which slot is live is active_index_ under
+  // model_mutex_. Pointee mutation is governed by the RCU protocol above,
+  // which the annotations cannot express — the soak test under TSan is the
+  // dynamic check.
+  models::TabularModel* slots_[2];
+  // Never reloaded, so never mutated: concurrent degraded forwards through
+  // it are pure reads.
+  models::TabularModel* fallback_;
   const data::FeatureSpace space_;
   const ServeOptions options_;
   SteadyClock own_clock_;
   Clock* clock_;
   CircuitBreaker breaker_;
+  AdaptiveBatchPolicy policy_;
 
-  // Serializes forwards and reloads: a reload can never interleave with a
-  // batch using the weights it replaces.
+  Mutex reload_mutex_;  // serializes reloads; taken before model_mutex_
   Mutex model_mutex_;
+  CondVar model_cv_;
+  int active_index_ ARMNET_GUARDED_BY(model_mutex_) = 0;
+  int64_t slot_readers_[2] ARMNET_GUARDED_BY(model_mutex_) = {0, 0};
+  // True while an in-place (no-standby) reload drains and blocks readers.
+  bool quiescing_ ARMNET_GUARDED_BY(model_mutex_) = false;
+
   TensorPool pool_;  // internally synchronized
 
   Mutex queue_mutex_;
@@ -245,11 +347,16 @@ class PredictionService {
   std::deque<std::shared_ptr<PendingPrediction>> queue_
       ARMNET_GUARDED_BY(queue_mutex_);
   bool running_ ARMNET_GUARDED_BY(queue_mutex_) = true;
+  // Readiness hysteresis state (see Ready()).
+  bool ready_saturated_ ARMNET_GUARDED_BY(queue_mutex_) = false;
   std::atomic<bool> alive_{true};
-  std::thread worker_;
 
-  mutable Mutex counters_mutex_;
-  ServeCounters counters_ ARMNET_GUARDED_BY(counters_mutex_);
+  Mutex shutdown_mutex_;
+  std::vector<std::thread> workers_ ARMNET_GUARDED_BY(shutdown_mutex_);
+
+  // shards_[0] is the submit-side shard (also the manual DrainOnce shard);
+  // worker i uses shards_[i + 1]. Sized once in the constructor.
+  std::vector<std::unique_ptr<CounterShard>> shards_;
 
   mutable Mutex incidents_mutex_;
   std::vector<std::string> incidents_ ARMNET_GUARDED_BY(incidents_mutex_);

@@ -44,6 +44,7 @@ inline constexpr char kSiteTrainerClock[] = "trainer/clock";
 inline constexpr char kSiteServeSlowForward[] = "serve/slow_forward";
 inline constexpr char kSiteServeReloadCorrupt[] = "serve/reload_corrupt";
 inline constexpr char kSiteServeQueueStall[] = "serve/queue_stall";
+inline constexpr char kSiteServeWorkerStall[] = "serve/worker_stall";
 
 #ifdef ARMNET_FAULT_INJECTION
 

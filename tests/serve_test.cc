@@ -1,13 +1,18 @@
-// Tests for the serving layer (DESIGN.md §11): feature-space artifact
+// Tests for the serving layer (DESIGN.md §11, §13): feature-space artifact
 // round-trips, admission control, deadlines on a virtual clock, the
-// circuit-breaker cycle, graceful degradation, hot reload, and the
-// end-to-end train → persist → serve demo.
+// circuit-breaker cycle, graceful degradation, adaptive batching, load
+// shedding, readiness hysteresis, warm-standby RCU reload, multi-worker
+// accounting, the shutdown race, and the end-to-end train → persist → serve
+// demo.
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -19,6 +24,7 @@
 #include "data/split.h"
 #include "models/lr.h"
 #include "nn/serialize.h"
+#include "serve/batch_policy.h"
 #include "serve/service.h"
 #include "util/clock.h"
 #include "util/csv.h"
@@ -38,6 +44,7 @@ using serve::CircuitBreaker;
 using serve::PredictionService;
 using serve::PredictResult;
 using serve::ServeCode;
+using serve::ServeCodeName;
 using serve::ServeOptions;
 
 std::string ReadAll(const std::string& path) {
@@ -215,6 +222,47 @@ TEST(CircuitBreakerTest, OpenHalfOpenCloseCycle) {
   breaker.RecordSuccess();
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
   EXPECT_TRUE(breaker.AllowRequest());
+}
+
+// --- Adaptive batch policy ---------------------------------------------------
+
+serve::AdaptiveBatchPolicy::Options SmallPolicyOptions() {
+  serve::AdaptiveBatchPolicy::Options options;
+  options.latency_budget_seconds = 0.1;
+  options.max_wait_seconds = 0.002;
+  options.step_seconds = 0.0005;
+  options.window = 8;
+  options.min_samples = 4;
+  return options;
+}
+
+TEST(AdaptiveBatchPolicyTest, ColdStartDrainsImmediately) {
+  serve::AdaptiveBatchPolicy policy(SmallPolicyOptions());
+  EXPECT_DOUBLE_EQ(policy.CurrentWaitSeconds(), 0.0);
+  for (int i = 0; i < 3; ++i) policy.RecordLatency(0.001);
+  // Below min_samples: no evidence, no speculative waiting.
+  EXPECT_DOUBLE_EQ(policy.CurrentWaitSeconds(), 0.0);
+}
+
+TEST(AdaptiveBatchPolicyTest, GrowsAdditivelyUnderHeadroomUpToCap) {
+  serve::AdaptiveBatchPolicy policy(SmallPolicyOptions());
+  // Calm traffic: p99 (1ms) is far under grow_headroom * budget (50ms), so
+  // every sample past min_samples adds one step until the cap.
+  for (int i = 0; i < 8; ++i) policy.RecordLatency(0.001);
+  EXPECT_DOUBLE_EQ(policy.CurrentWaitSeconds(), 0.002);  // capped at max
+  EXPECT_EQ(policy.recorded(), 8);
+}
+
+TEST(AdaptiveBatchPolicyTest, CollapsesToZeroUnderPressure) {
+  serve::AdaptiveBatchPolicy policy(SmallPolicyOptions());
+  for (int i = 0; i < 8; ++i) policy.RecordLatency(0.001);
+  ASSERT_GT(policy.CurrentWaitSeconds(), 0.0);
+  // Two slow completions push the windowed p99 (window 8, idx 6) past
+  // collapse_headroom * budget = 80ms: multiplicative decrease to zero.
+  policy.RecordLatency(0.09);
+  policy.RecordLatency(0.09);
+  EXPECT_GT(policy.WindowP99Seconds(), 0.08);
+  EXPECT_DOUBLE_EQ(policy.CurrentWaitSeconds(), 0.0);
 }
 
 // --- Prediction service ------------------------------------------------------
@@ -475,6 +523,238 @@ TEST(PredictionServiceTest, ShutdownCompletesQueuedRequests) {
   EXPECT_EQ(ticket->Wait().code, ServeCode::kUnavailable);
 }
 
+TEST(PredictionServiceTest, ShedsNewestDeadlineAboveWatermark) {
+  ServiceFixture fx("svc_shed");
+  ServeOptions options = fx.ManualOptions();
+  options.queue_capacity = 8;
+  options.shed_watermark = 2;
+  PredictionService service(fx.model.get(), fx.space, options, &fx.clock);
+
+  auto relaxed = service.Submit({"sf", "15"}, 30.0);   // most slack
+  auto urgent = service.Submit({"nyc", "20"}, 5.0);
+  auto middle = service.Submit({"sf", "10"}, 10.0);    // crosses watermark
+  // The eviction picks the request with the most deadline remaining — the
+  // urgent ones keep their place.
+  ASSERT_TRUE(relaxed->done());
+  EXPECT_EQ(relaxed->Wait().code, ServeCode::kOverloaded);
+  EXPECT_NE(relaxed->Wait().message.find("shed"), std::string::npos);
+  EXPECT_FALSE(urgent->done());
+  EXPECT_FALSE(middle->done());
+  EXPECT_TRUE(service.Ready());  // shedding is not saturation
+
+  while (service.DrainOnce() > 0) {
+  }
+  EXPECT_EQ(urgent->Wait().code, ServeCode::kOk);
+  EXPECT_EQ(middle->Wait().code, ServeCode::kOk);
+  const serve::ServeCounters counters = service.counters();
+  EXPECT_EQ(counters.submitted, 3);
+  EXPECT_EQ(counters.shed, 1);
+  EXPECT_EQ(counters.completed_ok, 2);
+  EXPECT_EQ(counters.Terminal(), counters.submitted);
+}
+
+TEST(PredictionServiceTest, ReadyHysteresisHoldsUntilLowWatermark) {
+  ServiceFixture fx("svc_hysteresis");
+  ServeOptions options = fx.ManualOptions();
+  options.queue_capacity = 4;
+  options.ready_low_watermark = 2;
+  options.max_batch_size = 1;  // drain one request per DrainOnce
+  PredictionService service(fx.model.get(), fx.space, options, &fx.clock);
+
+  for (int i = 0; i < 4; ++i) service.Submit({"sf", "15"});
+  EXPECT_FALSE(service.Ready());  // saturated at capacity
+  EXPECT_EQ(service.DrainOnce(), 1);
+  // Queue at 3: below capacity but above the low watermark — a service that
+  // flapped ready here would re-admit straight back into saturation.
+  EXPECT_FALSE(service.Ready());
+  EXPECT_EQ(service.DrainOnce(), 1);
+  EXPECT_TRUE(service.Ready());  // drained to the low watermark (2)
+  while (service.DrainOnce() > 0) {
+  }
+  EXPECT_TRUE(service.Ready());
+}
+
+TEST(PredictionServiceTest, HalfOpenBreakerIsNotReady) {
+  ServiceFixture fx("svc_halfopen");
+  ServeOptions options = fx.ManualOptions();
+  options.breaker.open_after = 1;
+  options.breaker.cooldown_seconds = 1.0;
+  PredictionService service(fx.model.get(), fx.space, options, &fx.clock);
+  PoisonParams(*fx.model);
+  service.Submit({"sf", "15"});
+  service.DrainOnce();
+  ASSERT_EQ(service.breaker().state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(service.Ready());
+
+  // Cooldown elapses: half-open is still "recovering", not "ready" — a load
+  // balancer should not route full traffic at a service that is probing.
+  fx.clock.Advance(1.5);
+  ASSERT_EQ(service.breaker().state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(service.Ready());
+
+  // A healthy probe closes the breaker; readiness returns.
+  FillParams(*fx.model, 0.0f);
+  auto probe = service.Submit({"sf", "15"});
+  service.DrainOnce();
+  EXPECT_EQ(probe->Wait().code, ServeCode::kOk);
+  ASSERT_EQ(service.breaker().state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(service.Ready());
+}
+
+TEST(PredictionServiceTest, LatencyMeasuredOnServiceClock) {
+  ServiceFixture fx("svc_latency");
+  PredictionService service(fx.model.get(), fx.space, fx.ManualOptions(),
+                            &fx.clock);
+  auto served = service.Submit({"sf", "15"}, 5.0);
+  fx.clock.Advance(0.25);
+  service.DrainOnce();
+  EXPECT_EQ(served->Wait().code, ServeCode::kOk);
+  EXPECT_NEAR(served->Wait().latency_seconds, 0.25, 1e-9);
+
+  // Terminal rejections carry their queue dwell time too.
+  auto expired = service.Submit({"nyc", "20"}, 0.1);
+  fx.clock.Advance(0.2);
+  service.DrainOnce();
+  EXPECT_EQ(expired->Wait().code, ServeCode::kDeadlineExceeded);
+  EXPECT_NEAR(expired->Wait().latency_seconds, 0.2, 1e-9);
+
+  // Completed latencies feed the adaptive-batching controller.
+  EXPECT_EQ(service.batch_policy().recorded(), 1);
+}
+
+TEST(PredictionServiceTest, WarmStandbyReloadNeverTouchesActiveCopy) {
+  ServiceFixture fx("svc_standby");
+  Rng rng(21);
+  models::Lr standby(fx.space.schema().num_features(), rng);
+  FillParams(standby, 9.0f);  // sentinel: must be overwritten by the stage
+  PredictionService service(fx.model.get(), fx.space, fx.ManualOptions(),
+                            &fx.clock, /*fallback=*/nullptr, &standby);
+
+  auto before = service.Submit({"sf", "15"});
+  service.DrainOnce();
+  EXPECT_FLOAT_EQ(before->Wait().logit, 0.0f);  // all-zero active copy
+
+  // Weights that produce a different logit, persisted for reload.
+  models::Lr donor(fx.space.schema().num_features(), rng);
+  FillParams(donor, 0.5f);
+  const std::string good = ::testing::TempDir() + "/svc_standby.state";
+  ASSERT_TRUE(nn::SaveState(donor, good).ok());
+
+  // A corrupt file is rejected during the off-path stage: the active copy
+  // keeps serving, nothing was published.
+  std::string bytes = ReadAll(good);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  const std::string bad = good + ".corrupt";
+  WriteAll(bad, bytes);
+  EXPECT_FALSE(service.ReloadModel(bad).ok());
+  auto still_old = service.Submit({"sf", "15"});
+  service.DrainOnce();
+  EXPECT_FLOAT_EQ(still_old->Wait().logit, 0.0f);
+
+  // The good file stages into the standby and publishes via the RCU swap.
+  ASSERT_TRUE(service.ReloadModel(good).ok());
+  auto after = service.Submit({"sf", "15"});
+  service.DrainOnce();
+  EXPECT_NE(after->Wait().logit, 0.0f);
+  EXPECT_EQ(after->Wait().code, ServeCode::kOk);
+
+  // The swap published the standby copy; the old active object was never
+  // written — its parameters are still all zeros.
+  for (Variable& p : fx.model->Parameters()) {
+    const Tensor& t = p.value();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      ASSERT_FLOAT_EQ(t[i], 0.0f);
+    }
+  }
+
+  // A second reload ping-pongs back into the now-idle original slot.
+  models::Lr donor2(fx.space.schema().num_features(), rng);
+  FillParams(donor2, 0.25f);
+  const std::string good2 = ::testing::TempDir() + "/svc_standby2.state";
+  ASSERT_TRUE(nn::SaveState(donor2, good2).ok());
+  ASSERT_TRUE(service.ReloadModel(good2).ok());
+  auto pingpong = service.Submit({"sf", "15"});
+  service.DrainOnce();
+  EXPECT_EQ(pingpong->Wait().code, ServeCode::kOk);
+  EXPECT_NE(pingpong->Wait().logit, after->Wait().logit);
+  EXPECT_EQ(service.counters().reloads_ok, 2);
+  EXPECT_EQ(service.counters().reloads_rejected, 1);
+}
+
+TEST(PredictionServiceTest, MultiWorkerAccountingIdentityHolds) {
+  ServiceFixture fx("svc_multiworker");
+  ServeOptions options;
+  options.start_worker = true;
+  options.num_workers = 4;
+  // Real clock: the workers pace themselves; deadlines generous enough that
+  // sanitizer slowdown cannot expire requests.
+  PredictionService service(fx.model.get(), fx.space, options);
+
+  constexpr int kRequests = 200;
+  std::vector<std::shared_ptr<serve::PendingPrediction>> tickets;
+  tickets.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    tickets.push_back(
+        service.Submit({i % 2 == 0 ? "sf" : "nyc", "15"}, /*deadline=*/60.0));
+  }
+  for (const auto& ticket : tickets) {
+    EXPECT_EQ(ticket->Wait().code, ServeCode::kOk);
+  }
+  const serve::ServeCounters counters = service.counters();
+  EXPECT_EQ(counters.submitted, kRequests);
+  EXPECT_EQ(counters.completed_ok, kRequests);
+  EXPECT_EQ(counters.Terminal(), counters.submitted);
+}
+
+// Regression for the shutdown race (ISSUE 7 satellite): Shutdown() racing
+// mid-flight Submit calls must leave every ticket terminally completed —
+// no hung Wait(), identity preserved. Run under tsan in CI.
+TEST(PredictionServiceTest, ShutdownRacingSubmitsLeavesNoHungTicket) {
+  ServiceFixture fx("svc_shutdown_race");
+  ServeOptions options;
+  options.start_worker = true;
+  options.num_workers = 2;
+  PredictionService service(fx.model.get(), fx.space, options);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::vector<std::shared_ptr<serve::PendingPrediction>>> tickets(
+      kThreads);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&service, &tickets, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tickets[static_cast<size_t>(t)].push_back(
+            service.Submit({"sf", "15"}, /*deadline=*/60.0));
+      }
+    });
+  }
+  // Shut down while the submitters are mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  service.Shutdown();
+  for (std::thread& s : submitters) s.join();
+  service.Shutdown();  // idempotent
+
+  // Every ticket — admitted, flushed, or refused post-shutdown — must be
+  // terminal; Wait() returning at all is the no-hang assertion.
+  int64_t observed = 0;
+  for (const auto& per_thread : tickets) {
+    for (const auto& ticket : per_thread) {
+      const PredictResult& result = ticket->Wait();
+      EXPECT_TRUE(result.code == ServeCode::kOk ||
+                  result.code == ServeCode::kUnavailable ||
+                  result.code == ServeCode::kOverloaded)
+          << ServeCodeName(result.code);
+      ++observed;
+    }
+  }
+  EXPECT_EQ(observed, kThreads * kPerThread);
+  const serve::ServeCounters counters = service.counters();
+  EXPECT_EQ(counters.submitted, kThreads * kPerThread);
+  EXPECT_EQ(counters.Terminal(), counters.submitted);
+}
+
 // --- Fault-injection sites ---------------------------------------------------
 
 TEST(ServeFaultTest, QueueStallLeavesRequestsPending) {
@@ -531,6 +811,28 @@ TEST(ServeFaultTest, InjectedCorruptReloadIsRejected) {
   auto ticket = service.Submit({"sf", "15"});
   service.DrainOnce();
   EXPECT_EQ(ticket->Wait().code, ServeCode::kOk);
+  fault::DisarmAll();
+}
+
+TEST(ServeFaultTest, WorkerStallParksWorkerButServiceRecovers) {
+  if (!fault::kEnabled) GTEST_SKIP() << "fault injection compiled out";
+  fault::DisarmAll();
+  ServiceFixture fx("svc_worker_stall");
+  ServeOptions options;
+  options.start_worker = true;
+  options.num_workers = 2;
+  // Real clock: the stall parks a worker in real time; the other worker
+  // (and the stalled one, once it resumes) keep the service answering.
+  PredictionService service(fx.model.get(), fx.space, options);
+  fault::Arm(fault::kSiteServeWorkerStall, fault::Kind::kClockStall,
+             /*after=*/0, /*times=*/2, /*magnitude=*/0.02);
+  for (int i = 0; i < 8; ++i) {
+    const PredictResult result = service.Predict({"sf", "15"}, 60.0);
+    EXPECT_EQ(result.code, ServeCode::kOk);
+  }
+  const serve::ServeCounters counters = service.counters();
+  EXPECT_EQ(counters.completed_ok, 8);
+  EXPECT_EQ(counters.Terminal(), counters.submitted);
   fault::DisarmAll();
 }
 
@@ -623,11 +925,14 @@ TEST(ServeE2ETest, TrainPersistServeDemo) {
   EXPECT_EQ(counters.oov_fields, 1);
   EXPECT_EQ(counters.clamped_fields, 1);
 
-  const armor::RunMetrics metrics =
-      armor::CaptureRunMetrics(nullptr, service.CounterSnapshot());
+  const armor::RunMetrics metrics = armor::CaptureRunMetrics(
+      nullptr, service.CounterSnapshot(), service.GaugeSnapshot());
   const std::string json = armor::RunMetricsJson(metrics);
   EXPECT_NE(json.find("\"serve\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"serve/submitted\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"serve_gauges\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"serve/batch_wait_seconds\""), std::string::npos)
+      << json;
 }
 
 }  // namespace
