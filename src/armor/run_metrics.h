@@ -33,6 +33,11 @@ struct RunMetrics {
   // p99 — serve::PredictionService::GaugeSnapshot). Counters answer "how
   // many"; these answer "where is the control loop sitting right now".
   std::vector<std::pair<std::string, double>> serve_gauges;
+  // Compiled-plan counters (plan::CompiledPredictor::Stats, pre-extracted as
+  // a name/count list — serve::PredictionService::PlanCounterSnapshot or a
+  // bench's own predictor). Present when a compiled predictor was in play.
+  bool has_plan = false;
+  std::vector<prof::CounterStats> plan;
 };
 
 // Snapshots the process-wide tape stats and profiler registry, plus `pool`'s
@@ -42,12 +47,15 @@ struct RunMetrics {
 RunMetrics CaptureRunMetrics(const TensorPool* pool = nullptr);
 
 // As above, additionally embedding a prediction service's counter snapshot
-// (the "serve" section of the JSON) and optionally its operating-point
-// gauges (the "serve_gauges" section). Takes the pre-extracted lists so
-// armor does not depend on the serve library.
+// (the "serve" section of the JSON), optionally its operating-point gauges
+// (the "serve_gauges" section), and optionally compiled-plan counters (the
+// "plan" section, PredictionService::PlanCounterSnapshot). Takes the
+// pre-extracted lists so armor depends on neither the serve nor the plan
+// library.
 RunMetrics CaptureRunMetrics(
     const TensorPool* pool, std::vector<prof::CounterStats> serve_counters,
-    std::vector<std::pair<std::string, double>> serve_gauges = {});
+    std::vector<std::pair<std::string, double>> serve_gauges = {},
+    std::vector<prof::CounterStats> plan_counters = {});
 
 // Compact single-line JSON object:
 //   {"tape":{"nodes_recorded":N,"nodes_elided":N},
@@ -57,7 +65,8 @@ RunMetrics CaptureRunMetrics(
 //               "p50_ms":f,"p99_ms":f},...],
 //    "counters":[{"name":s,"count":N},...],
 //    "serve":[{"name":s,"count":N},...],                  // if has_serve
-//    "serve_gauges":[{"name":s,"value":f},...]}           // if non-empty
+//    "serve_gauges":[{"name":s,"value":f},...],           // if non-empty
+//    "plan":[{"name":s,"count":N},...]}                   // if has_plan
 std::string RunMetricsJson(const RunMetrics& metrics);
 
 }  // namespace armnet::armor

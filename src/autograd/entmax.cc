@@ -1,183 +1,37 @@
 #include "autograd/entmax.h"
 
-#include <algorithm>
 #include <cmath>
-#include <limits>
-#include <numeric>
-#include <vector>
 
-#include "tensor/tensor_ops.h"
+#include "autograd/trace_hook.h"
+#include "tensor/entmax.h"
 #include "util/profiler.h"
 
 namespace armnet::ag {
 
-namespace {
-
-// Exact sparsemax on one row: p = [z − τ]_+ with τ from the sorted support
-// condition of Martins & Astudillo (2016).
-void SparsemaxRow(const float* z, float* p, int64_t d) {
-  std::vector<float> sorted(z, z + d);
-  std::sort(sorted.begin(), sorted.end(), std::greater<float>());
-  double cumulative = 0;
-  double tau = 0;
-  int64_t support = 0;
-  for (int64_t k = 0; k < d; ++k) {
-    cumulative += sorted[static_cast<size_t>(k)];
-    // Candidate threshold with support size k+1.
-    const double candidate = (cumulative - 1.0) / static_cast<double>(k + 1);
-    if (sorted[static_cast<size_t>(k)] > candidate) {
-      tau = candidate;
-      support = k + 1;
-    }
-  }
-  (void)support;
-  for (int64_t j = 0; j < d; ++j) {
-    const double v = static_cast<double>(z[j]) - tau;
-    p[j] = v > 0 ? static_cast<float>(v) : 0.0f;
-  }
-}
-
-// Exact α = 1.5 entmax on one row: p_i = [z_i/2 − τ]_+², τ from the largest
-// support size k whose quadratic threshold keeps the k-th entry positive.
-void Entmax15Row(const float* z, float* p, int64_t d) {
-  std::vector<double> half(static_cast<size_t>(d));
-  for (int64_t j = 0; j < d; ++j) half[static_cast<size_t>(j)] = 0.5 * z[j];
-  std::vector<double> sorted = half;
-  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
-
-  double tau = sorted[0] - 1.0;  // fallback: full mass on the max
-  double cum = 0;
-  double cum_sq = 0;
-  for (int64_t k = 0; k < d; ++k) {
-    const double v = sorted[static_cast<size_t>(k)];
-    cum += v;
-    cum_sq += v * v;
-    const double kk = static_cast<double>(k + 1);
-    const double mean = cum / kk;
-    // Sum of squared deviations within the candidate support.
-    const double ss = cum_sq - cum * cum / kk;
-    const double discriminant = (1.0 - ss) / kk;
-    if (discriminant < 0) continue;
-    const double candidate = mean - std::sqrt(discriminant);
-    if (v > candidate) tau = candidate;
-  }
-  double total = 0;
-  for (int64_t j = 0; j < d; ++j) {
-    const double v = half[static_cast<size_t>(j)] - tau;
-    const double pj = v > 0 ? v * v : 0.0;
-    p[j] = static_cast<float>(pj);
-    total += pj;
-  }
-  // Guard against floating-point drift: renormalize.
-  ARMNET_CHECK_GT(total, 0);
-  const float inv = static_cast<float>(1.0 / total);
-  for (int64_t j = 0; j < d; ++j) p[j] *= inv;
-}
-
-// x^p for x > 0 via expf/logf. std::pow promotes to double pow, which
-// dominated ARM-Net training time before this fast path (the bisection
-// below evaluates it d times per iteration per attention row).
-inline float FastPow(float x, float p) { return std::exp(p * std::log(x)); }
-
-// General α > 1 entmax on one row via bisection over τ (Peters & Martins
-// 2019, Algorithm 1): p_i(τ) = [(α−1)z_i − τ]_+^{1/(α−1)}, Σp decreasing
-// in τ, root bracketed by [max((α−1)z) − 1, max((α−1)z)]. 30 halvings
-// narrow the bracket below 1e-9, past float32 resolution; a final
-// renormalization absorbs the residual.
-void EntmaxBisectRow(const float* z, float* p, int64_t d, float alpha) {
-  const float am1 = alpha - 1.0f;
-  const float inv_am1 = 1.0f / am1;
-  float z_max = -std::numeric_limits<float>::infinity();
-  for (int64_t j = 0; j < d; ++j) {
-    p[j] = am1 * z[j];  // stash scaled scores in the output buffer
-    z_max = std::max(z_max, p[j]);
-  }
-  float lo = z_max - 1.0f;
-  float hi = z_max;
-
-  // Only scores above the lower bracket can ever enter the support; the
-  // active set shrinks as `lo` rises, which keeps the inner loop short on
-  // wide rows (m up to 43 in the benchmark schemas).
-  constexpr int kStackCap = 64;
-  float stack_buffer[kStackCap];
-  std::vector<float> heap_buffer;
-  float* active = stack_buffer;
-  if (d > kStackCap) {
-    heap_buffer.resize(static_cast<size_t>(d));
-    active = heap_buffer.data();
-  }
-  int num_active = 0;
-  for (int64_t j = 0; j < d; ++j) {
-    if (p[j] > lo) active[num_active++] = p[j];
-  }
-
-  for (int iteration = 0; iteration < 24; ++iteration) {
-    const float mid = 0.5f * (lo + hi);
-    float total = 0;
-    for (int a = 0; a < num_active; ++a) {
-      const float v = active[a] - mid;
-      if (v > 0) total += FastPow(v, inv_am1);
-    }
-    if (total < 1.0f) {
-      hi = mid;
-    } else {
-      lo = mid;
-      int kept = 0;
-      for (int a = 0; a < num_active; ++a) {
-        if (active[a] > lo) active[kept++] = active[a];
-      }
-      num_active = kept;
-    }
-  }
-  const float tau = 0.5f * (lo + hi);
-  float total = 0;
-  for (int64_t j = 0; j < d; ++j) {
-    const float v = p[j] - tau;
-    p[j] = v > 0 ? FastPow(v, inv_am1) : 0.0f;
-    total += p[j];
-  }
-  ARMNET_CHECK_GT(total, 0);
-  const float inv = 1.0f / total;
-  for (int64_t j = 0; j < d; ++j) p[j] *= inv;
-}
-
-template <typename RowFn>
-Tensor ApplyRows(const Tensor& z, RowFn row_fn) {
-  ARMNET_CHECK_GE(z.rank(), 1);
-  const int64_t d = z.dim(-1);
-  ARMNET_CHECK_GT(d, 0);
-  const int64_t rows = z.numel() / d;
-  Tensor out(z.shape());
-  for (int64_t r = 0; r < rows; ++r) {
-    row_fn(z.data() + r * d, out.data() + r * d, d);
-  }
-  return out;
-}
-
-}  // namespace
-
+// The value-level solvers live in the tensor layer (tensor/entmax.h) so the
+// execution-plan VM can replay them; these wrappers keep the historical
+// autograd-layer API.
 Tensor SparsemaxLastDimValue(const Tensor& z) {
-  return ApplyRows(z, SparsemaxRow);
+  return tmath::SparsemaxLastDim(z);
 }
 
 Tensor Entmax15ExactLastDimValue(const Tensor& z) {
-  return ApplyRows(z, Entmax15Row);
+  return tmath::Entmax15ExactLastDim(z);
 }
 
 Tensor EntmaxLastDimValue(const Tensor& z, float alpha) {
-  ARMNET_CHECK_GE(alpha, 1.0f) << "entmax requires alpha >= 1";
-  if (alpha == 1.0f) return tmath::SoftmaxLastDim(z);
-  if (alpha == 2.0f) return SparsemaxLastDimValue(z);
-  if (alpha == 1.5f) return Entmax15ExactLastDimValue(z);
-  return ApplyRows(z, [alpha](const float* zr, float* pr, int64_t d) {
-    EntmaxBisectRow(zr, pr, d, alpha);
-  });
+  return tmath::EntmaxLastDim(z, alpha);
 }
 
 Variable Entmax(const Variable& z, float alpha) {
   ARMNET_PROFILE_SCOPE("fwd/Entmax");
-  Tensor out = EntmaxLastDimValue(z.value(), alpha);
+  Tensor out = tmath::EntmaxLastDim(z.value(), alpha);
   Tensor p = out;
+  if (trace::Active()) {
+    trace::OpAttrs attrs;
+    attrs.scalar = alpha;
+    trace::AnnotateNextOp(attrs);
+  }
   return MakeFromOp(
       std::move(out), {z}, [z, p, alpha](const Tensor& g) mutable {
         if (!z.requires_grad()) return;

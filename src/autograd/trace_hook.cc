@@ -1,0 +1,49 @@
+#include "autograd/trace_hook.h"
+
+#include "autograd/grad_mode.h"
+
+namespace armnet::ag::trace {
+
+namespace {
+
+thread_local TraceSink* g_sink = nullptr;
+thread_local OpAttrs g_pending;
+thread_local bool g_pending_set = false;
+
+}  // namespace
+
+bool Active() { return g_sink != nullptr; }
+
+void AnnotateNextOp(const OpAttrs& attrs) {
+  ARMNET_DCHECK(g_sink != nullptr);
+  g_pending = attrs;
+  g_pending_set = true;
+}
+
+void NotifyOp(const char* op_name, const Tensor& out,
+              const std::vector<Variable>& inputs) {
+  TraceSink* sink = g_sink;
+  if (sink == nullptr) return;
+  const OpAttrs attrs = g_pending_set ? g_pending : OpAttrs{};
+  g_pending_set = false;
+  sink->OnOp(op_name, out, inputs, attrs);
+}
+
+void NotifyBatchValues(const Tensor& values) {
+  if (g_sink != nullptr) g_sink->OnBatchValues(values);
+}
+
+ScopedTraceSink::ScopedTraceSink(TraceSink* sink)
+    : prev_(g_sink), prev_grad_(GradMode::IsEnabled()) {
+  g_sink = sink;
+  g_pending_set = false;
+  GradMode::SetEnabled(false);
+}
+
+ScopedTraceSink::~ScopedTraceSink() {
+  g_sink = prev_;
+  g_pending_set = false;
+  GradMode::SetEnabled(prev_grad_);
+}
+
+}  // namespace armnet::ag::trace

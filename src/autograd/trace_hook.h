@@ -1,0 +1,95 @@
+#ifndef ARMNET_AUTOGRAD_TRACE_HOOK_H_
+#define ARMNET_AUTOGRAD_TRACE_HOOK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+
+// Eval-forward trace hook (DESIGN.md §14).
+//
+// The execution-plan tracer (src/plan/tracer.cc) installs a thread-local
+// TraceSink, runs one model forward under NoGradGuard, and receives a
+// callback from autograd::MakeFromOp for every op that executes — op name,
+// produced tensor, input variables, and the op's non-tensor attributes
+// (scalars, axes, index lists), which each op publishes through
+// AnnotateNextOp just before it hits the tape boundary.
+//
+// This header is the ONLY autograd surface the plan layer may include
+// (enforced by tools/lint.py): the tape internals — nodes, backward
+// closures, grad mode — stay private to autograd. When no sink is installed
+// (all of training, and every non-traced eval forward) the hook is a single
+// thread-local null check.
+
+namespace armnet::ag::trace {
+
+// Non-tensor op attributes, published per-op immediately before MakeFromOp.
+// Pointer members reference caller-owned storage valid only for the duration
+// of the OnOp callback; sinks must copy what they keep.
+struct OpAttrs {
+  float scalar = 0;      // AddScalar/MulScalar/PowScalar/ClampMin/LeakyRelu
+                         // payloads; Entmax alpha
+  int axis = 0;          // Sum/Concat/Slice/IndexSelect axis; Transpose dim0
+  int axis2 = 0;         // Transpose dim1
+  bool keepdim = false;  // Sum
+  int64_t start = 0;     // Slice
+  int64_t length = 0;    // Slice
+  // IndexSelect constant indices / EmbeddingLookup ids. For lookups the
+  // tracer compares this pointer against the probe batch's id vector to
+  // distinguish per-request ids from captured constants.
+  const std::vector<int64_t>* indices = nullptr;
+};
+
+// Receives the op stream of one traced forward.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  // One executed op: `out` is the value it produced (storage shared with the
+  // result Variable), `inputs` the consumed variables, `attrs` whatever the
+  // op annotated (default-constructed if it annotated nothing).
+  virtual void OnOp(const char* op_name, const Tensor& out,
+                    const std::vector<Variable>& inputs,
+                    const OpAttrs& attrs) = 0;
+  // A tensor materialized from the mini-batch's per-field values
+  // (core/tabular.h entry points). Identifies per-request data so the sink
+  // does not capture it as a weight constant.
+  virtual void OnBatchValues(const Tensor& values) = 0;
+};
+
+// True when a sink is installed on this thread. Ops gate their
+// AnnotateNextOp calls on this so untraced forwards pay nothing.
+bool Active();
+
+// Publishes attributes for the next NotifyOp on this thread (consumed by
+// that notification). Call only when Active().
+void AnnotateNextOp(const OpAttrs& attrs);
+
+// Called by autograd::MakeFromOp on the tape-free path; forwards to the
+// installed sink together with any pending attributes.
+void NotifyOp(const char* op_name, const Tensor& out,
+              const std::vector<Variable>& inputs);
+
+// Called by the batch-ingestion entry points (core/tabular.h).
+void NotifyBatchValues(const Tensor& values);
+
+// RAII: installs `sink` as the current thread's trace sink. Scopes nest
+// (inner sink wins). Tracing is per-thread: other threads' forwards are
+// never observed. The scope also forces grad mode OFF for its lifetime — a
+// trace is by definition an eval forward, and NotifyOp only fires on the
+// tape-free path — so the plan layer never has to touch grad-mode internals.
+class ScopedTraceSink {
+ public:
+  explicit ScopedTraceSink(TraceSink* sink);
+  ~ScopedTraceSink();
+
+  ScopedTraceSink(const ScopedTraceSink&) = delete;
+  ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+
+ private:
+  TraceSink* prev_;
+  bool prev_grad_;
+};
+
+}  // namespace armnet::ag::trace
+
+#endif  // ARMNET_AUTOGRAD_TRACE_HOOK_H_

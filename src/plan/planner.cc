@@ -1,0 +1,270 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/profiler.h"
+
+namespace armnet::plan {
+
+namespace {
+
+// Arena slots are aligned to 16 floats (64 bytes, one cache line) so fused
+// kernels never straddle a line at slot start.
+constexpr int64_t kAlignFloats = 16;
+
+int64_t AlignUp(int64_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+bool IsUnaryEpilogue(OpCode op) {
+  switch (op) {
+    case OpCode::kExp:
+    case OpCode::kLog:
+    case OpCode::kAbs:
+    case OpCode::kRelu:
+    case OpCode::kSquare:
+    case OpCode::kAddScalar:
+    case OpCode::kMulScalar:
+    case OpCode::kPowScalar:
+    case OpCode::kClampMin:
+    case OpCode::kLeakyRelu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsBinaryEpilogue(OpCode op) {
+  switch (op) {
+    case OpCode::kAdd:
+    case OpCode::kSub:
+    case OpCode::kMul:
+    case OpCode::kDiv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Counts every read of each slot: instruction inputs, epilogue operands,
+// alias references, and the program output.
+std::vector<int> CountUses(const Program& prog) {
+  std::vector<int> uses(prog.slots.size(), 0);
+  for (const Instr& in : prog.instrs) {
+    if (in.a >= 0) ++uses[in.a];
+    if (in.b >= 0) ++uses[in.b];
+    for (int s : in.concat_in) ++uses[s];
+    for (const Epilogue& e : in.epilogues) {
+      if (e.operand >= 0) ++uses[e.operand];
+    }
+  }
+  for (const SlotDef& def : prog.slots) {
+    if (def.kind == SlotDef::Kind::kAlias) ++uses[def.alias_of];
+  }
+  ++uses[prog.output];
+  return uses;
+}
+
+void FusePeephole(Program& prog) {
+  std::vector<int> uses = CountUses(prog);
+  // Definition position of each slot: -1 for constants/batch values (live
+  // before instruction 0), the producing instruction's index otherwise.
+  std::vector<int> def_at(prog.slots.size(), -1);
+  std::vector<int> producer(prog.slots.size(), -1);
+  for (int i = 0; i < static_cast<int>(prog.instrs.size()); ++i) {
+    def_at[prog.instrs[i].out] = i;
+    producer[prog.instrs[i].out] = i;
+  }
+  auto def_of = [&](int slot) { return def_at[prog.RootSlot(slot)]; };
+
+  std::vector<bool> removed(prog.instrs.size(), false);
+  for (int j = 0; j < static_cast<int>(prog.instrs.size()); ++j) {
+    const Instr& cons = prog.instrs[j];
+    const Shape& out_shape = prog.slots[cons.out].shape;
+
+    // Pick the side to fuse through: an intermediate with the full output
+    // shape whose only reader is this instruction.
+    int fused_slot = -1;
+    bool fused_lhs = true;
+    auto fusable_side = [&](int s) {
+      return s >= 0 && prog.slots[s].kind == SlotDef::Kind::kIntermediate &&
+             uses[s] == 1 && s != prog.output && producer[s] >= 0 &&
+             !removed[producer[s]] && prog.slots[s].shape == out_shape;
+    };
+    if (IsUnaryEpilogue(cons.op)) {
+      if (!fusable_side(cons.a)) continue;
+      fused_slot = cons.a;
+    } else if (IsBinaryEpilogue(cons.op)) {
+      if (fusable_side(cons.a)) {
+        fused_slot = cons.a;
+      } else if (fusable_side(cons.b)) {
+        fused_slot = cons.b;
+        fused_lhs = false;
+      } else {
+        continue;
+      }
+      // The outer operand must exist by the time the producer runs: the
+      // epilogue executes at the producer's position in the program.
+      const int operand = fused_lhs ? cons.b : cons.a;
+      if (def_of(operand) >= producer[fused_slot]) continue;
+    } else {
+      continue;
+    }
+
+    const int p = producer[fused_slot];
+    Epilogue epi;
+    epi.op = cons.op;
+    epi.scalar = cons.scalar;
+    epi.fused_lhs = fused_lhs;
+    if (IsBinaryEpilogue(cons.op)) {
+      epi.operand = fused_lhs ? cons.b : cons.a;
+    }
+    // The producer now writes straight into the consumer's output slot; the
+    // old intermediate slot goes dead (no definition, no use — the memory
+    // planner skips it).
+    prog.instrs[p].epilogues.push_back(epi);
+    prog.instrs[p].out = cons.out;
+    producer[cons.out] = p;
+    def_at[cons.out] = p;
+    removed[j] = true;
+    ++prog.fused_ops;
+    --uses[fused_slot];
+  }
+
+  std::vector<Instr> kept;
+  kept.reserve(prog.instrs.size());
+  for (int i = 0; i < static_cast<int>(prog.instrs.size()); ++i) {
+    if (!removed[i]) kept.push_back(std::move(prog.instrs[i]));
+  }
+  prog.instrs = std::move(kept);
+}
+
+// First-fit free-list allocator over arena offsets, with coalescing frees.
+class ArenaAllocator {
+ public:
+  int64_t Allocate(int64_t floats) {
+    floats = AlignUp(floats);
+    for (size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].second >= floats) {
+        const int64_t offset = free_[i].first;
+        free_[i].first += floats;
+        free_[i].second -= floats;
+        if (free_[i].second == 0) free_.erase(free_.begin() + i);
+        return offset;
+      }
+    }
+    const int64_t offset = high_water_;
+    high_water_ += floats;
+    return offset;
+  }
+
+  void Free(int64_t offset, int64_t floats) {
+    floats = AlignUp(floats);
+    free_.emplace_back(offset, floats);
+    std::sort(free_.begin(), free_.end());
+    // Merge adjacent blocks so later big slots can reuse freed clusters.
+    std::vector<std::pair<int64_t, int64_t>> merged;
+    for (const auto& block : free_) {
+      if (!merged.empty() &&
+          merged.back().first + merged.back().second == block.first) {
+        merged.back().second += block.second;
+      } else {
+        merged.push_back(block);
+      }
+    }
+    free_ = std::move(merged);
+  }
+
+  int64_t high_water() const { return high_water_; }
+
+ private:
+  std::vector<std::pair<int64_t, int64_t>> free_;
+  int64_t high_water_ = 0;
+};
+
+Status PlanMemory(Program& prog) {
+  const int num_slots = static_cast<int>(prog.slots.size());
+  const int num_steps = static_cast<int>(prog.instrs.size()) + 1;
+  // Time scale: 0 = prologue (batch values written), instr i runs at i + 1.
+  std::vector<int> def_time(num_slots, -1);
+  std::vector<int> last_use(num_slots, -1);
+
+  for (int s = 0; s < num_slots; ++s) {
+    if (prog.slots[s].kind == SlotDef::Kind::kBatchValues) def_time[s] = 0;
+  }
+  auto use = [&](int slot, int t) {
+    const int root = prog.RootSlot(slot);
+    if (prog.slots[root].kind == SlotDef::Kind::kConstant) return;
+    if (def_time[root] < 0 || def_time[root] > t) {
+      // An instruction read a slot no prior step wrote — a tracer bug.
+      def_time[root] = -2;
+    }
+    last_use[root] = std::max(last_use[root], t);
+  };
+  for (int i = 0; i < static_cast<int>(prog.instrs.size()); ++i) {
+    const Instr& in = prog.instrs[i];
+    const int t = i + 1;
+    def_time[in.out] = t;
+    if (in.a >= 0) use(in.a, t);
+    if (in.b >= 0) use(in.b, t);
+    for (int s : in.concat_in) use(s, t);
+    for (const Epilogue& e : in.epilogues) {
+      if (e.operand >= 0) use(e.operand, t);
+    }
+  }
+  // The logits survive the whole program: the VM copies them out after the
+  // dispatch loop.
+  {
+    const int root = prog.RootSlot(prog.output);
+    if (prog.slots[root].kind == SlotDef::Kind::kConstant) {
+      return Status::Error("plan: program output is a constant");
+    }
+    last_use[root] = num_steps;
+  }
+  for (int s = 0; s < num_slots; ++s) {
+    if (def_time[s] == -2) {
+      return Status::Error("plan: instruction reads an undefined slot");
+    }
+  }
+
+  prog.arena_offset.assign(num_slots, -1);
+  ArenaAllocator arena;
+  for (int t = 0; t <= num_steps; ++t) {
+    // Definitions first, frees second: an op's inputs must never share arena
+    // bytes with the output it is writing in the same step.
+    for (int s = 0; s < num_slots; ++s) {
+      if (def_time[s] != t) continue;
+      if (prog.slots[s].kind != SlotDef::Kind::kIntermediate &&
+          prog.slots[s].kind != SlotDef::Kind::kBatchValues) {
+        continue;
+      }
+      prog.arena_offset[s] = arena.Allocate(prog.slots[s].shape.numel());
+    }
+    for (int s = 0; s < num_slots; ++s) {
+      if (prog.arena_offset[s] < 0) continue;
+      if (std::max(last_use[s], def_time[s]) == t && t < num_steps) {
+        arena.Free(prog.arena_offset[s], prog.slots[s].shape.numel());
+      }
+    }
+  }
+  prog.arena_floats = arena.high_water();
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Finalize(Program& prog) {
+  ARMNET_PROFILE_SCOPE("plan/compile");
+  ARMNET_CHECK(!prog.planned);
+  ARMNET_CHECK(prog.output >= 0);
+  FusePeephole(prog);
+  Status memory = PlanMemory(prog);
+  if (!memory.ok()) return memory;
+  prog.planned = true;
+  return Status::Ok();
+}
+
+}  // namespace armnet::plan

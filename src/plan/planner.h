@@ -1,0 +1,35 @@
+#ifndef ARMNET_PLAN_PLANNER_H_
+#define ARMNET_PLAN_PLANNER_H_
+
+#include "plan/program.h"
+#include "util/status.h"
+
+namespace armnet::plan {
+
+// Finalizes a traced Program for execution, in two passes.
+//
+// 1. Peephole fusion. An elementwise op whose input is the single use of an
+//    earlier instruction's output folds into that instruction as an epilogue
+//    running in place on its output buffer (tmath's documented aliasing
+//    contract). Chains keep folding — so ARM-Net's hot path collapses to
+//      MatMul+[Mul(temperature)], Entmax+[Mul(values)], MatMul+[Exp],
+//      MatMul+[Add(bias), Relu]
+//    — one buffer walk fewer per fused op, and one arena slot fewer live.
+//    Binary epilogues additionally require the fused side to carry the full
+//    output shape (the other side may broadcast) and the outer operand to be
+//    defined before the producer runs.
+//
+// 2. Memory planning. Exact liveness per storage-owning slot ([definition,
+//    last use], aliases attributed to their root, the output pinned to the
+//    end), then greedy first-fit interval packing into a single arena with
+//    64-byte-aligned slots. Constants stay referenced in place and never
+//    enter the arena.
+//
+// On return `prog.planned` is true and arena_offset/arena_floats/fused_ops
+// are filled. Errors indicate a malformed program (tracer bug), not an
+// uncompilable model.
+Status Finalize(Program& prog);
+
+}  // namespace armnet::plan
+
+#endif  // ARMNET_PLAN_PLANNER_H_

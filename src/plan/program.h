@@ -1,0 +1,144 @@
+#ifndef ARMNET_PLAN_PROGRAM_H_
+#define ARMNET_PLAN_PROGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+// Static execution plans for eval-mode inference (DESIGN.md §14).
+//
+// A Program is the flat record of one eval-mode forward pass at one fixed
+// batch size: a slot table (constants captured by reference, per-request
+// batch inputs, and intermediates) plus a straight-line instruction list.
+// The tracer (plan/tracer.h) produces it, the planner (plan/planner.h) fuses
+// elementwise epilogues and packs the intermediates into one arena, and the
+// VM (plan/vm.h) replays it with zero tensor allocations at steady state.
+//
+// Plans are keyed to a batch size: every shape in the program is concrete,
+// including batch-size-dependent constants some models materialize (HOFM's
+// ones/zeros masks, BatchNorm's eval-time inv-std). A plan is therefore
+// invalidated whenever the model's weights change (see
+// CompiledPredictor::Invalidate) and recompiled per distinct batch size.
+
+namespace armnet::plan {
+
+// Every operation the VM can replay. Each maps 1:1 onto a tmath::*Out
+// kernel, which is the same core loop the interpreted (autograd) path runs —
+// that identity is what makes compiled and interpreted logits bit-equal.
+// Reshape never appears here: the tracer resolves it into slot aliasing.
+enum class OpCode {
+  // Elementwise binary (NumPy broadcasting).
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  // Elementwise with a scalar attribute.
+  kAddScalar,
+  kMulScalar,
+  kPowScalar,
+  kClampMin,
+  kLeakyRelu,
+  // Elementwise unary.
+  kExp,
+  kLog,
+  kAbs,
+  kRelu,
+  kSquare,
+  // Matrix / structural.
+  kMatMul,
+  kTranspose,
+  kSum,
+  kSumAll,
+  kConcat,
+  kSlice,
+  kIndexSelect,
+  kEmbeddingLookup,
+  // Row-normalizers over the last dimension.
+  kSoftmax,
+  kEntmax,
+};
+
+const char* OpCodeName(OpCode op);
+
+// One value in the program.
+struct SlotDef {
+  enum class Kind {
+    // A tensor captured at trace time: weights, ag::Constant payloads,
+    // eval-mode derived tensors (BatchNorm inv-std). Referenced in place —
+    // `constant` shares storage with the model parameter, so the plan must
+    // be invalidated when weights are mutated.
+    kConstant,
+    // The request's per-field values ([B, m] or a reshape of it). Written
+    // into the arena by the VM prologue on every Run.
+    kBatchValues,
+    // An op output, packed into the arena by liveness.
+    kIntermediate,
+    // A Reshape view of `alias_of`: same buffer, different shape. Holds no
+    // storage of its own; liveness and binding resolve to the root slot.
+    kAlias,
+  };
+
+  Kind kind = Kind::kIntermediate;
+  Shape shape;
+  Tensor constant;    // kConstant only
+  int alias_of = -1;  // kAlias only
+};
+
+// An elementwise op fused into its producer: runs in place on the
+// producer's output buffer immediately after the main op, relying on the
+// tmath aliasing contract (out may alias the operand whose shape equals the
+// output shape).
+struct Epilogue {
+  OpCode op = OpCode::kExp;
+  int operand = -1;       // binary forms: the non-fused input slot
+  float scalar = 0;       // scalar-attribute forms
+  bool fused_lhs = true;  // binary forms: fused buffer is the `a` operand
+};
+
+// One instruction. Operand meaning depends on `op`; unused fields stay at
+// their defaults.
+struct Instr {
+  OpCode op = OpCode::kAdd;
+  int out = -1;
+  int a = -1;
+  int b = -1;                   // binary ops
+  float scalar = 0;             // scalar-attribute ops; Entmax alpha
+  int axis = 0;                 // Sum/Concat/Slice/IndexSelect; Transpose dim0
+  int axis2 = 0;                // Transpose dim1
+  bool keepdim = false;         // Sum
+  int64_t start = 0;            // Slice
+  int64_t length = 0;           // Slice
+  std::vector<int> concat_in;   // Concat input slots
+  std::vector<int64_t> indices; // IndexSelect / constant-id EmbeddingLookup
+  bool batch_ids = false;       // EmbeddingLookup: use the request's ids
+  std::vector<Epilogue> epilogues;
+};
+
+// A traced (and, after planning, arena-packed) forward pass.
+struct Program {
+  int64_t batch_size = 0;
+  int num_fields = 0;
+  std::vector<SlotDef> slots;
+  std::vector<Instr> instrs;
+  int output = -1;  // slot holding the final logits [batch_size]
+
+  // Filled by the planner.
+  // Per-slot element offset into the arena; -1 for constants and aliases.
+  std::vector<int64_t> arena_offset;
+  int64_t arena_floats = 0;  // total arena size in elements
+  int64_t fused_ops = 0;     // ops folded into epilogues by the peephole pass
+  bool planned = false;
+
+  // Resolves alias chains to the storage-owning slot.
+  int RootSlot(int slot) const {
+    while (slots[slot].kind == SlotDef::Kind::kAlias) {
+      slot = slots[slot].alias_of;
+    }
+    return slot;
+  }
+};
+
+}  // namespace armnet::plan
+
+#endif  // ARMNET_PLAN_PROGRAM_H_

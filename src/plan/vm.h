@@ -1,0 +1,41 @@
+#ifndef ARMNET_PLAN_VM_H_
+#define ARMNET_PLAN_VM_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "plan/program.h"
+
+namespace armnet::plan {
+
+// One execution's worth of bound state for a finalized Program: the arena
+// buffer plus one pre-bound Tensor view per slot (constants in place, arena
+// views for intermediates and batch inputs, reshaped views for aliases).
+//
+// Contexts are built once (the only point that allocates) and reused across
+// Run calls — CompiledPredictor keeps a freelist — so steady-state execution
+// constructs no Tensor at all. A context belongs to one Run at a time;
+// concurrent executions need distinct contexts over the same Program.
+struct ExecutionContext {
+  Tensor arena;
+  std::vector<Tensor> bound;  // indexed by slot id
+  // Pre-resolved Concat argument lists (pointers into `bound`'s heap
+  // buffer — stable across moves of the context), indexed by instruction.
+  std::vector<std::vector<const Tensor*>> concat_args;
+};
+
+// Binds `prog` (which must be Finalize()d) into a fresh context.
+ExecutionContext CreateContext(const Program& prog);
+
+// Replays the program on `batch`, writing prog.batch_size logits to
+// `logits_out`. The batch must match the plan's batch size and field count;
+// ids are bound into the plan's EmbeddingLookup instructions, values are
+// copied into the arena's batch-value slots, and every instruction then
+// dispatches to the same tmath::*Out kernel the interpreted path runs —
+// with fused epilogues applied in place on the freshly written output.
+void Execute(const Program& prog, ExecutionContext& ctx,
+             const data::Batch& batch, float* logits_out);
+
+}  // namespace armnet::plan
+
+#endif  // ARMNET_PLAN_VM_H_

@@ -124,6 +124,20 @@ PredictionService::PredictionService(models::TabularModel* model,
   model->SetTraining(false);
   if (standby != nullptr) standby->SetTraining(false);
   if (fallback != nullptr) fallback->SetTraining(false);
+  // Compiled inference per model slot. Warming the active slot at the
+  // micro-batch cap front-loads the most common trace; other batch sizes
+  // compile lazily on first sight. A failed warm is an incident, not an
+  // error: those batches serve interpreted.
+  predictors_[0] = std::make_unique<plan::CompiledPredictor>(model);
+  if (standby != nullptr) {
+    predictors_[1] = std::make_unique<plan::CompiledPredictor>(standby);
+  }
+  Status warmed =
+      predictors_[0]->Warm(options_.max_batch_size, space_.num_fields());
+  if (!warmed.ok()) {
+    RecordIncident("compiled-plan warm failed, serving interpreted: " +
+                   warmed.message());
+  }
   if (options_.start_worker) {
     MutexLock lock(shutdown_mutex_);
     for (int i = 0; i < options_.num_workers; ++i) {
@@ -423,7 +437,7 @@ void PredictionService::ProcessBatch(
   // forward — never a lock. A concurrent reload stages into the other slot.
   int slot = 0;
   models::TabularModel* model = AcquireActiveModel(&slot);
-  const bool finite = ForwardBatch(*model, b, &logits);
+  const bool finite = ForwardBatch(*model, slot, b, &logits);
   ReleaseActiveModel(slot);
   if (!finite) {
     // The attempt still counts as a batch (the breaker-open path above does
@@ -470,25 +484,39 @@ data::Batch PredictionService::AssembleBatch(
   return b;
 }
 
-bool PredictionService::ForwardBatch(models::TabularModel& model,
+bool PredictionService::ForwardBatch(models::TabularModel& model, int slot,
                                      const data::Batch& b,
                                      std::vector<float>* logits) {
   ARMNET_PROFILE_SCOPE("serve/Forward");
   // The model is in eval mode for the service's lifetime and the caller
   // holds an RCU reader reference (reloads stage only into reader-free
   // slots), so the forward is a pure read — safe concurrently from every
-  // worker. Tape-free and pooled, mirroring armor/evaluator.
-  NoGradGuard no_grad;
-  ScopedTensorPool scoped_pool(pool_);
-  Rng rng(0);  // eval mode uses no randomness
-  Variable out = model.Forward(b, rng);
-  const Tensor& values = out.value();
-  if (values.numel() != b.batch_size) return false;
-  logits->resize(static_cast<size_t>(b.batch_size));
+  // worker.
+  //
+  // Fast path: the slot's compiled plan replays the forward out of its
+  // preallocated arena. TryRun compiles on a batch-size miss (which is why
+  // it runs outside the pool scope below — tracing needs unpooled storage)
+  // and refuses whenever compiled execution is unavailable; then the
+  // interpreted tape-free + pooled forward answers instead.
+  bool served = false;
+  if (slot >= 0 && predictors_[slot] != nullptr) {
+    served = predictors_[slot]->TryRun(b, logits);
+  }
+  if (!served) {
+    NoGradGuard no_grad;
+    ScopedTensorPool scoped_pool(pool_);
+    Rng rng(0);  // eval mode uses no randomness
+    Variable out = model.Forward(b, rng);
+    const Tensor& values = out.value();
+    if (values.numel() != b.batch_size) return false;
+    logits->resize(static_cast<size_t>(b.batch_size));
+    for (int64_t i = 0; i < values.numel(); ++i) {
+      (*logits)[static_cast<size_t>(i)] = values[i];
+    }
+  }
   bool finite = true;
-  for (int64_t i = 0; i < values.numel(); ++i) {
-    (*logits)[static_cast<size_t>(i)] = values[i];
-    if (!std::isfinite(values[i])) finite = false;
+  for (const float logit : *logits) {
+    if (!std::isfinite(logit)) finite = false;
   }
   return finite;
 }
@@ -502,7 +530,7 @@ void PredictionService::Degrade(
     std::vector<float> logits;
     // The fallback is never reloaded, so concurrent degraded forwards
     // through it are pure reads — no lock, no reader reference needed.
-    const bool finite = ForwardBatch(*fallback_, b, &logits);
+    const bool finite = ForwardBatch(*fallback_, /*slot=*/-1, b, &logits);
     if (finite) {
       ARMNET_PROFILE_COUNT("serve/degraded_fallback",
                            static_cast<int64_t>(batch.size()));
@@ -592,6 +620,24 @@ Status PredictionService::ReloadModel(const std::string& path) {
     status = nn::LoadState(*slots_[idle], path);
     if (status.ok()) {
       slots_[idle]->SetTraining(false);
+      // Restage the idle slot's compiled plans against the fresh weights
+      // BEFORE the publish: old plans referenced the overwritten tensors,
+      // and recompiling now keeps the first post-swap batches off the
+      // interpreted slow path. Warm failure is not fatal — the slot just
+      // serves interpreted until TryRun recompiles.
+      if (predictors_[idle] != nullptr) {
+        predictors_[idle]->Invalidate();
+        if (predictors_[1 - idle] != nullptr) {
+          for (int64_t bs : predictors_[1 - idle]->CachedBatchSizes()) {
+            Status warmed = predictors_[idle]->Warm(bs, space_.num_fields());
+            if (!warmed.ok()) {
+              RecordIncident("compiled-plan restage failed on reload: " +
+                             warmed.message());
+              break;
+            }
+          }
+        }
+      }
       // RCU publish: the next AcquireActiveModel serves the new weights.
       MutexLock lock(model_mutex_);
       active_index_ = idle;
@@ -606,7 +652,21 @@ Status PredictionService::ReloadModel(const std::string& path) {
       });
     }
     status = nn::LoadState(*slots_[0], path);
-    if (status.ok()) slots_[0]->SetTraining(false);
+    if (status.ok()) {
+      slots_[0]->SetTraining(false);
+      if (predictors_[0] != nullptr) {
+        const std::vector<int64_t> sizes = predictors_[0]->CachedBatchSizes();
+        predictors_[0]->Invalidate();
+        for (int64_t bs : sizes) {
+          Status warmed = predictors_[0]->Warm(bs, space_.num_fields());
+          if (!warmed.ok()) {
+            RecordIncident("compiled-plan restage failed on reload: " +
+                           warmed.message());
+            break;
+          }
+        }
+      }
+    }
     {
       MutexLock lock(model_mutex_);
       quiescing_ = false;
@@ -676,6 +736,34 @@ std::vector<prof::CounterStats> PredictionService::CounterSnapshot() const {
       {"serve/batches", c.batches},
       {"serve/reloads_ok", c.reloads_ok},
       {"serve/reloads_rejected", c.reloads_rejected},
+  };
+}
+
+std::vector<prof::CounterStats> PredictionService::PlanCounterSnapshot() const {
+  plan::CompiledPredictor::Stats total;
+  for (const auto& predictor : predictors_) {
+    if (predictor == nullptr) continue;
+    const plan::CompiledPredictor::Stats s = predictor->stats();
+    total.plans += s.plans;
+    total.instructions += s.instructions;
+    total.fused_ops += s.fused_ops;
+    total.arena_bytes += s.arena_bytes;
+    total.compiles += s.compiles;
+    total.compile_failures += s.compile_failures;
+    total.executions += s.executions;
+    total.fallbacks += s.fallbacks;
+    total.invalidations += s.invalidations;
+  }
+  return {
+      {"plan/plans", total.plans},
+      {"plan/instructions", total.instructions},
+      {"plan/fused_ops", total.fused_ops},
+      {"plan/arena_bytes", total.arena_bytes},
+      {"plan/compiles", total.compiles},
+      {"plan/compile_failures", total.compile_failures},
+      {"plan/executions", total.executions},
+      {"plan/fallbacks", total.fallbacks},
+      {"plan/invalidations", total.invalidations},
   };
 }
 

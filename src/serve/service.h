@@ -12,6 +12,7 @@
 
 #include "core/tabular.h"
 #include "data/feature_space.h"
+#include "plan/compiled_predictor.h"
 #include "serve/batch_policy.h"
 #include "serve/circuit_breaker.h"
 #include "tensor/storage_pool.h"
@@ -47,12 +48,25 @@ namespace armnet::serve {
 //              model if configured, else the train-prior logit, else
 //              kUnavailable — a typed answer in every case
 //
+// Workers serve from COMPILED plans (src/plan/): each model slot owns a
+// CompiledPredictor whose static execution plan replays the eval forward out
+// of a preallocated arena — zero tensor allocations at steady state, bit-
+// identical logits to the interpreted forward. Any batch the plan cannot
+// serve (compile failed, uncovered op, plan_compile fault injected) falls
+// back to the interpreted NoGradGuard + pooled path in the same call —
+// compilation is an optimization, never an availability dependency. The
+// fallback model always runs interpreted.
+//
 // Weights hot-reload through the CRC-framed envelope. With a warm standby
 // configured, `ReloadModel` stages `LoadState` into the idle model copy off
 // the serving path and publishes it with an RCU-style swap — workers never
 // wait on a reload, and a corrupt file leaves the active copy untouched.
 // Without a standby the legacy in-place reload quiesces the forwards for
-// the duration of the stage.
+// the duration of the stage. A successful reload also restages the slot's
+// compiled plans: the staged slot's plan cache is invalidated (plans capture
+// weights by reference) and the batch sizes live in the outgoing slot's
+// cache are recompiled off-path before the RCU publish, so the swap lands
+// with warm plans.
 //
 // Every request ends in exactly one terminal counter, so
 //   submitted == rejected_invalid + rejected_overload + shed + expired
@@ -261,6 +275,10 @@ class PredictionService {
   // Counter snapshot in the profiler's CounterStats shape, for embedding
   // into armor::RunMetrics ("serve" section of the run-metrics JSON).
   std::vector<prof::CounterStats> CounterSnapshot() const;
+  // Compiled-plan statistics merged across the model slots, for the
+  // run-metrics "plan" section (instructions, fused ops, arena bytes,
+  // executions, fallbacks, ...).
+  std::vector<prof::CounterStats> PlanCounterSnapshot() const;
   // Continuous operating-point gauges (adaptive batch wait, windowed p99),
   // for the run-metrics "serve_gauges" section.
   std::vector<std::pair<std::string, double>> GaugeSnapshot() const;
@@ -292,12 +310,14 @@ class PredictionService {
   // Flattens the per-request mapped rows into one forward-ready batch.
   data::Batch AssembleBatch(
       const std::vector<std::shared_ptr<PendingPrediction>>& batch) const;
-  // Forwards the assembled batch through `model` under NoGradGuard + pooled
-  // allocation; returns false if any logit came back non-finite. The caller
-  // must hold a reader reference on the slot `model` came from (or, for the
-  // fallback, rely on it never being mutated).
-  bool ForwardBatch(models::TabularModel& model, const data::Batch& b,
-                    std::vector<float>* logits);
+  // Forwards the assembled batch through `model`; returns false if any
+  // logit came back non-finite. `slot` >= 0 serves from that slot's
+  // compiled plan when available, falling back to the interpreted
+  // NoGradGuard + pooled forward (always used for the fallback model,
+  // slot = -1). The caller must hold a reader reference on the slot `model`
+  // came from (or, for the fallback, rely on it never being mutated).
+  bool ForwardBatch(models::TabularModel& model, int slot,
+                    const data::Batch& b, std::vector<float>* logits);
   void Degrade(const std::vector<std::shared_ptr<PendingPrediction>>& batch,
                CounterShard& shard, const std::string& why)
       ARMNET_EXCLUDES(model_mutex_);
@@ -322,6 +342,9 @@ class PredictionService {
   // which the annotations cannot express — the soak test under TSan is the
   // dynamic check.
   models::TabularModel* slots_[2];
+  // Compiled-plan frontends, one per configured model slot (null where the
+  // slot is). Internally synchronized; invalidated + restaged by reloads.
+  std::unique_ptr<plan::CompiledPredictor> predictors_[2];
   // Never reloaded, so never mutated: concurrent degraded forwards through
   // it are pure reads.
   models::TabularModel* fallback_;

@@ -35,6 +35,12 @@ struct PoolCore;
 // when the caller overwrites every element.
 std::shared_ptr<std::vector<float>> AllocateStorage(size_t n, bool zero);
 
+// True when the calling thread currently routes allocations through a pool.
+// The plan tracer refuses to run under one: its slot identity keying relies
+// on every op output getting fresh storage, and a recycling pool can hand
+// the same pointer to two distinct traced values.
+bool PoolActive();
+
 }  // namespace tensor_internal
 
 // Counters for one TensorPool. Monotonic except bytes_pooled (a gauge).

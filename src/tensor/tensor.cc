@@ -16,6 +16,17 @@ Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
       static_cast<size_t>(shape_.numel()), /*zero=*/true);
 }
 
+Tensor Tensor::Uninitialized(Shape shape) {
+  for (int64_t d : shape.dims()) {
+    ARMNET_CHECK_GE(d, 0) << "cannot allocate shape " << shape.ToString();
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.storage_ = tensor_internal::AllocateStorage(
+      static_cast<size_t>(t.shape_.numel()), /*zero=*/false);
+  return t;
+}
+
 Tensor Tensor::Full(Shape shape, float value) {
   Tensor t(std::move(shape));
   t.Fill(value);
@@ -75,22 +86,39 @@ Tensor Tensor::Reshape(Shape shape) const {
   Tensor view;
   view.storage_ = storage_;
   view.shape_ = std::move(resolved);
+  view.offset_ = offset_;
+  return view;
+}
+
+Tensor Tensor::ViewSlice(int64_t offset, Shape shape) const {
+  ARMNET_CHECK(defined());
+  ARMNET_CHECK_GE(offset, 0);
+  ARMNET_CHECK_LE(offset_ + offset + shape.numel(),
+                  static_cast<int64_t>(storage_->size()))
+      << "ViewSlice [" << offset << ", +" << shape.numel()
+      << ") escapes storage of " << storage_->size() << " elements";
+  Tensor view;
+  view.storage_ = storage_;
+  view.shape_ = std::move(shape);
+  view.offset_ = offset_ + offset;
   return view;
 }
 
 Tensor Tensor::Clone() const {
   if (!defined()) return Tensor();
+  const size_t n = static_cast<size_t>(numel());
   Tensor copy;
-  copy.storage_ =
-      tensor_internal::AllocateStorage(storage_->size(), /*zero=*/false);
-  std::copy(storage_->begin(), storage_->end(), copy.storage_->begin());
+  copy.storage_ = tensor_internal::AllocateStorage(n, /*zero=*/false);
+  std::copy(data(), data() + n, copy.storage_->begin());
   copy.shape_ = shape_;
   return copy;
 }
 
 void Tensor::Fill(float value) {
   ARMNET_CHECK(defined());
-  for (auto& v : *storage_) v = value;
+  float* p = data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = value;
 }
 
 bool Tensor::AllClose(const Tensor& other, float tolerance) const {

@@ -16,9 +16,11 @@ namespace armnet {
 // row-major storage.
 //
 // Copying a Tensor is cheap (shared storage); Reshape() returns a view onto
-// the same storage. Mutating through data() is visible to all views, which
-// the autograd engine exploits for in-place gradient accumulation. Ops that
-// need an independent buffer call Clone().
+// the same storage, and ViewSlice() a view at a nonzero element offset into
+// it (the execution-plan arena packs many intermediates into one buffer this
+// way). Mutating through data() is visible to all views, which the autograd
+// engine exploits for in-place gradient accumulation. Ops that need an
+// independent buffer call Clone().
 class Tensor {
  public:
   // Default-constructed tensors are empty (rank 0, 1 element is NOT implied;
@@ -33,6 +35,11 @@ class Tensor {
   // --- Factories ---------------------------------------------------------
 
   static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  // Like Tensor(Shape) but skips the zero fill: recycled pool buffers keep
+  // their stale contents. Only for buffers every element of which the caller
+  // overwrites before reading (the plan arena's fully-written slots); all
+  // other acquisition paths keep the zeroing contract.
+  static Tensor Uninitialized(Shape shape);
   static Tensor Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
   static Tensor Full(Shape shape, float value);
   // Rank-0 scalar.
@@ -53,21 +60,21 @@ class Tensor {
 
   float* data() {
     ARMNET_DCHECK(storage_ != nullptr);
-    return storage_->data();
+    return storage_->data() + offset_;
   }
   const float* data() const {
     ARMNET_DCHECK(storage_ != nullptr);
-    return storage_->data();
+    return storage_->data() + offset_;
   }
 
   // Flat element access.
   float& operator[](int64_t i) {
     ARMNET_DCHECK(i >= 0 && i < numel());
-    return (*storage_)[static_cast<size_t>(i)];
+    return data()[i];
   }
   float operator[](int64_t i) const {
     ARMNET_DCHECK(i >= 0 && i < numel());
-    return (*storage_)[static_cast<size_t>(i)];
+    return data()[i];
   }
 
   // Multi-index access (rank must match the number of indices). Debug builds
@@ -75,11 +82,11 @@ class Tensor {
   float& at(std::initializer_list<int64_t> indices) {
     // FlatIndex first: it checks storage liveness before we dereference.
     const int64_t flat = FlatIndex(indices);
-    return (*storage_)[static_cast<size_t>(flat)];
+    return data()[flat];
   }
   float at(std::initializer_list<int64_t> indices) const {
     const int64_t flat = FlatIndex(indices);
-    return (*storage_)[static_cast<size_t>(flat)];
+    return data()[flat];
   }
 
   // Convenience forms: t.at(i, j) == t.at({i, j}).
@@ -96,14 +103,19 @@ class Tensor {
   float item() const {
     ARMNET_CHECK_EQ(numel(), 1) << "item() on tensor of shape "
                                 << shape_.ToString();
-    return (*storage_)[0];
+    return data()[0];
   }
 
   // --- Transformations ----------------------------------------------------
 
   // View with a new shape over the same storage; element count must match.
-  // One dimension may be -1 and is inferred.
+  // One dimension may be -1 and is inferred. Preserves this view's offset.
   Tensor Reshape(Shape shape) const;
+
+  // View of `shape` starting `offset` elements into THIS view (offsets
+  // compose). The window [offset, offset + shape.numel()) must stay inside
+  // the underlying storage. Shares storage: writes are visible to all views.
+  Tensor ViewSlice(int64_t offset, Shape shape) const;
 
   // Deep copy with independent storage.
   Tensor Clone() const;
@@ -121,6 +133,8 @@ class Tensor {
 
   std::shared_ptr<std::vector<float>> storage_;
   Shape shape_;
+  // Element offset of this view into storage_ (0 for whole-buffer tensors).
+  int64_t offset_ = 0;
 };
 
 }  // namespace armnet

@@ -177,6 +177,14 @@ TEST(ServeSoakTest, ChaosRunKeepsInvariants) {
         fault::Arm(fault::kSiteServeWorkerStall, fault::Kind::kClockStall,
                    /*after=*/0, /*times=*/2, /*magnitude=*/0.005);
       }
+      if (fault::kEnabled && chaos_rng.Uniform() < 0.3) {
+        // Failed plan compiles (hit during reload restaging or a TryRun
+        // batch-size miss) must degrade to the interpreted forward, never
+        // to an outage — the invariants below don't know which batches ran
+        // compiled, and that is the point.
+        fault::Arm(fault::kSiteServePlanCompile, fault::Kind::kFailOpen,
+                   /*after=*/0, /*times=*/3);
+      }
       const Status status =
           service.ReloadModel(use_good ? good : corrupt);
       if (status.ok()) {
@@ -190,6 +198,7 @@ TEST(ServeSoakTest, ChaosRunKeepsInvariants) {
       (void)service.counters();
       (void)service.CounterSnapshot();
       (void)service.GaugeSnapshot();
+      (void)service.PlanCounterSnapshot();
       (void)service.incidents();
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
@@ -237,6 +246,26 @@ TEST(ServeSoakTest, ChaosRunKeepsInvariants) {
   EXPECT_GT(counters.reloads_ok, 0);
   EXPECT_GT(counters.reloads_rejected, 0);
   EXPECT_FALSE(service.incidents().empty());
+
+  // Compiled-plan degradation: batches ran — through the VM or through the
+  // interpreted fallback after a refused TryRun — and when fault injection
+  // is compiled in, the chaos thread's injected compile failures actually
+  // landed. Invariants 1 and 2 above are the outage check: a failed
+  // compile lost no ticket and broke no accounting.
+  int64_t plan_executions = 0;
+  int64_t plan_fallbacks = 0;
+  int64_t plan_compile_failures = 0;
+  for (const prof::CounterStats& c : service.PlanCounterSnapshot()) {
+    if (c.name == "plan/executions") plan_executions = c.count;
+    if (c.name == "plan/fallbacks") plan_fallbacks = c.count;
+    if (c.name == "plan/compile_failures") plan_compile_failures = c.count;
+  }
+  EXPECT_GT(plan_executions + plan_fallbacks, 0)
+      << "no slot forward consulted the compiled predictors";
+  if (fault::kEnabled) {
+    EXPECT_GT(plan_compile_failures, 0)
+        << "chaos armed serve/plan_compile but no compile ever failed";
+  }
 }
 
 }  // namespace

@@ -926,13 +926,28 @@ TEST(ServeE2ETest, TrainPersistServeDemo) {
   EXPECT_EQ(counters.clamped_fields, 1);
 
   const armor::RunMetrics metrics = armor::CaptureRunMetrics(
-      nullptr, service.CounterSnapshot(), service.GaugeSnapshot());
+      nullptr, service.CounterSnapshot(), service.GaugeSnapshot(),
+      service.PlanCounterSnapshot());
   const std::string json = armor::RunMetricsJson(metrics);
   EXPECT_NE(json.find("\"serve\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"serve/submitted\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"serve_gauges\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"serve/batch_wait_seconds\""), std::string::npos)
       << json;
+  EXPECT_NE(json.find("\"plan\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"plan/executions\""), std::string::npos) << json;
+
+  // The workers actually served from the compiled plans: the warm at
+  // construction compiled at least one, and the successful predictions
+  // above replayed it (zero fallbacks to the interpreted path).
+  int64_t plan_executions = -1;
+  int64_t plan_fallbacks = -1;
+  for (const prof::CounterStats& c : service.PlanCounterSnapshot()) {
+    if (c.name == "plan/executions") plan_executions = c.count;
+    if (c.name == "plan/fallbacks") plan_fallbacks = c.count;
+  }
+  EXPECT_GT(plan_executions, 0);
+  EXPECT_EQ(plan_fallbacks, 0);
 }
 
 }  // namespace
