@@ -4,9 +4,10 @@
 // Expected shape (paper): performance is stable across the K x o grid, and
 // simply increasing K or o does not necessarily help.
 //
-// Flags: --scale=<f> (default 0.4), --epochs=<n> (default 12),
-//        --datasets=<a,b> (default frappe), --ks=<a,b>, --os=<a,b>,
-//        --json=<path> for the schema-v1 report.
+// Flags: --scale=<f> (default 0.3), --epochs=<n> (default 10),
+//        --datasets=<a,b> (default frappe), --ks=<a,b> (default 1,2,4),
+//        --os=<a,b> (default 8,16,32), --json=<path> for the schema-v1
+//        report.
 
 #include "bench/common.h"
 
@@ -28,8 +29,12 @@ int main(int argc, char** argv) {
   report.ConfigString("os", os_flag);
 
   std::vector<int> ks, os;
-  for (const auto& s : Split(ks_flag, ',')) ks.push_back(std::stoi(s));
-  for (const auto& s : Split(os_flag, ',')) os.push_back(std::stoi(s));
+  for (int64_t k : bench::ParseIntList("ks", ks_flag)) {
+    ks.push_back(static_cast<int>(k));
+  }
+  for (int64_t o : bench::ParseIntList("os", os_flag)) {
+    os.push_back(static_cast<int>(o));
+  }
 
   std::printf("=== Figure 6: sensitivity to K and o (alpha=1.7, "
               "scale=%.2f) ===\n",

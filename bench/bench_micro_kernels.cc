@@ -20,6 +20,7 @@
 #include "data/presets.h"
 #include "optim/adam.h"
 #include "tensor/kernels.h"
+#include "tensor/quantized.h"
 #include "tensor/storage_pool.h"
 #include "tensor/tensor_ops.h"
 
@@ -111,6 +112,50 @@ BENCHMARK(BM_Entmax)
     ->Args({17, 10})
     ->Args({20, 10})
     ->Args({17, 43});
+
+// Forward gather throughput over a large table — the loop whose per-id
+// row-range CHECK was hoisted into tmath::CheckRowIds's single pre-scan
+// (the copy loop itself now runs unchecked). Regression guard for that
+// hoist.
+void BM_GatherRows(benchmark::State& state) {
+  Rng rng(4);
+  const int64_t rows = 100000;
+  const int64_t width = state.range(0);
+  Tensor table = Tensor::Normal(Shape({rows, width}), 0, 0.01f, rng);
+  std::vector<int64_t> ids;
+  for (int i = 0; i < 4096; ++i) ids.push_back(rng.UniformInt(rows));
+  Tensor out = Tensor::Zeros(Shape({static_cast<int64_t>(ids.size()), width}));
+  for (auto _ : state) {
+    tmath::GatherRowsOut(table, ids, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ids.size()));
+}
+BENCHMARK(BM_GatherRows)->Arg(10)->Arg(64);
+
+// Dequantize-on-gather from a QuantizedTable (DESIGN.md §15): the serving
+// no-grad lookup route, per storage kind.
+void BM_QuantizedGather(benchmark::State& state) {
+  Rng rng(4);
+  const int64_t rows = 100000;
+  const int64_t width = 10;
+  const auto kind = static_cast<QuantKind>(state.range(0));
+  Tensor table = Tensor::Normal(Shape({rows, width}), 0, 0.01f, rng);
+  std::shared_ptr<QuantizedTable> store =
+      QuantizedTable::Quantize(table, kind);
+  std::vector<int64_t> ids;
+  for (int i = 0; i < 4096; ++i) ids.push_back(rng.UniformInt(rows));
+  Tensor out = Tensor::Zeros(Shape({static_cast<int64_t>(ids.size()), width}));
+  for (auto _ : state) {
+    store->GatherRowsOut(ids, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ids.size()));
+  state.SetLabel(QuantKindName(kind));
+}
+BENCHMARK(BM_QuantizedGather)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_EmbeddingLookupBackward(benchmark::State& state) {
   Rng rng(4);

@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <memory>
 #include <string>
@@ -63,12 +64,16 @@ struct FitOutcome {
 
 // Trains `model_name` once per learning rate in `lrs` and keeps the run
 // with the best validation AUC (the paper's per-model LR search,
-// Section 4.1.5). A fresh model is built per run from `seed`.
+// Section 4.1.5). A fresh model is built per run from `seed`. When
+// `best_model` is non-null it receives the winning trained model (for
+// benches that keep measuring it — e.g. fig9's quantized-storage sweep).
 inline FitOutcome FitBest(const std::string& model_name,
                           const PreparedData& prepared,
                           const models::FactoryConfig& factory,
                           armor::TrainConfig train,
-                          const std::vector<float>& lrs, uint64_t seed = 7) {
+                          const std::vector<float>& lrs, uint64_t seed = 7,
+                          std::unique_ptr<models::TabularModel>* best_model =
+                              nullptr) {
   FitOutcome best;
   best.result.best_validation_auc = -1;
   for (float lr : lrs) {
@@ -81,9 +86,29 @@ inline FitOutcome FitBest(const std::string& model_name,
       best.result = result;
       best.parameters = model->ParameterCount();
       best.learning_rate = lr;
+      if (best_model != nullptr) *best_model = std::move(model);
     }
   }
   return best;
+}
+
+// Parses a comma-separated integer list flag, failing with a one-line
+// stderr message and exit(2) on a malformed piece ("--sizes=10,,x") instead
+// of std::stoll's uncaught exception mid-run.
+inline std::vector<int64_t> ParseIntList(std::string_view flag_name,
+                                         const std::string& text) {
+  std::vector<int64_t> out;
+  for (const std::string& piece : Split(text, ',')) {
+    int64_t value = 0;
+    if (!ParseInt64(piece, &value)) {
+      std::fprintf(stderr, "bad --%s entry \"%s\" in \"%s\"\n",
+                   std::string(flag_name).c_str(), piece.c_str(),
+                   text.c_str());
+      std::exit(2);
+    }
+    out.push_back(value);
+  }
+  return out;
 }
 
 // "1.5M"-style human-readable parameter counts (Table 2 formatting).

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <utility>
 
+#include "autograd/grad_mode.h"
 #include "autograd/trace_hook.h"
+#include "tensor/quantized.h"
 #include "tensor/tensor_ops.h"
 #include "util/profiler.h"
 
@@ -399,6 +401,26 @@ Variable EmbeddingLookup(const Variable& table,
                       tm::ScatterAddRows(dt, ids, g);
                       table.AccumulateGrad(dt);
                     }, "EmbeddingLookup");
+}
+
+Variable QuantizedEmbeddingLookup(
+    const std::shared_ptr<const QuantizedTable>& table,
+    const std::vector<int64_t>& ids) {
+  ARMNET_PROFILE_SCOPE("fwd/QuantEmbeddingLookup");
+  ARMNET_CHECK(table != nullptr) << "QuantizedEmbeddingLookup: null table";
+  ARMNET_CHECK(!GradMode::IsEnabled())
+      << "QuantizedEmbeddingLookup is inference-only; train on the float32 "
+         "table and quantize at export";
+  Tensor out = table->GatherRows(ids);
+  if (trace::Active()) {
+    trace::OpAttrs attrs;
+    attrs.indices = &ids;
+    attrs.qtable = &table;
+    trace::AnnotateNextOp(attrs);
+  }
+  // No inputs and no backward: grad mode is off, so MakeFromOp takes the
+  // tape-free path (and notifies the trace sink when one is installed).
+  return MakeFromOp(std::move(out), {}, nullptr, "QuantEmbeddingLookup");
 }
 
 Variable Softmax(const Variable& a) {

@@ -2,10 +2,15 @@
 #define ARMNET_AUTOGRAD_OPS_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "autograd/variable.h"
 #include "util/rng.h"
+
+namespace armnet {
+class QuantizedTable;
+}  // namespace armnet
 
 // Differentiable operations on Variables. Each op computes its value via
 // tmath and, when any input requires grad, records a tape node whose
@@ -71,6 +76,13 @@ Variable IndexSelect(const Variable& a, int axis,
 // [ids.size(), width]. Gradient scatter-adds into the table.
 Variable EmbeddingLookup(const Variable& table,
                          const std::vector<int64_t>& ids);
+
+// Dequantize-on-gather lookup against an exported QuantizedTable
+// (tensor/quantized.h). Inference-only: aborts if grad mode is enabled —
+// quantized storage has no backward, training stays on the float32 table.
+Variable QuantizedEmbeddingLookup(
+    const std::shared_ptr<const QuantizedTable>& table,
+    const std::vector<int64_t>& ids);
 
 // --- Softmax ------------------------------------------------------------------------
 // Numerically stable softmax over the last dimension.

@@ -2,6 +2,7 @@
 #define ARMNET_AUTOGRAD_TRACE_HOOK_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "autograd/variable.h"
@@ -21,6 +22,10 @@
 // (all of training, and every non-traced eval forward) the hook is a single
 // thread-local null check.
 
+namespace armnet {
+class QuantizedTable;
+}  // namespace armnet
+
 namespace armnet::ag::trace {
 
 // Non-tensor op attributes, published per-op immediately before MakeFromOp.
@@ -38,6 +43,9 @@ struct OpAttrs {
   // tracer compares this pointer against the probe batch's id vector to
   // distinguish per-request ids from captured constants.
   const std::vector<int64_t>* indices = nullptr;
+  // QuantEmbeddingLookup's storage handle; the tracer copies the shared_ptr
+  // into the compiled program so the plan co-owns the table.
+  const std::shared_ptr<const QuantizedTable>* qtable = nullptr;
 };
 
 // Receives the op stream of one traced forward.

@@ -68,6 +68,13 @@ class FeatureSpace {
   // Matches the Schema the loader builds for the training Dataset.
   const Schema& schema() const { return schema_; }
 
+  // Row count of the embedding table this feature space indexes (one row
+  // per global feature id). This is the cardinality contract a quantized
+  // embedding store must satisfy: Embedding::AttachStore rejects a store
+  // whose row count differs, and MapRow never emits an id outside
+  // [0, embedding_rows()) — UNK and clamping keep serving inputs inside it.
+  int64_t embedding_rows() const { return schema_.num_features(); }
+
   // Maps one raw row (one string cell per field, label excluded) into
   // global feature ids + values. Recoverable input problems surface as
   // Status errors (wrong arity, unparsable numeric cell); OOV tokens map to

@@ -56,6 +56,15 @@ class Module {
   }
   bool training() const { return training_; }
 
+  // Pre-order traversal of this module and every registered descendant.
+  // Callers dynamic_cast to find blocks of a given type — e.g. the serving
+  // layer locating Embedding children to attach quantized stores.
+  std::vector<Module*> SelfAndDescendants() {
+    std::vector<Module*> all;
+    CollectModules(&all);
+    return all;
+  }
+
  protected:
   Module() = default;
 
@@ -90,6 +99,11 @@ class Module {
   void CollectBuffers(std::vector<Tensor>* out) const {
     for (const auto& [name, b] : buffers_) out->push_back(b);
     for (const Module* child : children_) child->CollectBuffers(out);
+  }
+
+  void CollectModules(std::vector<Module*>* out) {
+    out->push_back(this);
+    for (Module* child : children_) child->CollectModules(out);
   }
 
   std::vector<std::pair<std::string, Variable>> params_;

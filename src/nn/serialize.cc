@@ -16,10 +16,10 @@ namespace {
 constexpr char kMagic[4] = {'A', 'R', 'M', 'S'};
 constexpr char kEndMagic[4] = {'S', 'M', 'R', 'A'};
 constexpr uint32_t kVersion = 2;
-// magic + version + kind.
-constexpr size_t kHeaderBytes = 4 + 4 + 4;
-// crc + end magic.
-constexpr size_t kFooterBytes = 4 + 4;
+// magic + version + kind / crc + end magic (serialize.h exports the same
+// values as kEnvelopeHeaderBytes/kEnvelopeFooterBytes for mmap readers).
+constexpr size_t kHeaderBytes = kEnvelopeHeaderBytes;
+constexpr size_t kFooterBytes = kEnvelopeFooterBytes;
 // Sanity bound on a single tensor: 2^40 elements (4 TiB of floats) is far
 // beyond anything this library produces, so larger counts mean corruption.
 constexpr int64_t kMaxTensorNumel = int64_t{1} << 40;
@@ -49,6 +49,48 @@ uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
     crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
+}
+
+Status ValidateEnvelope(const void* data, size_t size, uint32_t expected_kind,
+                        const std::string& name) {
+  const char* buf = static_cast<const char*>(data);
+  if (size < kHeaderBytes + kFooterBytes) {
+    return Status::Error(
+        StrFormat("state file too small (%zu bytes): %s", size,
+                  name.c_str()));
+  }
+  if (std::memcmp(buf, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Error("not an ARM-Net state file: " + name);
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, buf + 4, sizeof(version));
+  if (version != kVersion) {
+    return Status::Error(StrFormat(
+        "unsupported state version %u in %s (current is %u; pre-CRC v1 "
+        "files must be re-saved)",
+        version, name.c_str(), kVersion));
+  }
+  uint32_t kind = 0;
+  std::memcpy(&kind, buf + 8, sizeof(kind));
+  if (kind != expected_kind) {
+    return Status::Error(StrFormat("state kind mismatch in %s: file %u, "
+                                   "expected %u",
+                                   name.c_str(), kind, expected_kind));
+  }
+  if (std::memcmp(buf + size - 4, kEndMagic, sizeof(kEndMagic)) != 0) {
+    return Status::Error("truncated state file (missing end marker): " +
+                         name);
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf + size - kFooterBytes, sizeof(stored_crc));
+  const uint32_t actual_crc = Crc32(buf, size - kFooterBytes);
+  if (stored_crc != actual_crc) {
+    return Status::Error(
+        StrFormat("checksum mismatch in %s: stored %08x, computed %08x "
+                  "(file corrupt)",
+                  name.c_str(), stored_crc, actual_crc));
+  }
+  return Status::Ok();
 }
 
 // --- StateWriter -------------------------------------------------------------
@@ -143,44 +185,9 @@ StatusOr<StateReader> StateReader::Open(const std::string& path,
     buf.resize(std::min(keep, buf.size()));
   }
 
-  if (buf.size() < kHeaderBytes + kFooterBytes) {
-    return Status::Error(StrFormat("state file too small (%zu bytes): %s",
-                                   buf.size(), path.c_str()));
-  }
-  if (std::memcmp(buf.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::Error("not an ARM-Net state file: " + path);
-  }
-  uint32_t version = 0;
-  std::memcpy(&version, buf.data() + 4, sizeof(version));
-  if (version != kVersion) {
-    return Status::Error(StrFormat(
-        "unsupported state version %u in %s (current is %u; pre-CRC v1 "
-        "files must be re-saved)",
-        version, path.c_str(), kVersion));
-  }
-  uint32_t kind = 0;
-  std::memcpy(&kind, buf.data() + 8, sizeof(kind));
-  if (kind != expected_kind) {
-    return Status::Error(StrFormat("state kind mismatch in %s: file %u, "
-                                   "expected %u",
-                                   path.c_str(), kind, expected_kind));
-  }
-  if (std::memcmp(buf.data() + buf.size() - 4, kEndMagic,
-                  sizeof(kEndMagic)) != 0) {
-    return Status::Error("truncated state file (missing end marker): " +
-                         path);
-  }
-  uint32_t stored_crc = 0;
-  std::memcpy(&stored_crc, buf.data() + buf.size() - kFooterBytes,
-              sizeof(stored_crc));
-  const uint32_t actual_crc =
-      Crc32(buf.data(), buf.size() - kFooterBytes);
-  if (stored_crc != actual_crc) {
-    return Status::Error(
-        StrFormat("checksum mismatch in %s: stored %08x, computed %08x "
-                  "(file corrupt)",
-                  path.c_str(), stored_crc, actual_crc));
-  }
+  Status valid = ValidateEnvelope(buf.data(), buf.size(), expected_kind,
+                                  path);
+  if (!valid.ok()) return valid;
 
   StateReader reader;
   reader.path_ = path;

@@ -32,6 +32,15 @@ namespace armnet::nn {
 inline constexpr uint32_t kStateKindModel = 0;
 inline constexpr uint32_t kStateKindTrainCheckpoint = 1;
 inline constexpr uint32_t kStateKindServingArtifact = 2;
+// Quantized embedding store, laid out for zero-copy mmap consumption
+// (nn/embedding_store.h): the row data sits at an aligned absolute offset
+// recorded in the payload header.
+inline constexpr uint32_t kStateKindEmbeddingStore = 3;
+
+// Envelope geometry, exported for readers that validate a mapped file in
+// place instead of going through StateReader (the mmap embedding store).
+inline constexpr size_t kEnvelopeHeaderBytes = 4 + 4 + 4;  // magic+ver+kind
+inline constexpr size_t kEnvelopeFooterBytes = 4 + 4;      // crc+end magic
 
 // A string record (length u64 + bytes) may not exceed this; anything longer
 // in a feature-vocab artifact is corruption, not data.
@@ -40,6 +49,14 @@ inline constexpr uint64_t kMaxStringBytes = uint64_t{1} << 20;
 // CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320). `seed` chains
 // incremental computations; pass the previous return value.
 uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+// Validates a complete in-memory (or memory-mapped) state stream: size
+// floor, magic, version, kind, end marker, CRC. Exactly the checks
+// StateReader::Open performs, shared so zero-copy readers reject corrupt or
+// truncated files with the same errors. `name` labels the source in
+// messages.
+Status ValidateEnvelope(const void* data, size_t size, uint32_t expected_kind,
+                        const std::string& name);
 
 // Accumulates a state stream in memory, then commits it to disk atomically
 // with the envelope described above. All writes are infallible (memory
@@ -57,6 +74,14 @@ class StateWriter {
   void WriteDoubles(const std::vector<double>& values);
   // length u64 followed by the raw bytes.
   void WriteString(const std::string& value);
+  // Unframed bytes — for payloads whose layout carries its own offsets
+  // (the mmap embedding store's aligned data region).
+  void WriteRaw(const void* data, size_t size) { WriteBytes(data, size); }
+
+  // Bytes staged so far, INCLUDING the envelope header — i.e. the absolute
+  // file offset the next write lands at. Lets aligned-layout writers pad to
+  // the offset they record in their payload header.
+  size_t size() const { return buf_.size(); }
 
   // Appends the CRC footer and atomically persists the stream: write
   // `<path>.tmp`, check every stream operation, rename onto `path`. On any

@@ -2,8 +2,10 @@
 #define ARMNET_PLAN_PROGRAM_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "tensor/quantized.h"
 #include "tensor/tensor.h"
 
 // Static execution plans for eval-mode inference (DESIGN.md §14).
@@ -54,6 +56,9 @@ enum class OpCode {
   kSlice,
   kIndexSelect,
   kEmbeddingLookup,
+  // Dequantize-on-gather from a QuantizedTable (no tensor input: the
+  // storage handle rides on Instr::qtable).
+  kQuantEmbeddingLookup,
   // Row-normalizers over the last dimension.
   kSoftmax,
   kEntmax,
@@ -112,6 +117,9 @@ struct Instr {
   std::vector<int> concat_in;   // Concat input slots
   std::vector<int64_t> indices; // IndexSelect / constant-id EmbeddingLookup
   bool batch_ids = false;       // EmbeddingLookup: use the request's ids
+  // kQuantEmbeddingLookup: the quantized storage, co-owned by the program
+  // (keeps an mmap-backed table alive as long as the compiled plan is).
+  std::shared_ptr<const QuantizedTable> qtable;
   std::vector<Epilogue> epilogues;
 };
 

@@ -240,6 +240,24 @@ class TraceBuilder : public ag::trace::TraceSink {
       }
       return true;
     }
+    if (Same(name, "QuantEmbeddingLookup")) {
+      if (attrs.indices == nullptr || attrs.qtable == nullptr ||
+          *attrs.qtable == nullptr) {
+        Fail("QuantEmbeddingLookup reached the tape without its ids or "
+             "storage handle");
+        return false;
+      }
+      // No tensor input: the quantized storage is captured by shared
+      // ownership, so the plan keeps an mmap-backed table alive on its own.
+      instr->op = OpCode::kQuantEmbeddingLookup;
+      instr->qtable = *attrs.qtable;
+      if (attrs.indices == &probe_.ids) {
+        instr->batch_ids = true;
+      } else {
+        instr->indices = *attrs.indices;
+      }
+      return true;
+    }
 
     Fail(std::string("op not covered by the plan VM: ") + name);
     return false;

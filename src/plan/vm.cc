@@ -34,6 +34,7 @@ const char* OpCodeName(OpCode op) {
     case OpCode::kSlice: return "Slice";
     case OpCode::kIndexSelect: return "IndexSelect";
     case OpCode::kEmbeddingLookup: return "EmbeddingLookup";
+    case OpCode::kQuantEmbeddingLookup: return "QuantEmbeddingLookup";
     case OpCode::kSoftmax: return "Softmax";
     case OpCode::kEntmax: return "Entmax";
   }
@@ -194,6 +195,9 @@ void Execute(const Program& prog, ExecutionContext& ctx,
       case OpCode::kEmbeddingLookup:
         tmath::GatherRowsOut(bound[in.a],
                              in.batch_ids ? batch.ids : in.indices, out);
+        break;
+      case OpCode::kQuantEmbeddingLookup:
+        in.qtable->GatherRowsOut(in.batch_ids ? batch.ids : in.indices, out);
         break;
       case OpCode::kSoftmax: tmath::SoftmaxLastDimOut(bound[in.a], out); break;
       case OpCode::kEntmax:

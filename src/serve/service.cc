@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "autograd/grad_mode.h"
+#include "nn/embedding.h"
+#include "nn/embedding_store.h"
 #include "nn/serialize.h"
 #include "util/fault_injection.h"
 #include "util/string_util.h"
@@ -32,6 +34,21 @@ AdaptiveBatchPolicy::Options PolicyOptions(const ServeOptions& options) {
 int64_t ReadyLowWatermark(const ServeOptions& options) {
   return options.ready_low_watermark >= 0 ? options.ready_low_watermark
                                           : options.queue_capacity / 2;
+}
+
+// Strips any quantized embedding store from `model`'s module tree; returns
+// how many embeddings were carrying one. Caller guarantees no concurrent
+// forward (quiesced slot).
+int DetachEmbeddingStores(models::TabularModel& model) {
+  int detached = 0;
+  for (nn::Module* m : model.SelfAndDescendants()) {
+    auto* embedding = dynamic_cast<nn::Embedding*>(m);
+    if (embedding != nullptr && embedding->store() != nullptr) {
+      embedding->DetachStore();
+      ++detached;
+    }
+  }
+  return detached;
 }
 
 }  // namespace
@@ -597,6 +614,7 @@ Status PredictionService::ReloadModel(const std::string& path) {
   ARMNET_PROFILE_SCOPE("serve/ReloadModel");
   MutexLock reload_lock(reload_mutex_);
   Status status;
+  int stores_detached = 0;
   if (fault::ShouldFail(fault::kSiteServeReloadCorrupt,
                         fault::Kind::kFailOpen)) {
     status = Status::Error("injected corrupt reload: " + path);
@@ -620,6 +638,10 @@ Status PredictionService::ReloadModel(const std::string& path) {
     status = nn::LoadState(*slots_[idle], path);
     if (status.ok()) {
       slots_[idle]->SetTraining(false);
+      // A quantized store pairs with the weights it was exported from;
+      // fresh weights make it stale, so it comes off before the restage
+      // (the recompiled plans must not capture the old quantized gather).
+      stores_detached = DetachEmbeddingStores(*slots_[idle]);
       // Restage the idle slot's compiled plans against the fresh weights
       // BEFORE the publish: old plans referenced the overwritten tensors,
       // and recompiling now keeps the first post-swap batches off the
@@ -654,6 +676,7 @@ Status PredictionService::ReloadModel(const std::string& path) {
     status = nn::LoadState(*slots_[0], path);
     if (status.ok()) {
       slots_[0]->SetTraining(false);
+      stores_detached = DetachEmbeddingStores(*slots_[0]);
       if (predictors_[0] != nullptr) {
         const std::vector<int64_t> sizes = predictors_[0]->CachedBatchSizes();
         predictors_[0]->Invalidate();
@@ -690,8 +713,103 @@ Status PredictionService::ReloadModel(const std::string& path) {
     MutexLock guard(shard.mutex);
     ++shard.counters.reloads_ok;
   }
+  // The active model now carries no quantized store (RCU: the published
+  // slot was stripped above; in-place: slot 0 was), so the counter view
+  // must stop reporting the stale ones.
+  {
+    MutexLock guard(store_mutex_);
+    attached_stores_.clear();
+  }
+  if (stores_detached > 0) {
+    RecordIncident(StrFormat(
+        "reload detached %d quantized embedding store(s): stores pair with "
+        "the weights they were exported from; attach a re-exported one",
+        stores_detached));
+  }
   // Whatever failures the breaker accumulated were about the old weights.
   breaker_.Reset();
+  return Status::Ok();
+}
+
+Status PredictionService::AttachEmbeddingStore(const std::string& path,
+                                               int64_t hot_row_cache_slots) {
+  ARMNET_PROFILE_SCOPE("serve/AttachEmbeddingStore");
+  MutexLock reload_lock(reload_mutex_);
+  // Open and fully validate the file BEFORE quiescing anything: a corrupt
+  // or truncated store must cost the serving path nothing and leave the
+  // model exactly as it was.
+  StatusOr<std::shared_ptr<QuantizedTable>> opened =
+      nn::OpenMappedEmbeddingStore(path);
+  if (!opened.ok()) {
+    RecordIncident("embedding store rejected, model untouched: " +
+                   opened.status().message());
+    return opened.status();
+  }
+  std::shared_ptr<QuantizedTable> store = std::move(opened).value();
+  if (hot_row_cache_slots > 0) store->EnableHotRowCache(hot_row_cache_slots);
+
+  // Quiesce in-flight forwards on both slots (the in-place-reload
+  // protocol): Embedding::AttachStore swaps the lookup route that workers
+  // read without a lock.
+  int active;
+  {
+    MutexLock lock(model_mutex_);
+    quiescing_ = true;
+    model_cv_.Wait(model_mutex_, [this]() ARMNET_REQUIRES(model_mutex_) {
+      return slot_readers_[0] == 0 && slot_readers_[1] == 0;
+    });
+    active = active_index_;
+  }
+
+  int attached = 0;
+  for (nn::Module* m : slots_[active]->SelfAndDescendants()) {
+    auto* embedding = dynamic_cast<nn::Embedding*>(m);
+    if (embedding != nullptr && embedding->num_rows() == store->rows() &&
+        embedding->width() == store->width()) {
+      embedding->AttachStore(store);
+      ++attached;
+    }
+  }
+  Status status;
+  if (attached == 0) {
+    status = Status::Error(StrFormat(
+        "embedding store %s ([%lld, %lld] %s) matches no embedding table in "
+        "the active model",
+        path.c_str(), static_cast<long long>(store->rows()),
+        static_cast<long long>(store->width()),
+        QuantKindName(store->kind())));
+  } else if (predictors_[active] != nullptr) {
+    // The slot's compiled plans captured the float32 gather; restage them
+    // so the compiled path serves the quantized store too. Warm failure is
+    // not fatal — TryRun recompiles on demand.
+    const std::vector<int64_t> sizes = predictors_[active]->CachedBatchSizes();
+    predictors_[active]->Invalidate();
+    for (int64_t bs : sizes) {
+      Status warmed = predictors_[active]->Warm(bs, space_.num_fields());
+      if (!warmed.ok()) {
+        RecordIncident("compiled-plan restage failed on store attach: " +
+                       warmed.message());
+        break;
+      }
+    }
+  }
+
+  {
+    MutexLock lock(model_mutex_);
+    quiescing_ = false;
+  }
+  model_cv_.NotifyAll();
+
+  if (!status.ok()) {
+    RecordIncident("embedding store rejected, model untouched: " +
+                   status.message());
+    return status;
+  }
+  {
+    MutexLock guard(store_mutex_);
+    attached_stores_.push_back(store);
+  }
+  ARMNET_PROFILE_COUNT("serve/embedding_store_attached", 1);
   return Status::Ok();
 }
 
@@ -721,7 +839,7 @@ ServeCounters PredictionService::counters() const {
 
 std::vector<prof::CounterStats> PredictionService::CounterSnapshot() const {
   const ServeCounters c = counters();
-  return {
+  std::vector<prof::CounterStats> snapshot = {
       {"serve/submitted", c.submitted},
       {"serve/rejected_invalid", c.rejected_invalid},
       {"serve/rejected_overload", c.rejected_overload},
@@ -737,6 +855,23 @@ std::vector<prof::CounterStats> PredictionService::CounterSnapshot() const {
       {"serve/reloads_ok", c.reloads_ok},
       {"serve/reloads_rejected", c.reloads_rejected},
   };
+  // Quantized embedding storage: one row even when nothing is attached, so
+  // the run-metrics schema is stable across configurations.
+  int64_t stores = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  {
+    MutexLock guard(store_mutex_);
+    stores = static_cast<int64_t>(attached_stores_.size());
+    for (const auto& store : attached_stores_) {
+      hits += static_cast<int64_t>(store->cache_hits());
+      misses += static_cast<int64_t>(store->cache_misses());
+    }
+  }
+  snapshot.push_back({"serve/embedding_stores_attached", stores});
+  snapshot.push_back({"serve/embedding_cache_hits", hits});
+  snapshot.push_back({"serve/embedding_cache_misses", misses});
+  return snapshot;
 }
 
 std::vector<prof::CounterStats> PredictionService::PlanCounterSnapshot() const {

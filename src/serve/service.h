@@ -15,6 +15,7 @@
 #include "plan/compiled_predictor.h"
 #include "serve/batch_policy.h"
 #include "serve/circuit_breaker.h"
+#include "tensor/quantized.h"
 #include "tensor/storage_pool.h"
 #include "util/clock.h"
 #include "util/profiler.h"
@@ -257,8 +258,24 @@ class PredictionService {
   // Any validation failure leaves the currently-serving weights untouched,
   // records an incident, and returns the error; success resets the circuit
   // breaker. With a warm standby the stage runs entirely off the serving
-  // path and publishing is an RCU swap; workers never wait on it.
+  // path and publishing is an RCU swap; workers never wait on it. Reloading
+  // also detaches any quantized embedding store from the staged slot (the
+  // store was exported against the replaced weights) and records an
+  // incident telling the operator to attach a re-exported one.
   Status ReloadModel(const std::string& path)
+      ARMNET_EXCLUDES(reload_mutex_, model_mutex_);
+
+  // Opens the mmap-backed quantized embedding store at `path` (serialize-v2
+  // kind kStateKindEmbeddingStore) and attaches it to every Embedding in
+  // the ACTIVE model whose geometry matches; subsequent no-grad forwards
+  // dequantize-on-gather from the shared mapping. `hot_row_cache_slots` > 0
+  // additionally enables the dequantized hot-row cache (hit/miss counters
+  // surface in CounterSnapshot). A corrupt/truncated/mismatched file leaves
+  // the model untouched and returns the error. The swap quiesces in-flight
+  // forwards (the in-place-reload protocol) and restages the slot's
+  // compiled plans so they capture the quantized gather.
+  Status AttachEmbeddingStore(const std::string& path,
+                              int64_t hot_row_cache_slots = 0)
       ARMNET_EXCLUDES(reload_mutex_, model_mutex_);
 
   // Liveness: the service accepts submissions (true until shutdown begins).
@@ -383,6 +400,13 @@ class PredictionService {
 
   mutable Mutex incidents_mutex_;
   std::vector<std::string> incidents_ ARMNET_GUARDED_BY(incidents_mutex_);
+
+  // Quantized stores attached to the active model, held for the cache
+  // hit/miss counter snapshot (leaf mutex; the tables themselves are
+  // internally synchronized and co-owned by the Embeddings/plans).
+  mutable Mutex store_mutex_;
+  std::vector<std::shared_ptr<const QuantizedTable>> attached_stores_
+      ARMNET_GUARDED_BY(store_mutex_);
 };
 
 }  // namespace armnet::serve

@@ -25,6 +25,11 @@ void SetBackend(Backend backend);
 // True if this binary can execute the SIMD kernels on this machine.
 bool SimdAvailable();
 
+// True if the CPU additionally supports the F16C half-precision conversion
+// instructions. The fp16 dequantize dispatcher requires this on top of
+// SimdAvailable(); without it the scalar bit-twiddle path runs instead.
+bool F16cAvailable();
+
 // Human-readable backend name, e.g. for experiment output.
 const char* BackendName(Backend backend);
 

@@ -1,0 +1,77 @@
+#ifndef ARMNET_TENSOR_HALF_H_
+#define ARMNET_TENSOR_HALF_H_
+
+#include <cstdint>
+#include <cstring>
+
+// Portable IEEE-754 binary16 <-> binary32 conversion (bit twiddling, no
+// hardware F16C dependency). These are the scalar reference used by the
+// quantized embedding store; the SIMD gather path uses _mm256_cvtph_ps when
+// the CPU supports F16C and must agree bit-for-bit with HalfToFloat on every
+// stored value (quantized_store_test pins this).
+
+namespace armnet {
+
+using half_t = uint16_t;
+
+inline float HalfToFloat(half_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1fu;
+  const uint32_t mant = h & 0x3ffu;
+  uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // +/- zero
+    } else {
+      // Subnormal half: normalize into a float exponent.
+      uint32_t e = 127 - 15 + 1;
+      uint32_t m = mant;
+      while ((m & 0x400u) == 0) {
+        m <<= 1;
+        --e;
+      }
+      bits = sign | (e << 23) | ((m & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1fu) {
+    bits = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+  } else {
+    bits = sign | ((exp + (127 - 15)) << 23) | (mant << 13);
+  }
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+inline half_t FloatToHalf(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  const int32_t exp = static_cast<int32_t>((bits >> 23) & 0xffu) - 127 + 15;
+  uint32_t mant = bits & 0x7fffffu;
+  if (exp >= 0x1f) {
+    // Overflow to inf; NaN keeps a nonzero mantissa.
+    if (((bits >> 23) & 0xffu) == 0xffu && mant != 0) {
+      return static_cast<half_t>(sign | 0x7c00u | 0x200u | (mant >> 13));
+    }
+    return static_cast<half_t>(sign | 0x7c00u);
+  }
+  if (exp <= 0) {
+    if (exp < -10) return static_cast<half_t>(sign);  // underflow to zero
+    // Subnormal half: shift the implicit leading 1 into the mantissa, then
+    // round to nearest even.
+    mant |= 0x800000u;
+    const uint32_t shift = static_cast<uint32_t>(14 - exp);
+    const uint32_t rounded =
+        (mant + (1u << (shift - 1)) - 1u + ((mant >> shift) & 1u)) >> shift;
+    return static_cast<half_t>(sign | rounded);
+  }
+  // Normal: round mantissa to nearest even; carry may bump the exponent,
+  // which the plain add handles because the fields are adjacent.
+  const uint32_t rounded = (mant + 0xfffu + ((mant >> 13) & 1u)) >> 13;
+  return static_cast<half_t>(
+      sign + (static_cast<uint32_t>(exp) << 10) + rounded);
+}
+
+}  // namespace armnet
+
+#endif  // ARMNET_TENSOR_HALF_H_

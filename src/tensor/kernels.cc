@@ -21,6 +21,10 @@ bool SimdAvailable() {
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
 }
 
+bool F16cAvailable() {
+  return SimdAvailable() && __builtin_cpu_supports("f16c");
+}
+
 Backend GetBackend() { return ActiveBackend().load(std::memory_order_relaxed); }
 
 void SetBackend(Backend backend) {
@@ -115,6 +119,21 @@ void Gemm(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
                 (a != nullptr && b != nullptr));
   ARMNET_PROFILE_COUNT("kernel/Gemm", 1);
   ARMNET_DISPATCH(Gemm, m, n, k, a, b, beta, c);
+}
+void DequantRowI8(const int8_t* src, float scale, float* out, int64_t n) {
+  ARMNET_KERNEL_PRECONDITIONS2(src, out, n);
+  ARMNET_PROFILE_COUNT("kernel/DequantRowI8", 1);
+  ARMNET_DISPATCH(DequantRowI8, src, scale, out, n);
+}
+void DequantRowF16(const uint16_t* src, float* out, int64_t n) {
+  ARMNET_KERNEL_PRECONDITIONS2(src, out, n);
+  ARMNET_PROFILE_COUNT("kernel/DequantRowF16", 1);
+  // The fp16 SIMD path needs F16C on top of AVX2+FMA; fall back to the
+  // portable bit-twiddle conversion when the CPU lacks it.
+  if (GetBackend() == Backend::kSimd && F16cAvailable()) {
+    return simd::DequantRowF16(src, out, n);
+  }
+  return scalar::DequantRowF16(src, out, n);
 }
 
 #undef ARMNET_DISPATCH

@@ -28,6 +28,10 @@ float VecSum(const float* a, int64_t n);
 // C[M,N] = beta * C + A[M,K] * B[K,N] (all row-major, contiguous).
 void Gemm(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
           float beta, float* c);
+// Dequantize one embedding row: out[i] = src[i] * scale (symmetric int8).
+void DequantRowI8(const int8_t* src, float scale, float* out, int64_t n);
+// Dequantize one fp16 row: out[i] = HalfToFloat(src[i]).
+void DequantRowF16(const uint16_t* src, float* out, int64_t n);
 }  // namespace scalar
 
 namespace simd {
@@ -42,6 +46,9 @@ float VecDot(const float* a, const float* b, int64_t n);
 float VecSum(const float* a, int64_t n);
 void Gemm(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
           float beta, float* c);
+void DequantRowI8(const int8_t* src, float scale, float* out, int64_t n);
+// Requires F16C (dispatcher guards on F16cAvailable()).
+void DequantRowF16(const uint16_t* src, float* out, int64_t n);
 }  // namespace simd
 
 // Dispatching wrappers.
@@ -56,6 +63,8 @@ float VecDot(const float* a, const float* b, int64_t n);
 float VecSum(const float* a, int64_t n);
 void Gemm(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
           float beta, float* c);
+void DequantRowI8(const int8_t* src, float scale, float* out, int64_t n);
+void DequantRowF16(const uint16_t* src, float* out, int64_t n);
 
 }  // namespace armnet::kernels
 

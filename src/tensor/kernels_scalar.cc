@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "tensor/half.h"
 #include "tensor/kernels.h"
 
 namespace armnet::kernels::scalar {
@@ -64,6 +65,16 @@ void Gemm(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
       for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   }
+}
+
+void DequantRowI8(const int8_t* src, float scale, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(src[i]) * scale;
+  }
+}
+
+void DequantRowF16(const uint16_t* src, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = HalfToFloat(src[i]);
 }
 
 }  // namespace armnet::kernels::scalar

@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "tensor/half.h"
 #include "tensor/kernels.h"
 
 namespace armnet::kernels::simd {
@@ -178,6 +179,30 @@ void Gemm(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
       for (; j < n; ++j) crow[j] += av * brow[j];
     }
   }
+}
+
+void DequantRowI8(const int8_t* src, float scale, float* out, int64_t n) {
+  const __m256 vs = _mm256_set1_ps(scale);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // Sign-extend 8 int8 lanes to int32, convert to float, scale.
+    const __m128i packed =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + i));
+    const __m256i wide = _mm256_cvtepi8_epi32(packed);
+    _mm256_storeu_ps(out + i,
+                     _mm256_mul_ps(_mm256_cvtepi32_ps(wide), vs));
+  }
+  for (; i < n; ++i) out[i] = static_cast<float>(src[i]) * scale;
+}
+
+void DequantRowF16(const uint16_t* src, float* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i packed =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(out + i, _mm256_cvtph_ps(packed));
+  }
+  for (; i < n; ++i) out[i] = HalfToFloat(src[i]);
 }
 
 }  // namespace armnet::kernels::simd

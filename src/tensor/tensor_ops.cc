@@ -720,6 +720,24 @@ Tensor SliceBackward(const Tensor& a, const Shape& full, int axis,
   return out;
 }
 
+void CheckRowIds(const std::vector<int64_t>& ids, int64_t rows,
+                 const char* op_name) {
+  // Branchless pre-scan: OR the sign bit and an unsigned compare across all
+  // ids, then (only on failure) rescan to name the first offender. This
+  // hoists the per-id CHECK out of the copy loop without weakening the
+  // id-naming contract — the failure message still cites the exact id.
+  const uint64_t bound = static_cast<uint64_t>(rows);
+  uint64_t bad = 0;
+  for (const int64_t id : ids) {
+    bad |= static_cast<uint64_t>(id) >= bound ? 1u : 0u;
+  }
+  if (bad == 0) return;
+  for (const int64_t id : ids) {
+    ARMNET_CHECK(id >= 0 && id < rows)
+        << op_name << " id " << id << " out of range [0, " << rows << ")";
+  }
+}
+
 void GatherRowsOut(const Tensor& table, const std::vector<int64_t>& ids,
                    Tensor& out) {
   ARMNET_CHECK_EQ(table.rank(), 2) << "GatherRows table must be rank 2";
@@ -727,11 +745,9 @@ void GatherRowsOut(const Tensor& table, const std::vector<int64_t>& ids,
   const int64_t width = table.dim(1);
   ARMNET_DCHECK(out.dim(0) == static_cast<int64_t>(ids.size()) &&
                 out.dim(1) == width);
+  CheckRowIds(ids, rows, "GatherRows");
   for (size_t i = 0; i < ids.size(); ++i) {
-    const int64_t id = ids[i];
-    ARMNET_CHECK(id >= 0 && id < rows)
-        << "GatherRows id " << id << " out of range [0, " << rows << ")";
-    const float* src = table.data() + id * width;
+    const float* src = table.data() + ids[i] * width;
     std::copy(src, src + width, out.data() + static_cast<int64_t>(i) * width);
   }
 }
@@ -751,12 +767,10 @@ void ScatterAddRows(Tensor& dest, const std::vector<int64_t>& ids,
   ARMNET_CHECK_EQ(src.dim(1), dest.dim(1));
   const int64_t rows = dest.dim(0);
   const int64_t width = dest.dim(1);
+  CheckRowIds(ids, rows, "ScatterAddRows");
   for (size_t i = 0; i < ids.size(); ++i) {
-    const int64_t id = ids[i];
-    ARMNET_CHECK(id >= 0 && id < rows)
-        << "ScatterAddRows id " << id << " out of range [0, " << rows << ")";
     kernels::VecAxpy(1.0f, src.data() + static_cast<int64_t>(i) * width,
-                     dest.data() + id * width, width);
+                     dest.data() + ids[i] * width, width);
   }
 }
 

@@ -87,6 +87,12 @@ Tensor IndexSelectBackward(const Tensor& g, const Shape& full, int axis,
                            const std::vector<int64_t>& indices);
 
 // --- Indexed ----------------------------------------------------------------
+// Aborts (naming the first offending id) unless every id is in [0, rows).
+// One branch-free pre-scan over the ids; the gather/scatter copy loops run
+// unchecked after it, which is the hot-path contract from PR 5 kept at a
+// hoisted cost (see bench_micro_kernels BM_GatherRows).
+void CheckRowIds(const std::vector<int64_t>& ids, int64_t rows,
+                 const char* op_name);
 // Rows of `table` ([M, width]) selected by `ids` -> [ids.size(), width].
 Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& ids);
 // dest[ids[i], :] += src[i, :]; dest is modified in place.

@@ -1,5 +1,6 @@
 #include "util/string_util.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
@@ -72,6 +73,17 @@ bool ParseFloat(const std::string& text, float* out) {
   return true;
 }
 
+bool ParseInt64(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  if (errno == ERANGE) return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
 std::string FlagValue(int argc, char** argv, std::string_view name,
                       std::string_view default_value) {
   const std::string key = "--" + std::string(name) + "=";
@@ -94,7 +106,13 @@ int64_t FlagInt(int argc, char** argv, std::string_view name,
                 int64_t default_value) {
   const std::string v = FlagValue(argc, argv, name, "");
   if (v.empty()) return default_value;
-  return std::strtoll(v.c_str(), nullptr, 10);
+  int64_t parsed = 0;
+  if (!ParseInt64(v, &parsed)) {
+    std::fprintf(stderr, "bad integer flag --%s=%s\n",
+                 std::string(name).c_str(), v.c_str());
+    std::exit(2);
+  }
+  return parsed;
 }
 
 }  // namespace armnet

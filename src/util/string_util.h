@@ -30,9 +30,18 @@ bool StartsWith(std::string_view text, std::string_view prefix);
 // parse in the other.
 bool ParseFloat(const std::string& text, float* out);
 
+// Strict base-10 integer parse: the whole (non-empty) string must be
+// consumed and the value must fit in int64_t (overflow is a failure, not a
+// clamp). Sibling of ParseFloat for flag and list parsing in the bench
+// binaries, where std::stoll's exceptions and partial-consume semantics have
+// bitten before (a "--sizes=10,,x" silently throwing mid-run).
+bool ParseInt64(const std::string& text, int64_t* out);
+
 // Parses command-line style flags of the form --name=value. Returns the
 // value for `name` if present, otherwise `default_value`. Used by the bench
-// and example binaries for workload scaling knobs.
+// and example binaries for workload scaling knobs. FlagInt rejects a
+// malformed value with a one-line stderr message and exit(2) rather than
+// silently reading it as 0.
 std::string FlagValue(int argc, char** argv, std::string_view name,
                       std::string_view default_value);
 double FlagDouble(int argc, char** argv, std::string_view name,

@@ -23,7 +23,10 @@
 #include "data/loader.h"
 #include "data/split.h"
 #include "models/lr.h"
+#include "nn/embedding.h"
+#include "nn/embedding_store.h"
 #include "nn/serialize.h"
+#include "tensor/quantized.h"
 #include "serve/batch_policy.h"
 #include "serve/service.h"
 #include "util/clock.h"
@@ -948,6 +951,125 @@ TEST(ServeE2ETest, TrainPersistServeDemo) {
   }
   EXPECT_GT(plan_executions, 0);
   EXPECT_EQ(plan_fallbacks, 0);
+}
+
+// --- Quantized embedding stores (DESIGN.md §15) ------------------------------
+
+nn::Embedding* FirstEmbedding(models::TabularModel& model) {
+  for (nn::Module* m : model.SelfAndDescendants()) {
+    if (auto* e = dynamic_cast<nn::Embedding*>(m)) return e;
+  }
+  return nullptr;
+}
+
+TEST(PredictionServiceTest, MmapEmbeddingStoreServesAndDetachesOnReload) {
+  ServiceFixture fx("svc_embed_store");
+
+  // Distinctive embedding weights (bias stays 0), exported to a store file
+  // BEFORE the weights are zeroed: if serving later reproduces this logit,
+  // it can only have come through the mmap-backed store.
+  nn::Embedding* embedding = FirstEmbedding(*fx.model);
+  ASSERT_NE(embedding, nullptr);
+  Variable table_var = embedding->table();  // shared handle onto the param
+  Tensor& table = table_var.mutable_value();
+  std::fill(table.data(), table.data() + table.numel(), 0.5f);
+  const std::string store_path =
+      ::testing::TempDir() + "/svc_embed_store.arms";
+  ASSERT_TRUE(
+      nn::SaveEmbeddingStore(
+          *QuantizedTable::Quantize(table, QuantKind::kFloat32), store_path)
+          .ok());
+
+  PredictionService service(fx.model.get(), fx.space, fx.ManualOptions(),
+                            &fx.clock);
+  auto with_floats = service.Submit({"sf", "15"});
+  service.DrainOnce();
+  const float expected = with_floats->Wait().logit;
+  ASSERT_NE(expected, 0.0f);
+
+  // Zero the float table: the float path now answers 0. Persist THESE
+  // weights — the reload at the end must visibly swap away from the store.
+  std::fill(table.data(), table.data() + table.numel(), 0.0f);
+  auto zeroed = service.Submit({"sf", "15"});
+  service.DrainOnce();
+  ASSERT_FLOAT_EQ(zeroed->Wait().logit, 0.0f);
+  const std::string weights_path =
+      ::testing::TempDir() + "/svc_embed_store.state";
+  ASSERT_TRUE(nn::SaveState(*fx.model, weights_path).ok());
+
+  // A corrupt store file is rejected whole before any quiesce: the model is
+  // untouched and keeps serving the float path.
+  std::string bytes = ReadAll(store_path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  const std::string bad = store_path + ".corrupt";
+  WriteAll(bad, bytes);
+  EXPECT_FALSE(service.AttachEmbeddingStore(bad).ok());
+  ASSERT_FALSE(service.incidents().empty());
+  EXPECT_NE(service.incidents().back().find("embedding store rejected"),
+            std::string::npos);
+  auto untouched = service.Submit({"sf", "15"});
+  service.DrainOnce();
+  EXPECT_FLOAT_EQ(untouched->Wait().logit, 0.0f);
+
+  // The good file attaches; no-grad serving now gathers the mapped 0.5
+  // rows bit-exactly (float32 store), restoring the original logit.
+  ASSERT_TRUE(
+      service.AttachEmbeddingStore(store_path, /*hot_row_cache_slots=*/64)
+          .ok());
+  auto served = service.Submit({"sf", "15"});
+  service.DrainOnce();
+  EXPECT_EQ(served->Wait().code, ServeCode::kOk);
+  EXPECT_FLOAT_EQ(served->Wait().logit, expected);
+
+  // Cache accounting reaches run_metrics through the counter snapshot.
+  int64_t stores_attached = -1;
+  int64_t cache_hits = -1;
+  int64_t cache_misses = -1;
+  for (const prof::CounterStats& c : service.CounterSnapshot()) {
+    if (c.name == "serve/embedding_stores_attached") stores_attached = c.count;
+    if (c.name == "serve/embedding_cache_hits") cache_hits = c.count;
+    if (c.name == "serve/embedding_cache_misses") cache_misses = c.count;
+  }
+  EXPECT_EQ(stores_attached, 1);
+  EXPECT_GE(cache_misses, 1);  // the first gather of each row must miss
+  EXPECT_GE(cache_hits, 0);
+
+  // Reloading weights detaches the store (it pairs with the weights it was
+  // exported from) and records an operator incident; the reloaded all-zero
+  // float table serves again, atomically.
+  ASSERT_TRUE(service.ReloadModel(weights_path).ok());
+  ASSERT_FALSE(service.incidents().empty());
+  EXPECT_NE(service.incidents().back().find("detached"), std::string::npos);
+  auto after_reload = service.Submit({"sf", "15"});
+  service.DrainOnce();
+  EXPECT_EQ(after_reload->Wait().code, ServeCode::kOk);
+  EXPECT_FLOAT_EQ(after_reload->Wait().logit, 0.0f);
+  for (const prof::CounterStats& c : service.CounterSnapshot()) {
+    if (c.name == "serve/embedding_stores_attached") {
+      EXPECT_EQ(c.count, 0);
+    }
+  }
+}
+
+TEST(PredictionServiceTest, EmbeddingStoreGeometryMismatchRejected) {
+  ServiceFixture fx("svc_embed_geom");
+  PredictionService service(fx.model.get(), fx.space, fx.ManualOptions(),
+                            &fx.clock);
+  // A valid store whose geometry matches no table in the model.
+  Rng rng(3);
+  const Tensor other = Tensor::Normal(Shape({3, 7}), 0, 1, rng);
+  const std::string path = ::testing::TempDir() + "/svc_embed_geom.arms";
+  ASSERT_TRUE(
+      nn::SaveEmbeddingStore(
+          *QuantizedTable::Quantize(other, QuantKind::kInt8), path)
+          .ok());
+  const Status status = service.AttachEmbeddingStore(path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("matches no embedding"), std::string::npos);
+  // Rejection leaves serving untouched.
+  auto ok = service.Submit({"sf", "15"});
+  service.DrainOnce();
+  EXPECT_EQ(ok->Wait().code, ServeCode::kOk);
 }
 
 }  // namespace

@@ -36,6 +36,11 @@ tooling"):
   ts-escape    every ARMNET_NO_THREAD_SAFETY_ANALYSIS outside util/sync.h
                carries a justification comment directly above it
                (empty-by-default policy, like sanitizer suppressions)
+  mmap-isolation
+               raw mmap/munmap (and <sys/mman.h>) live only in
+               src/nn/embedding_store.cc, whose MappedFile owns the mapping
+               lifetime through the QuantizedTable keep-alive and fully
+               validates the envelope before any mapped byte escapes
   layering     the include graph respects the layer DAG declared in
                tools/layering.py (no up-layer includes, no same-layer
                directory cycles)
@@ -308,6 +313,29 @@ def check_ts_escapes():
                        "DESIGN.md §12)")
 
 
+# Memory mapping is confined to the embedding-store TU: MappedFile there
+# owns the munmap lifetime (kept alive by the QuantizedTable handle, so a
+# compiled plan can co-own the mapping) and validates the whole envelope
+# before any mapped byte escapes. A raw mmap anywhere else would create an
+# unmanaged mapping lifetime outside that contract.
+MMAP_RE = re.compile(r"(?<![\w:.])(mmap|munmap)\s*\(|#include\s*<sys/mman\.h>")
+MMAP_ALLOWLIST = {
+    Path("nn") / "embedding_store.cc",  # MappedFile + envelope validation
+}
+
+
+def check_mmap_isolation():
+    for path in sorted(list(SRC.rglob("*.h")) + list(SRC.rglob("*.cc"))):
+        if path.relative_to(SRC) in MMAP_ALLOWLIST:
+            continue
+        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+            if MMAP_RE.search(strip_comments(raw)):
+                report(path, lineno, "mmap-isolation",
+                       "raw mmap/munmap outside nn/embedding_store.cc; open "
+                       "mapped weights through OpenMappedEmbeddingStore so "
+                       "the mapping lifetime and validation stay owned")
+
+
 def check_layering():
     import layering
     findings.extend(layering.check_files(layering.load_repo_files()))
@@ -368,6 +396,7 @@ def main() -> int:
     check_nograd_eval()
     check_plan_trace_isolation()
     check_mutex_facade()
+    check_mmap_isolation()
     check_ts_escapes()
     check_layering()
     check_suppression_policy()
