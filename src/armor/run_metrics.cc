@@ -21,7 +21,8 @@ RunMetrics CaptureRunMetrics(const TensorPool* pool) {
 RunMetrics CaptureRunMetrics(
     const TensorPool* pool, std::vector<prof::CounterStats> serve_counters,
     std::vector<std::pair<std::string, double>> serve_gauges,
-    std::vector<prof::CounterStats> plan_counters) {
+    std::vector<prof::CounterStats> plan_counters,
+    std::vector<std::pair<std::string, double>> drift_metrics) {
   RunMetrics metrics = CaptureRunMetrics(pool);
   metrics.has_serve = true;
   metrics.serve = std::move(serve_counters);
@@ -29,6 +30,10 @@ RunMetrics CaptureRunMetrics(
   if (!plan_counters.empty()) {
     metrics.has_plan = true;
     metrics.plan = std::move(plan_counters);
+  }
+  if (!drift_metrics.empty()) {
+    metrics.has_drift = true;
+    metrics.drift = std::move(drift_metrics);
   }
   return metrics;
 }
@@ -97,6 +102,16 @@ std::string RunMetricsJson(const RunMetrics& metrics) {
       w.BeginObject();
       w.Key("name").String(c.name);
       w.Key("count").Int(c.count);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  if (metrics.has_drift) {
+    w.Key("drift").BeginArray();
+    for (const auto& [name, value] : metrics.drift) {
+      w.BeginObject();
+      w.Key("name").String(name);
+      w.Key("value").Double(value);
       w.EndObject();
     }
     w.EndArray();

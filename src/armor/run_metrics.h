@@ -38,6 +38,12 @@ struct RunMetrics {
   // bench's own predictor). Present when a compiled predictor was in play.
   bool has_plan = false;
   std::vector<prof::CounterStats> plan;
+  // Drift/shadow gauges (serve::PredictionService::DriftMetricsSnapshot):
+  // per-field windowed OOV/clamp rates vs baseline, score PSI, and the
+  // shadow delta statistics. Present when a service was captured with its
+  // drift snapshot (the "drift" section of the JSON).
+  bool has_drift = false;
+  std::vector<std::pair<std::string, double>> drift;
 };
 
 // Snapshots the process-wide tape stats and profiler registry, plus `pool`'s
@@ -55,7 +61,8 @@ RunMetrics CaptureRunMetrics(const TensorPool* pool = nullptr);
 RunMetrics CaptureRunMetrics(
     const TensorPool* pool, std::vector<prof::CounterStats> serve_counters,
     std::vector<std::pair<std::string, double>> serve_gauges = {},
-    std::vector<prof::CounterStats> plan_counters = {});
+    std::vector<prof::CounterStats> plan_counters = {},
+    std::vector<std::pair<std::string, double>> drift_metrics = {});
 
 // Compact single-line JSON object:
 //   {"tape":{"nodes_recorded":N,"nodes_elided":N},
@@ -66,7 +73,8 @@ RunMetrics CaptureRunMetrics(
 //    "counters":[{"name":s,"count":N},...],
 //    "serve":[{"name":s,"count":N},...],                  // if has_serve
 //    "serve_gauges":[{"name":s,"value":f},...],           // if non-empty
-//    "plan":[{"name":s,"count":N},...]}                   // if has_plan
+//    "plan":[{"name":s,"count":N},...],                   // if has_plan
+//    "drift":[{"name":s,"value":f},...]}                  // if has_drift
 std::string RunMetricsJson(const RunMetrics& metrics);
 
 }  // namespace armnet::armor

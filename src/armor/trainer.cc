@@ -1,5 +1,6 @@
 #include "armor/trainer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -497,8 +498,39 @@ TrainResult Fit(models::TabularModel& model, const data::Splits& splits,
       incident("model export failed: " + saved_model.message());
     }
     if (config.export_feature_space != nullptr) {
+      data::FeatureSpace artifact_space = *config.export_feature_space;
+      if (config.export_drift_reference) {
+        // Drift reference (DESIGN.md §16): the restored best-epoch model's
+        // score distribution over the validation split (training split when
+        // no validation rows exist) becomes the serving-time comparison
+        // baseline. Per-field baseline rates stay zero — the vocabulary and
+        // ranges were built from this very data, so nothing is OOV or
+        // out-of-range by construction.
+        const data::Dataset& reference_split =
+            splits.validation.size() > 0 ? splits.validation : splits.train;
+        const std::vector<float> logits =
+            PredictLogits(model, reference_split, config.batch_size);
+        data::DriftReference reference;
+        reference.score_histogram.assign(data::kDriftScoreBins, 0);
+        int64_t counted = 0;
+        for (const float logit : logits) {
+          if (!std::isfinite(logit)) continue;
+          const double p =
+              1.0 / (1.0 + std::exp(-static_cast<double>(logit)));
+          int bin = static_cast<int>(p * data::kDriftScoreBins);
+          bin = std::min(std::max(bin, 0), data::kDriftScoreBins - 1);
+          ++reference.score_histogram[static_cast<size_t>(bin)];
+          ++counted;
+        }
+        if (counted > 0) {
+          artifact_space.set_drift_reference(std::move(reference));
+        } else {
+          incident(
+              "drift reference skipped: no finite reference-split scores");
+        }
+      }
       const Status saved_space = data::SaveFeatureSpace(
-          *config.export_feature_space, export_dir + "/serving.artifact");
+          artifact_space, export_dir + "/serving.artifact");
       if (!saved_space.ok()) {
         incident("serving artifact export failed: " + saved_space.message());
       }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "nn/serialize.h"
+#include "util/check.h"
 #include "util/string_util.h"
 
 namespace armnet::data {
@@ -34,6 +35,24 @@ FeatureSpace::FeatureSpace(std::vector<FieldVocab> fields,
   schema_ = Schema(std::move(specs));
 }
 
+void FeatureSpace::set_drift_reference(DriftReference ref) {
+  if (ref.valid()) {
+    ARMNET_CHECK_EQ(static_cast<int>(ref.score_histogram.size()),
+                    kDriftScoreBins);
+    if (ref.baseline_oov_rate.empty()) {
+      ref.baseline_oov_rate.assign(static_cast<size_t>(num_fields()), 0.0);
+    }
+    if (ref.baseline_clamp_rate.empty()) {
+      ref.baseline_clamp_rate.assign(static_cast<size_t>(num_fields()), 0.0);
+    }
+    ARMNET_CHECK_EQ(static_cast<int>(ref.baseline_oov_rate.size()),
+                    num_fields());
+    ARMNET_CHECK_EQ(static_cast<int>(ref.baseline_clamp_rate.size()),
+                    num_fields());
+  }
+  drift_reference_ = std::move(ref);
+}
+
 Status FeatureSpace::MapRow(const std::vector<std::string>& cells,
                             MappedRow* out) const {
   const int m = num_fields();
@@ -45,6 +64,8 @@ Status FeatureSpace::MapRow(const std::vector<std::string>& cells,
   out->values.resize(static_cast<size_t>(m));
   out->oov_fields = 0;
   out->clamped_fields = 0;
+  out->oov_field_indices.clear();
+  out->clamped_field_indices.clear();
   for (int f = 0; f < m; ++f) {
     const size_t uf = static_cast<size_t>(f);
     const FieldVocab& fv = fields_[uf];
@@ -57,6 +78,7 @@ Status FeatureSpace::MapRow(const std::vector<std::string>& cells,
         local = it->second;
       } else {
         ++out->oov_fields;
+        out->oov_field_indices.push_back(f);
       }
       out->ids[uf] = schema_.GlobalId(f, local);
       out->values[uf] = 1.0f;
@@ -75,6 +97,7 @@ Status FeatureSpace::MapRow(const std::vector<std::string>& cells,
       if (v < fv.lo || v > fv.hi) {
         v = std::min(std::max(v, fv.lo), fv.hi);
         ++out->clamped_fields;
+        out->clamped_field_indices.push_back(f);
       }
       // Identical to the loader's min-max rescale into (0, 1].
       const float range = fv.hi - fv.lo;
@@ -100,6 +123,21 @@ Status SaveFeatureSpace(const FeatureSpace& space, const std::string& path) {
     }
   }
   writer.WriteDouble(space.train_positive_rate());
+  // Optional drift-reference block (DESIGN.md §16). Appended after the v1
+  // payload so readers predating it still validate: they stop at
+  // positive_rate and see AtEnd() only when the block is absent, which is
+  // exactly the set of artifacts they can interpret. Newer readers treat
+  // an absent block as "drift monitoring disabled".
+  if (space.has_drift_reference()) {
+    const DriftReference& ref = space.drift_reference();
+    writer.WriteU32(1);  // drift block version
+    writer.WriteU64(ref.score_histogram.size());
+    for (int64_t count : ref.score_histogram) {
+      writer.WriteU64(static_cast<uint64_t>(count));
+    }
+    for (double rate : ref.baseline_oov_rate) writer.WriteDouble(rate);
+    for (double rate : ref.baseline_clamp_rate) writer.WriteDouble(rate);
+  }
   return writer.Commit(path);
 }
 
@@ -161,10 +199,49 @@ StatusOr<FeatureSpace> LoadFeatureSpace(const std::string& path) {
   double positive_rate = 0;
   status = reader.ReadDouble(&positive_rate);
   if (!status.ok()) return status;
+  // Optional trailing drift-reference block: pre-§16 artifacts end here,
+  // and load with drift monitoring disabled.
+  DriftReference ref;
+  if (!reader.AtEnd()) {
+    uint32_t block_version = 0;
+    status = reader.ReadU32(&block_version);
+    if (!status.ok()) return status;
+    if (block_version != 1) {
+      return Status::Error(StrFormat("unknown drift block version %u in %s",
+                                     block_version, path.c_str()));
+    }
+    uint64_t bins = 0;
+    status = reader.ReadU64(&bins);
+    if (!status.ok()) return status;
+    if (bins != static_cast<uint64_t>(kDriftScoreBins)) {
+      return Status::Error(StrFormat("corrupt drift histogram (%zu bins) in %s",
+                                     static_cast<size_t>(bins), path.c_str()));
+    }
+    ref.score_histogram.resize(static_cast<size_t>(bins));
+    for (uint64_t b = 0; b < bins; ++b) {
+      uint64_t count = 0;
+      status = reader.ReadU64(&count);
+      if (!status.ok()) return status;
+      ref.score_histogram[static_cast<size_t>(b)] =
+          static_cast<int64_t>(count);
+    }
+    ref.baseline_oov_rate.resize(num_fields);
+    ref.baseline_clamp_rate.resize(num_fields);
+    for (uint64_t f = 0; f < num_fields; ++f) {
+      status = reader.ReadDouble(&ref.baseline_oov_rate[f]);
+      if (!status.ok()) return status;
+    }
+    for (uint64_t f = 0; f < num_fields; ++f) {
+      status = reader.ReadDouble(&ref.baseline_clamp_rate[f]);
+      if (!status.ok()) return status;
+    }
+  }
   if (!reader.AtEnd()) {
     return Status::Error("trailing bytes in serving artifact: " + path);
   }
-  return FeatureSpace(std::move(fields), positive_rate);
+  FeatureSpace space(std::move(fields), positive_rate);
+  if (ref.valid()) space.set_drift_reference(std::move(ref));
+  return space;
 }
 
 }  // namespace armnet::data

@@ -32,6 +32,32 @@ namespace armnet::data {
 // Reserved local id for out-of-vocab categorical tokens.
 inline constexpr int64_t kUnkLocalId = 0;
 
+// Bin count of the drift-reference score histogram. Bins partition the
+// sigmoid(logit) probability range [0, 1] uniformly — a fixed, bounded
+// domain, so the serving-time window histogram and the training-time
+// reference are always over identical bins (the PSI precondition).
+inline constexpr int kDriftScoreBins = 16;
+
+// Training-time reference distribution for online drift monitoring
+// (DESIGN.md §16). The trainer fills this from the validation split after
+// the best-epoch weights are restored and embeds it in the serving
+// artifact; the prediction service compares its live sliding windows
+// against it. An artifact without a reference (every pre-§16 artifact)
+// simply loads with drift monitoring disabled.
+struct DriftReference {
+  // Histogram of sigmoid(logit) over kDriftScoreBins uniform bins in
+  // [0, 1], counted on the validation split. Empty means "no reference".
+  std::vector<int64_t> score_histogram;
+  // Per-field baseline rates, indexed like FeatureSpace::fields(). The
+  // training vocabulary and ranges are built from the training data, so
+  // these are 0 by construction when the trainer exports them; non-zero
+  // baselines can be set from held-out raw traffic by an operator.
+  std::vector<double> baseline_oov_rate;
+  std::vector<double> baseline_clamp_rate;
+
+  bool valid() const { return !score_histogram.empty(); }
+};
+
 // One field's serving-time mapping state.
 struct FieldVocab {
   std::string name;
@@ -50,6 +76,11 @@ struct MappedRow {
   std::vector<float> values;   // matching values (1.0 for categoricals)
   int oov_fields = 0;          // categorical cells mapped to UNK
   int clamped_fields = 0;      // numerical cells clamped into [lo, hi]
+  // Which fields degraded, as indices into FeatureSpace::fields(). The
+  // drift monitor aggregates these per column on the worker drain path so
+  // an alert can name the drifting field, not just count events.
+  std::vector<int32_t> oov_field_indices;
+  std::vector<int32_t> clamped_field_indices;
 };
 
 class FeatureSpace {
@@ -81,9 +112,19 @@ class FeatureSpace {
   // UNK and out-of-range numericals clamp, both counted in `out`.
   Status MapRow(const std::vector<std::string>& cells, MappedRow* out) const;
 
+  // Drift reference (DESIGN.md §16). Absent on artifacts written before
+  // the reference existed and on spaces the trainer exported without one;
+  // the service treats "absent" as "drift monitoring disabled".
+  bool has_drift_reference() const { return drift_reference_.valid(); }
+  const DriftReference& drift_reference() const { return drift_reference_; }
+  // `ref` must carry kDriftScoreBins histogram bins and per-field baseline
+  // vectors either empty (treated as all-zero) or sized num_fields().
+  void set_drift_reference(DriftReference ref);
+
  private:
   std::vector<FieldVocab> fields_;
   double positive_rate_ = 0.5;
+  DriftReference drift_reference_;
   Schema schema_;
   // token → local id (1-based), one map per categorical field.
   std::vector<std::unordered_map<std::string, int64_t>> lookup_;

@@ -1,0 +1,329 @@
+#include "serve/drift_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/fault_injection.h"
+#include "util/string_util.h"
+
+namespace armnet::serve {
+namespace {
+
+// PSI smoothing, applied in probability space with the same epsilon on
+// both distributions: p' = (p + eps) / (1 + bins * eps). Smoothing raw
+// counts instead would be asymmetric whenever the live window is much
+// smaller than the reference — bins empty on both sides would land at
+// ~eps_live vs ~eps_ref and inflate the PSI right as the window opens.
+constexpr double kPsiEpsilon = 1e-4;
+
+// Normalizes a count histogram into epsilon-smoothed probabilities.
+void SmoothedProbs(const std::vector<int64_t>& hist,
+                   std::vector<double>* probs) {
+  double total = 0;
+  for (int64_t c : hist) total += static_cast<double>(c);
+  const double denom = 1.0 + static_cast<double>(hist.size()) * kPsiEpsilon;
+  probs->resize(hist.size());
+  for (size_t b = 0; b < hist.size(); ++b) {
+    const double p =
+        total > 0 ? static_cast<double>(hist[b]) / total
+                  : 1.0 / static_cast<double>(hist.size());
+    (*probs)[b] = (p + kPsiEpsilon) / denom;
+  }
+}
+
+double SigmoidScore(float logit) {
+  return 1.0 / (1.0 + std::exp(-static_cast<double>(logit)));
+}
+
+int ScoreBin(float logit) {
+  const double p = SigmoidScore(logit);
+  int bin = static_cast<int>(p * data::kDriftScoreBins);
+  return std::min(std::max(bin, 0), data::kDriftScoreBins - 1);
+}
+
+}  // namespace
+
+DriftMonitor::DriftMonitor(const data::FeatureSpace& space,
+                           const DriftOptions& options, Clock* clock,
+                           int shards)
+    : space_(space), options_(options), clock_(clock) {
+  ARMNET_CHECK(clock_ != nullptr);
+  ARMNET_CHECK_GE(shards, 1);
+  enabled_ = space_.has_drift_reference();
+  if (!enabled_) return;
+
+  num_fields_ = space_.num_fields();
+  options_.window_buckets = std::max(options_.window_buckets, 1);
+  options_.window_seconds = std::max(options_.window_seconds, 1e-6);
+  bucket_span_ = options_.window_seconds / options_.window_buckets;
+
+  const data::DriftReference& ref = space_.drift_reference();
+  ARMNET_CHECK_EQ(static_cast<int>(ref.score_histogram.size()),
+                  data::kDriftScoreBins);
+  SmoothedProbs(ref.score_histogram, &ref_probs_);
+  baseline_oov_ = ref.baseline_oov_rate;
+  baseline_clamp_ = ref.baseline_clamp_rate;
+  baseline_oov_.resize(static_cast<size_t>(num_fields_), 0.0);
+  baseline_clamp_.resize(static_cast<size_t>(num_fields_), 0.0);
+
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    MutexLock lock(shard->mu);
+    shard->buckets.resize(static_cast<size_t>(options_.window_buckets));
+    for (Bucket& b : shard->buckets) {
+      b.oov.assign(static_cast<size_t>(num_fields_), 0);
+      b.clamp.assign(static_cast<size_t>(num_fields_), 0);
+      b.hist.assign(data::kDriftScoreBins, 0);
+    }
+    shard->total_oov.assign(static_cast<size_t>(num_fields_), 0);
+    shard->total_clamp.assign(static_cast<size_t>(num_fields_), 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+int64_t DriftMonitor::TagForNow() const {
+  return static_cast<int64_t>(clock_->NowSeconds() / bucket_span_);
+}
+
+void DriftMonitor::Observe(int shard, DriftBatchSample* sample) {
+  if (!enabled_ || sample == nullptr || sample->rows <= 0) return;
+  ARMNET_CHECK_GE(shard, 0);
+  ARMNET_CHECK_LT(static_cast<size_t>(shard), shards_.size());
+
+  // Chaos hook: rewrite the sample into worst-case hostile traffic — every
+  // categorical cell OOV, every numerical cell clamped, every score pinned
+  // to the extreme bin — so the soak exercises alert raising + clearing.
+  if (fault::ShouldFail(fault::kSiteServeDriftSkew,
+                        fault::Kind::kPoisonTensor)) {
+    sample->oov_counts.assign(static_cast<size_t>(num_fields_), 0);
+    sample->clamp_counts.assign(static_cast<size_t>(num_fields_), 0);
+    const std::vector<data::FieldVocab>& fields = space_.fields();
+    for (int f = 0; f < num_fields_; ++f) {
+      if (fields[static_cast<size_t>(f)].type ==
+          data::FieldType::kCategorical) {
+        sample->oov_counts[static_cast<size_t>(f)] = sample->rows;
+      } else {
+        sample->clamp_counts[static_cast<size_t>(f)] = sample->rows;
+      }
+    }
+    sample->logits.assign(static_cast<size_t>(sample->rows), 30.0f);
+  }
+
+  const int64_t tag = TagForNow();
+  Shard& s = *shards_[static_cast<size_t>(shard)];
+  MutexLock lock(s.mu);
+  Bucket& b = s.buckets[static_cast<size_t>(
+      tag % static_cast<int64_t>(s.buckets.size()))];
+  if (b.tag != tag) {
+    b.tag = tag;
+    b.requests = 0;
+    b.scored = 0;
+    std::fill(b.oov.begin(), b.oov.end(), int64_t{0});
+    std::fill(b.clamp.begin(), b.clamp.end(), int64_t{0});
+    std::fill(b.hist.begin(), b.hist.end(), int64_t{0});
+  }
+  b.requests += sample->rows;
+  if (!sample->oov_counts.empty()) {
+    for (int f = 0; f < num_fields_; ++f) {
+      const size_t uf = static_cast<size_t>(f);
+      b.oov[uf] += sample->oov_counts[uf];
+      s.total_oov[uf] += sample->oov_counts[uf];
+    }
+  }
+  if (!sample->clamp_counts.empty()) {
+    for (int f = 0; f < num_fields_; ++f) {
+      const size_t uf = static_cast<size_t>(f);
+      b.clamp[uf] += sample->clamp_counts[uf];
+      s.total_clamp[uf] += sample->clamp_counts[uf];
+    }
+  }
+  for (float logit : sample->logits) {
+    if (!std::isfinite(logit)) continue;
+    ++b.scored;
+    ++b.hist[static_cast<size_t>(ScoreBin(logit))];
+  }
+}
+
+void DriftMonitor::MergeWindow(WindowTotals* out) {
+  out->requests = 0;
+  out->scored = 0;
+  out->oov.assign(static_cast<size_t>(num_fields_), 0);
+  out->clamp.assign(static_cast<size_t>(num_fields_), 0);
+  out->hist.assign(data::kDriftScoreBins, 0);
+  out->total_oov.assign(static_cast<size_t>(num_fields_), 0);
+  out->total_clamp.assign(static_cast<size_t>(num_fields_), 0);
+  const int64_t tag_now = TagForNow();
+  const int64_t min_tag =
+      tag_now - static_cast<int64_t>(options_.window_buckets) + 1;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    MutexLock lock(shard->mu);
+    for (const Bucket& b : shard->buckets) {
+      if (b.tag < min_tag || b.tag > tag_now) continue;
+      out->requests += b.requests;
+      out->scored += b.scored;
+      for (int f = 0; f < num_fields_; ++f) {
+        const size_t uf = static_cast<size_t>(f);
+        out->oov[uf] += b.oov[uf];
+        out->clamp[uf] += b.clamp[uf];
+      }
+      for (int h = 0; h < data::kDriftScoreBins; ++h) {
+        out->hist[static_cast<size_t>(h)] += b.hist[static_cast<size_t>(h)];
+      }
+    }
+    for (int f = 0; f < num_fields_; ++f) {
+      const size_t uf = static_cast<size_t>(f);
+      out->total_oov[uf] += shard->total_oov[uf];
+      out->total_clamp[uf] += shard->total_clamp[uf];
+    }
+  }
+}
+
+double DriftMonitor::ScorePsi(const std::vector<int64_t>& window_hist) const {
+  std::vector<double> window_probs;
+  SmoothedProbs(window_hist, &window_probs);
+  double psi = 0;
+  for (size_t b = 0; b < window_hist.size(); ++b) {
+    const double q = window_probs[b];
+    const double p = ref_probs_[b];
+    psi += (q - p) * std::log(q / p);
+  }
+  return psi;
+}
+
+void DriftMonitor::ActiveAlerts(
+    const WindowTotals& w,
+    std::vector<std::pair<std::string, std::string>>* out,
+    double* psi_out) const {
+  *psi_out = w.scored > 0 ? ScorePsi(w.hist) : 0.0;
+  if (w.requests < options_.min_window_requests) return;
+  const std::vector<data::FieldVocab>& fields = space_.fields();
+  const double denom = static_cast<double>(w.requests);
+  for (int f = 0; f < num_fields_; ++f) {
+    const size_t uf = static_cast<size_t>(f);
+    const std::string& name = fields[uf].name;
+    if (fields[uf].type == data::FieldType::kCategorical) {
+      const double rate = static_cast<double>(w.oov[uf]) / denom;
+      if (rate > baseline_oov_[uf] + options_.oov_rate_threshold) {
+        out->emplace_back(
+            "oov:" + name,
+            StrFormat("drift: field '%s' oov rate %.3f exceeds baseline "
+                      "%.3f + %.3f over %lld window requests",
+                      name.c_str(), rate, baseline_oov_[uf],
+                      options_.oov_rate_threshold,
+                      static_cast<long long>(w.requests)));
+      }
+    } else {
+      const double rate = static_cast<double>(w.clamp[uf]) / denom;
+      if (rate > baseline_clamp_[uf] + options_.clamp_rate_threshold) {
+        out->emplace_back(
+            "clamp:" + name,
+            StrFormat("drift: field '%s' clamp rate %.3f exceeds baseline "
+                      "%.3f + %.3f over %lld window requests",
+                      name.c_str(), rate, baseline_clamp_[uf],
+                      options_.clamp_rate_threshold,
+                      static_cast<long long>(w.requests)));
+      }
+    }
+  }
+  if (w.scored >= options_.min_window_requests &&
+      *psi_out > options_.psi_threshold) {
+    out->emplace_back(
+        "psi", StrFormat("drift: score PSI %.3f exceeds %.3f over %lld "
+                         "scored rows",
+                         *psi_out, options_.psi_threshold,
+                         static_cast<long long>(w.scored)));
+  }
+}
+
+DriftEvents DriftMonitor::EvaluateAlerts() {
+  DriftEvents events;
+  if (!enabled_) return events;
+  WindowTotals w;
+  MergeWindow(&w);
+  std::vector<std::pair<std::string, std::string>> active;
+  double psi = 0;
+  ActiveAlerts(w, &active, &psi);
+
+  MutexLock lock(alert_mu_);
+  std::unordered_set<std::string> next;
+  next.reserve(active.size());
+  for (const auto& [key, description] : active) {
+    next.insert(key);
+    if (alert_keys_.count(key) == 0) events.raised.push_back(description);
+  }
+  for (const std::string& key : alert_keys_) {
+    if (next.count(key) == 0) events.cleared.push_back(key);
+  }
+  alert_keys_ = std::move(next);
+  alert_active_.store(!alert_keys_.empty(), std::memory_order_relaxed);
+  return events;
+}
+
+DriftSnapshotData DriftMonitor::Snapshot() {
+  DriftSnapshotData snap;
+  snap.enabled = enabled_;
+  if (!enabled_) return snap;
+  WindowTotals w;
+  MergeWindow(&w);
+  std::vector<std::pair<std::string, std::string>> active;
+  ActiveAlerts(w, &active, &snap.score_psi);
+  std::unordered_set<std::string> active_keys;
+  for (const auto& [key, description] : active) active_keys.insert(key);
+
+  snap.alert_active = alert_active();
+  snap.window_requests = w.requests;
+  snap.window_scored = w.scored;
+  const std::vector<data::FieldVocab>& fields = space_.fields();
+  const double denom = w.requests > 0 ? static_cast<double>(w.requests) : 1.0;
+  snap.fields.reserve(static_cast<size_t>(num_fields_));
+  for (int f = 0; f < num_fields_; ++f) {
+    const size_t uf = static_cast<size_t>(f);
+    DriftFieldStats stats;
+    stats.field = fields[uf].name;
+    stats.window_oov_rate = static_cast<double>(w.oov[uf]) / denom;
+    stats.window_clamp_rate = static_cast<double>(w.clamp[uf]) / denom;
+    stats.baseline_oov_rate = baseline_oov_[uf];
+    stats.baseline_clamp_rate = baseline_clamp_[uf];
+    stats.total_oov = w.total_oov[uf];
+    stats.total_clamped = w.total_clamp[uf];
+    stats.alerting = active_keys.count("oov:" + stats.field) > 0 ||
+                     active_keys.count("clamp:" + stats.field) > 0;
+    snap.fields.push_back(std::move(stats));
+  }
+  return snap;
+}
+
+std::vector<std::pair<std::string, double>> DriftMonitor::MetricsSnapshot() {
+  std::vector<std::pair<std::string, double>> out;
+  DriftSnapshotData snap = Snapshot();
+  out.emplace_back("drift/enabled", snap.enabled ? 1.0 : 0.0);
+  if (!snap.enabled) return out;
+  out.emplace_back("drift/alert_active", snap.alert_active ? 1.0 : 0.0);
+  out.emplace_back("drift/window_requests",
+                   static_cast<double>(snap.window_requests));
+  out.emplace_back("drift/window_scored",
+                   static_cast<double>(snap.window_scored));
+  out.emplace_back("drift/score_psi", snap.score_psi);
+  const std::vector<data::FieldVocab>& fields = space_.fields();
+  for (size_t f = 0; f < snap.fields.size(); ++f) {
+    const DriftFieldStats& stats = snap.fields[f];
+    const std::string prefix = "drift/field/" + stats.field + "/";
+    if (fields[f].type == data::FieldType::kCategorical) {
+      out.emplace_back(prefix + "oov_rate", stats.window_oov_rate);
+      out.emplace_back(prefix + "oov_baseline", stats.baseline_oov_rate);
+      out.emplace_back(prefix + "oov_total",
+                       static_cast<double>(stats.total_oov));
+    } else {
+      out.emplace_back(prefix + "clamp_rate", stats.window_clamp_rate);
+      out.emplace_back(prefix + "clamp_baseline", stats.baseline_clamp_rate);
+      out.emplace_back(prefix + "clamp_total",
+                       static_cast<double>(stats.total_clamped));
+    }
+    out.emplace_back(prefix + "alerting", stats.alerting ? 1.0 : 0.0);
+  }
+  return out;
+}
+
+}  // namespace armnet::serve

@@ -84,6 +84,15 @@ void ServeCounters::MergeFrom(const ServeCounters& other) {
   batches += other.batches;
   reloads_ok += other.reloads_ok;
   reloads_rejected += other.reloads_rejected;
+  drift_alerts += other.drift_alerts;
+  shadow_loads += other.shadow_loads;
+  shadow_loads_rejected += other.shadow_loads_rejected;
+  shadow_mirrored_batches += other.shadow_mirrored_batches;
+  shadow_mirrored_rows += other.shadow_mirrored_rows;
+  shadow_failures += other.shadow_failures;
+  shadow_promotions_ok += other.shadow_promotions_ok;
+  shadow_promotions_refused += other.shadow_promotions_refused;
+  shadow_dismissed += other.shadow_dismissed;
 }
 
 // --- PendingPrediction -------------------------------------------------------
@@ -118,16 +127,20 @@ PredictionService::PredictionService(models::TabularModel* model,
                                      data::FeatureSpace space,
                                      ServeOptions options, Clock* clock,
                                      models::TabularModel* fallback,
-                                     models::TabularModel* standby)
+                                     models::TabularModel* standby,
+                                     models::TabularModel* shadow)
     : slots_{model, standby},
       fallback_(fallback),
       space_(std::move(space)),
       options_(std::move(options)),
       clock_(clock != nullptr ? clock : &own_clock_),
       breaker_(options_.breaker, clock != nullptr ? clock : &own_clock_),
-      policy_(PolicyOptions(options_)) {
+      policy_(PolicyOptions(options_)),
+      shadow_slot_(shadow) {
   ARMNET_CHECK(model != nullptr) << "PredictionService needs a model";
   ARMNET_CHECK(standby != model) << "standby must be a distinct model copy";
+  ARMNET_CHECK(shadow == nullptr || (shadow != model && shadow != standby))
+      << "shadow must be a distinct model copy";
   ARMNET_CHECK_GE(options_.queue_capacity, 1);
   ARMNET_CHECK_GE(options_.max_batch_size, 1);
   ARMNET_CHECK_GE(options_.num_workers, 1);
@@ -136,11 +149,16 @@ PredictionService::PredictionService(models::TabularModel* model,
   for (int i = 0; i <= options_.num_workers; ++i) {
     shards_.push_back(std::make_unique<CounterShard>());
   }
+  // Disabled (every method a no-op) unless the artifact carries a
+  // DriftReference. Shard layout mirrors the counter shards.
+  drift_ = std::make_unique<DriftMonitor>(space_, options_.drift, clock_,
+                                          options_.num_workers + 1);
   // Eval mode for the service's whole lifetime: a per-forward mode guard
   // would be a write race between workers sharing one module tree.
   model->SetTraining(false);
   if (standby != nullptr) standby->SetTraining(false);
   if (fallback != nullptr) fallback->SetTraining(false);
+  if (shadow != nullptr) shadow->SetTraining(false);
   // Compiled inference per model slot. Warming the active slot at the
   // micro-batch cap front-loads the most common trace; other batch sizes
   // compile lazily on first sight. A failed warm is an incident, not an
@@ -223,6 +241,8 @@ std::shared_ptr<PendingPrediction> PredictionService::Submit(
   pending->values_ = std::move(mapped.values);
   pending->oov_fields_ = mapped.oov_fields;
   pending->clamped_fields_ = mapped.clamped_fields;
+  pending->oov_field_indices_ = std::move(mapped.oov_field_indices);
+  pending->clamped_field_indices_ = std::move(mapped.clamped_field_indices);
   if (mapped.oov_fields > 0 || mapped.clamped_fields > 0) {
     ARMNET_PROFILE_COUNT("serve/oov_fields", mapped.oov_fields);
     ARMNET_PROFILE_COUNT("serve/clamped_fields", mapped.clamped_fields);
@@ -325,9 +345,10 @@ PredictResult PredictionService::Predict(const std::vector<std::string>& cells,
   return Submit(cells, deadline_seconds)->Wait();
 }
 
-int64_t PredictionService::DrainOnce() { return DrainBatch(*shards_[0]); }
+int64_t PredictionService::DrainOnce() { return DrainBatch(0); }
 
-int64_t PredictionService::DrainBatch(CounterShard& shard) {
+int64_t PredictionService::DrainBatch(int shard_index) {
+  CounterShard& shard = *shards_[static_cast<size_t>(shard_index)];
   // An armed queue stall models a wedged worker: the queue keeps admitting
   // (until capacity) but nothing is popped while the fault fires.
   if (fault::ShouldFail(fault::kSiteServeQueueStall, fault::Kind::kFailOpen)) {
@@ -367,12 +388,12 @@ int64_t PredictionService::DrainBatch(CounterShard& shard) {
     MutexLock guard(shard.mutex);
     shard.counters.expired += newly_expired;
   }
-  if (!live.empty()) ProcessBatch(live, shard);
+  if (!live.empty()) ProcessBatch(live, shard_index);
   return static_cast<int64_t>(taken.size());
 }
 
 void PredictionService::WorkerLoop(int worker_index) {
-  CounterShard& shard = *shards_[static_cast<size_t>(worker_index) + 1];
+  const int shard_index = worker_index + 1;
   while (true) {
     {
       MutexLock lock(queue_mutex_);
@@ -412,7 +433,7 @@ void PredictionService::WorkerLoop(int worker_index) {
       }
       clock_->Advance(stall);
     }
-    DrainBatch(shard);
+    DrainBatch(shard_index);
   }
 }
 
@@ -435,8 +456,9 @@ void PredictionService::ReleaseActiveModel(int slot) {
 
 void PredictionService::ProcessBatch(
     const std::vector<std::shared_ptr<PendingPrediction>>& batch,
-    CounterShard& shard) {
+    int shard_index) {
   ARMNET_PROFILE_SCOPE("serve/ProcessBatch");
+  CounterShard& shard = *shards_[static_cast<size_t>(shard_index)];
   // An injected stall models a slow forward (page-in, contended CPU): the
   // clock jumps so requests queued behind this batch see their deadlines
   // consumed.
@@ -446,6 +468,11 @@ void PredictionService::ProcessBatch(
 
   if (!breaker_.AllowRequest()) {
     Degrade(batch, shard, "circuit breaker open");
+    // Drift still observes the drained inputs (no scores: no primary
+    // forward ran) — an OOV flood during a breaker-open spell must not be
+    // invisible.
+    ObserveDrift(shard_index, batch, nullptr);
+    HandleDriftEvents(shard_index);
     return;
   }
   const data::Batch b = AssembleBatch(batch);
@@ -466,6 +493,8 @@ void PredictionService::ProcessBatch(
     breaker_.RecordFailure();
     RecordIncident("primary model produced non-finite logits");
     Degrade(batch, shard, "primary model produced non-finite logits");
+    ObserveDrift(shard_index, batch, nullptr);
+    HandleDriftEvents(shard_index);
     return;
   }
   breaker_.RecordSuccess();
@@ -482,6 +511,12 @@ void PredictionService::ProcessBatch(
   for (size_t i = 0; i < batch.size(); ++i) {
     CompleteOk(*batch[i], logits[i], /*degraded=*/false);
   }
+  // Everything below runs AFTER the primary completions were delivered:
+  // drift windows, alert evaluation, and the mirrored shadow forward are
+  // off the request critical path by construction.
+  ObserveDrift(shard_index, batch, &logits);
+  HandleDriftEvents(shard_index);
+  MirrorToShadow(b, logits, shard_index);
 }
 
 data::Batch PredictionService::AssembleBatch(
@@ -608,6 +643,277 @@ void PredictionService::CompleteTerminal(PendingPrediction& pending,
   result.latency_seconds =
       std::max(0.0, clock_->NowSeconds() - pending.submitted_at_);
   pending.Complete(std::move(result));
+}
+
+void PredictionService::ObserveDrift(
+    int shard_index,
+    const std::vector<std::shared_ptr<PendingPrediction>>& batch,
+    const std::vector<float>* logits) {
+  if (!drift_->enabled()) return;
+  DriftBatchSample sample;
+  sample.rows = static_cast<int64_t>(batch.size());
+  const size_t m = static_cast<size_t>(space_.num_fields());
+  sample.oov_counts.assign(m, 0);
+  sample.clamp_counts.assign(m, 0);
+  for (const auto& pending : batch) {
+    for (int32_t f : pending->oov_field_indices_) {
+      ++sample.oov_counts[static_cast<size_t>(f)];
+    }
+    for (int32_t f : pending->clamped_field_indices_) {
+      ++sample.clamp_counts[static_cast<size_t>(f)];
+    }
+  }
+  if (logits != nullptr) sample.logits = *logits;
+  drift_->Observe(shard_index, &sample);
+}
+
+void PredictionService::HandleDriftEvents(int shard_index) {
+  if (!drift_->enabled()) return;
+  const DriftEvents events = drift_->EvaluateAlerts();
+  if (!events.raised.empty()) {
+    ARMNET_PROFILE_COUNT("serve/drift_alerts",
+                         static_cast<int64_t>(events.raised.size()));
+    {
+      CounterShard& shard = *shards_[static_cast<size_t>(shard_index)];
+      MutexLock guard(shard.mutex);
+      shard.counters.drift_alerts +=
+          static_cast<int64_t>(events.raised.size());
+    }
+    for (const std::string& description : events.raised) {
+      RecordIncident(description);
+    }
+    // Delta evidence gathered against drifted traffic says nothing about
+    // how the candidate behaves on the training distribution.
+    DismissShadow("drift alert active, mirrored evidence invalidated");
+  }
+  for (const std::string& key : events.cleared) {
+    RecordIncident("drift cleared: " + key);
+  }
+}
+
+void PredictionService::MirrorToShadow(const data::Batch& b,
+                                       const std::vector<float>& primary_logits,
+                                       int shard_index) {
+  if (shadow_slot_ == nullptr ||
+      !shadow_active_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const double fraction = options_.shadow.mirror_fraction;
+  if (fraction <= 0) return;
+  // Deterministic sampling: batch n mirrors iff floor((n+1)·f) crosses an
+  // integer — exactly a fraction f of the batch sequence, no RNG.
+  const int64_t seq = shadow_batch_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (fraction < 1.0) {
+    const auto before = static_cast<int64_t>(static_cast<double>(seq) *
+                                             fraction);
+    const auto after = static_cast<int64_t>(static_cast<double>(seq + 1) *
+                                            fraction);
+    if (after == before) return;
+  }
+  ARMNET_PROFILE_SCOPE("serve/ShadowForward");
+  // An armed shadow stall parks this worker briefly in REAL time — never
+  // the service clock — modeling a slow candidate. Queued primary requests
+  // wait a little longer for this worker, but no deadline burns faster and
+  // the breaker never hears about it.
+  const double stall = fault::ClockStallSeconds(fault::kSiteServeShadowStall);
+  if (stall > 0) {
+    Mutex park_mutex;
+    CondVar park_cv;
+    MutexLock park(park_mutex);
+    park_cv.WaitFor(park_mutex, std::min(stall, 0.050));
+  }
+  std::vector<float> shadow_logits;
+  bool finite = false;
+  {
+    // Mutual exclusion against LoadShadowModel mutating the candidate's
+    // weights; re-check activation now that the lock is held.
+    MutexLock lock(shadow_mutex_);
+    if (!shadow_active_.load(std::memory_order_relaxed)) return;
+    finite = ForwardBatch(*shadow_slot_, /*slot=*/-1, b, &shadow_logits);
+  }
+  CounterShard& shard = *shards_[static_cast<size_t>(shard_index)];
+  if (!finite) {
+    // A broken candidate is evidence against promotion, nothing more: no
+    // breaker, no degradation, no request ever sees it.
+    shadow_eval_.RecordFailure();
+    MutexLock guard(shard.mutex);
+    ++shard.counters.shadow_failures;
+    return;
+  }
+  shadow_eval_.Record(primary_logits, shadow_logits);
+  ARMNET_PROFILE_COUNT("serve/shadow_mirrored_rows", b.batch_size);
+  MutexLock guard(shard.mutex);
+  ++shard.counters.shadow_mirrored_batches;
+  shard.counters.shadow_mirrored_rows += b.batch_size;
+}
+
+Status PredictionService::LoadShadowModel(const std::string& path) {
+  ARMNET_PROFILE_SCOPE("serve/LoadShadowModel");
+  if (shadow_slot_ == nullptr) {
+    return Status::Error(
+        "no shadow slot configured: pass a shadow model to the constructor");
+  }
+  Status status;
+  {
+    MutexLock lock(shadow_mutex_);
+    // Deactivate first: whatever evidence the previous candidate gathered
+    // does not describe the weights this stage is about to install, and a
+    // failed stage leaves the slot's weights unspecified-but-unused.
+    shadow_active_.store(false, std::memory_order_relaxed);
+    status = nn::LoadState(*shadow_slot_, path);
+    if (status.ok()) {
+      shadow_slot_->SetTraining(false);
+      shadow_source_path_ = path;
+      shadow_eval_.Reset();
+      shadow_active_.store(true, std::memory_order_relaxed);
+    }
+  }
+  CounterShard& shard = *shards_[0];
+  if (!status.ok()) {
+    ARMNET_PROFILE_COUNT("serve/shadow_loads_rejected", 1);
+    {
+      MutexLock guard(shard.mutex);
+      ++shard.counters.shadow_loads_rejected;
+    }
+    RecordIncident("shadow candidate rejected: " + status.message());
+    return status;
+  }
+  ARMNET_PROFILE_COUNT("serve/shadow_loads", 1);
+  {
+    MutexLock guard(shard.mutex);
+    ++shard.counters.shadow_loads;
+  }
+  RecordIncident("shadow candidate staged: " + path);
+  return Status::Ok();
+}
+
+Status PredictionService::PromoteShadow() {
+  ARMNET_PROFILE_SCOPE("serve/PromoteShadow");
+  std::string path;
+  {
+    MutexLock lock(shadow_mutex_);
+    if (shadow_slot_ == nullptr ||
+        !shadow_active_.load(std::memory_order_relaxed)) {
+      return Status::Error("no shadow candidate staged");
+    }
+    path = shadow_source_path_;
+  }
+  const ShadowStats stats = shadow_eval_.Snapshot();
+  const ShadowOptions& bounds = options_.shadow;
+  std::string refusal;
+  if (stats.mirrored_rows < bounds.min_mirrored_rows) {
+    refusal = StrFormat(
+        "insufficient evidence: %lld mirrored rows < %lld required",
+        static_cast<long long>(stats.mirrored_rows),
+        static_cast<long long>(bounds.min_mirrored_rows));
+  } else if (stats.failed_forwards > 0) {
+    refusal = StrFormat(
+        "candidate produced non-finite logits on %lld mirrored batch(es)",
+        static_cast<long long>(stats.failed_forwards));
+  } else if (stats.mean_abs_delta > bounds.max_mean_abs_delta) {
+    refusal = StrFormat(
+        "mean |dlogit| %.4f exceeds bound %.4f over %lld mirrored rows",
+        stats.mean_abs_delta, bounds.max_mean_abs_delta,
+        static_cast<long long>(stats.mirrored_rows));
+  } else if (stats.p99_abs_delta > bounds.max_p99_abs_delta) {
+    refusal = StrFormat(
+        "p99 |dlogit| %.4f exceeds bound %.4f over %lld mirrored rows",
+        stats.p99_abs_delta, bounds.max_p99_abs_delta,
+        static_cast<long long>(stats.mirrored_rows));
+  } else if (stats.disagreement_rate > bounds.max_disagreement_rate) {
+    refusal = StrFormat(
+        "disagreement rate %.4f exceeds bound %.4f over %lld mirrored rows",
+        stats.disagreement_rate, bounds.max_disagreement_rate,
+        static_cast<long long>(stats.mirrored_rows));
+  }
+  CounterShard& shard = *shards_[0];
+  if (!refusal.empty()) {
+    ARMNET_PROFILE_COUNT("serve/shadow_promotions_refused", 1);
+    {
+      MutexLock guard(shard.mutex);
+      ++shard.counters.shadow_promotions_refused;
+    }
+    RecordIncident("shadow promotion refused: " + refusal);
+    return Status::Error("shadow promotion refused: " + refusal);
+  }
+  // Publish through the normal reload protocol (RCU with a standby). The
+  // shadow mutex is NOT held across this: a concurrent mirror comparing the
+  // outgoing primary against the candidate is harmless.
+  Status status = ReloadModel(path);
+  if (!status.ok()) {
+    ARMNET_PROFILE_COUNT("serve/shadow_promotions_refused", 1);
+    {
+      MutexLock guard(shard.mutex);
+      ++shard.counters.shadow_promotions_refused;
+    }
+    RecordIncident("shadow promotion failed at publish: " + status.message());
+    return status;
+  }
+  {
+    MutexLock lock(shadow_mutex_);
+    shadow_active_.store(false, std::memory_order_relaxed);
+  }
+  ARMNET_PROFILE_COUNT("serve/shadow_promotions_ok", 1);
+  {
+    MutexLock guard(shard.mutex);
+    ++shard.counters.shadow_promotions_ok;
+  }
+  RecordIncident(StrFormat(
+      "shadow promoted: %s (mean |dlogit| %.4f, p99 %.4f, disagreement "
+      "%.4f over %lld mirrored rows)",
+      path.c_str(), stats.mean_abs_delta, stats.p99_abs_delta,
+      stats.disagreement_rate, static_cast<long long>(stats.mirrored_rows)));
+  return Status::Ok();
+}
+
+void PredictionService::DismissShadow(const std::string& reason) {
+  bool was_active = false;
+  {
+    MutexLock lock(shadow_mutex_);
+    was_active = shadow_active_.exchange(false, std::memory_order_relaxed);
+  }
+  if (!was_active) return;
+  ARMNET_PROFILE_COUNT("serve/shadow_dismissed", 1);
+  {
+    CounterShard& shard = *shards_[0];
+    MutexLock guard(shard.mutex);
+    ++shard.counters.shadow_dismissed;
+  }
+  RecordIncident("shadow dismissed: " + reason);
+}
+
+bool PredictionService::ShadowActive() const {
+  return shadow_active_.load(std::memory_order_relaxed);
+}
+
+ShadowStats PredictionService::ShadowSnapshot() const {
+  return shadow_eval_.Snapshot();
+}
+
+bool PredictionService::DriftAlertActive() const {
+  return drift_->alert_active();
+}
+
+DriftSnapshotData PredictionService::DriftSnapshot() {
+  return drift_->Snapshot();
+}
+
+std::vector<std::pair<std::string, double>>
+PredictionService::DriftMetricsSnapshot() {
+  std::vector<std::pair<std::string, double>> out = drift_->MetricsSnapshot();
+  const ShadowStats s = shadow_eval_.Snapshot();
+  out.emplace_back("shadow/active", ShadowActive() ? 1.0 : 0.0);
+  out.emplace_back("shadow/mirrored_batches",
+                   static_cast<double>(s.mirrored_batches));
+  out.emplace_back("shadow/mirrored_rows",
+                   static_cast<double>(s.mirrored_rows));
+  out.emplace_back("shadow/failed_forwards",
+                   static_cast<double>(s.failed_forwards));
+  out.emplace_back("shadow/mean_abs_delta", s.mean_abs_delta);
+  out.emplace_back("shadow/p99_abs_delta", s.p99_abs_delta);
+  out.emplace_back("shadow/max_abs_delta", s.max_abs_delta);
+  out.emplace_back("shadow/disagreement_rate", s.disagreement_rate);
+  return out;
 }
 
 Status PredictionService::ReloadModel(const std::string& path) {
@@ -819,6 +1125,10 @@ bool PredictionService::Ready() {
   if (!alive_.load()) return false;
   // Half-open means "probing after failures" — recovering, not yet ready.
   if (!breaker_.Healthy()) return false;
+  // A latched drift alert means answers are being computed on traffic the
+  // model did not train for: still Alive (typed answers keep flowing), but
+  // an orchestrator should stop routing new traffic here.
+  if (drift_->alert_active()) return false;
   MutexLock lock(queue_mutex_);
   const int64_t size = static_cast<int64_t>(queue_.size());
   if (size >= options_.queue_capacity) ready_saturated_ = true;
@@ -854,6 +1164,15 @@ std::vector<prof::CounterStats> PredictionService::CounterSnapshot() const {
       {"serve/batches", c.batches},
       {"serve/reloads_ok", c.reloads_ok},
       {"serve/reloads_rejected", c.reloads_rejected},
+      {"serve/drift_alerts", c.drift_alerts},
+      {"serve/shadow_loads", c.shadow_loads},
+      {"serve/shadow_loads_rejected", c.shadow_loads_rejected},
+      {"serve/shadow_mirrored_batches", c.shadow_mirrored_batches},
+      {"serve/shadow_mirrored_rows", c.shadow_mirrored_rows},
+      {"serve/shadow_failures", c.shadow_failures},
+      {"serve/shadow_promotions_ok", c.shadow_promotions_ok},
+      {"serve/shadow_promotions_refused", c.shadow_promotions_refused},
+      {"serve/shadow_dismissed", c.shadow_dismissed},
   };
   // Quantized embedding storage: one row even when nothing is attached, so
   // the run-metrics schema is stable across configurations.

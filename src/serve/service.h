@@ -15,6 +15,8 @@
 #include "plan/compiled_predictor.h"
 #include "serve/batch_policy.h"
 #include "serve/circuit_breaker.h"
+#include "serve/drift_monitor.h"
+#include "serve/shadow.h"
 #include "tensor/quantized.h"
 #include "tensor/storage_pool.h"
 #include "util/clock.h"
@@ -69,6 +71,21 @@ namespace armnet::serve {
 // cache are recompiled off-path before the RCU publish, so the swap lands
 // with warm plans.
 //
+// Drift monitoring and shadow deployment (DESIGN.md §16) close the loop
+// around the served model. When the serving artifact carries a
+// DriftReference, a DriftMonitor tracks sliding-window per-field OOV/clamp
+// rates and score-distribution PSI against it, updated and evaluated only
+// on the worker drain path (the `drift-drain` lint rule keeps this out of
+// Submit); a latched alert degrades Ready() and surfaces as incidents and
+// the run-metrics `drift` section. A candidate model staged through
+// LoadShadowModel sees a mirrored fraction of drained batches AFTER the
+// primary completions are delivered: shadow latency never counts against a
+// primary deadline and shadow failures never touch the circuit breaker.
+// PromoteShadow publishes the candidate through the normal reload path only
+// when the accumulated |Δlogit| / disagreement evidence sits inside
+// ShadowOptions bounds, and a drift alert auto-dismisses the candidate (its
+// evidence was gathered against traffic that no longer matches training).
+//
 // Every request ends in exactly one terminal counter, so
 //   submitted == rejected_invalid + rejected_overload + shed + expired
 //              + completed_ok + degraded_fallback + degraded_prior + failed
@@ -88,7 +105,12 @@ namespace armnet::serve {
 //                    hysteresis state
 //   shutdown_mutex_  serializes Shutdown(); taken before queue_mutex_
 //   per-shard mutex  one CounterShard each; leaves
-// incidents_mutex_ and the policy's internal mutex are leaves. Every
+//   shadow_mutex_    serializes shadow staging against mirror forwards;
+//                    never nested with the mutexes above (PromoteShadow
+//                    releases it before entering ReloadModel), only the
+//                    counter-shard / evaluator leaves are taken under it
+// incidents_mutex_, the drift monitor's internal mutexes, the shadow
+// evaluator's mutex, and the policy's internal mutex are leaves. Every
 // guarded field and lock contract below is enforced at compile time by the
 // `thread-safety` preset.
 //
@@ -149,6 +171,10 @@ class PendingPrediction {
   double submitted_at_ = 0;
   int oov_fields_ = 0;
   int clamped_fields_ = 0;
+  // Which fields degraded (indices into the FeatureSpace), carried to the
+  // drain path so the drift monitor can attribute events per column.
+  std::vector<int32_t> oov_field_indices_;
+  std::vector<int32_t> clamped_field_indices_;
 };
 
 struct ServeOptions {
@@ -183,6 +209,11 @@ struct ServeOptions {
   // When false no worker thread runs; tests call DrainOnce() to process the
   // queue deterministically.
   bool start_worker = true;
+  // Drift-monitor windows and alert thresholds (active only when the
+  // FeatureSpace carries a DriftReference) and shadow-deployment mirroring
+  // and promotion bounds.
+  DriftOptions drift;
+  ShadowOptions shadow;
 };
 
 // Aggregate service counters; every submitted request lands in exactly one
@@ -203,6 +234,17 @@ struct ServeCounters {
   int64_t batches = 0;
   int64_t reloads_ok = 0;
   int64_t reloads_rejected = 0;
+  // Drift + shadow observability (non-terminal: shadowing and drift never
+  // change a request's outcome, so the accounting identity is untouched).
+  int64_t drift_alerts = 0;
+  int64_t shadow_loads = 0;
+  int64_t shadow_loads_rejected = 0;
+  int64_t shadow_mirrored_batches = 0;
+  int64_t shadow_mirrored_rows = 0;
+  int64_t shadow_failures = 0;  // shadow forwards with non-finite logits
+  int64_t shadow_promotions_ok = 0;
+  int64_t shadow_promotions_refused = 0;
+  int64_t shadow_dismissed = 0;
 
   int64_t Terminal() const {
     return rejected_invalid + rejected_overload + shed + expired +
@@ -219,12 +261,15 @@ class PredictionService {
   // `fallback` is the optional lightweight degradation model (e.g. LR);
   // `standby` is the optional warm-standby copy (same architecture as
   // `model`) that makes ReloadModel an off-path stage + RCU swap instead of
-  // an in-place quiesce. Both non-owning. The service switches every model
-  // it was given into eval mode for its lifetime.
+  // an in-place quiesce. `shadow` is the optional third model slot (same
+  // architecture) that LoadShadowModel stages candidates into. All
+  // non-owning. The service switches every model it was given into eval
+  // mode for its lifetime.
   PredictionService(models::TabularModel* model, data::FeatureSpace space,
                     ServeOptions options, Clock* clock = nullptr,
                     models::TabularModel* fallback = nullptr,
-                    models::TabularModel* standby = nullptr);
+                    models::TabularModel* standby = nullptr,
+                    models::TabularModel* shadow = nullptr);
   // Equivalent to Shutdown().
   ~PredictionService();
 
@@ -278,11 +323,47 @@ class PredictionService {
                               int64_t hot_row_cache_slots = 0)
       ARMNET_EXCLUDES(reload_mutex_, model_mutex_);
 
+  // Stages a candidate model into the shadow slot from a CRC-framed state
+  // file and starts mirroring. A validation failure leaves any previously
+  // staged candidate deactivated (its evidence no longer matches the slot's
+  // weights) and returns the error. Requires a shadow slot at construction.
+  Status LoadShadowModel(const std::string& path)
+      ARMNET_EXCLUDES(shadow_mutex_);
+
+  // Publishes the staged candidate through the normal reload path (RCU with
+  // a standby) — but only when the mirrored evidence is sufficient
+  // (ShadowOptions::min_mirrored_rows) and every delta statistic sits
+  // inside its bound. Otherwise returns a typed refusal carrying the
+  // evidence, records it as an incident, and keeps mirroring so the
+  // operator can gather more data or dismiss.
+  Status PromoteShadow()
+      ARMNET_EXCLUDES(shadow_mutex_, reload_mutex_, model_mutex_);
+
+  // Deactivates the staged candidate (no-op when none is active). Also
+  // invoked automatically on a rising drift alert: delta evidence gathered
+  // against drifted traffic is not promotion evidence.
+  void DismissShadow(const std::string& reason)
+      ARMNET_EXCLUDES(shadow_mutex_);
+
+  bool ShadowActive() const;
+  // Accumulated primary-vs-shadow comparison evidence for the current
+  // candidate.
+  ShadowStats ShadowSnapshot() const;
+
+  // True while any drift alert is latched (also degrades Ready()).
+  bool DriftAlertActive() const;
+  // Windowed drift state: per-field rates vs baselines, score PSI.
+  DriftSnapshotData DriftSnapshot();
+  // The run-metrics `drift` section: drift snapshot flattened to
+  // name/value pairs plus the shadow delta statistics.
+  std::vector<std::pair<std::string, double>> DriftMetricsSnapshot();
+
   // Liveness: the service accepts submissions (true until shutdown begins).
   bool Alive() const;
   // Readiness: accepting AND likely to answer — breaker closed (half-open
-  // still counts as recovering) and the queue below the hysteresis band
-  // (unready at capacity, ready again only at/below ready_low_watermark).
+  // still counts as recovering), no latched drift alert, and the queue
+  // below the hysteresis band (unready at capacity, ready again only
+  // at/below ready_low_watermark).
   bool Ready() ARMNET_EXCLUDES(queue_mutex_);
 
   // Merged view over all counter shards. The accounting identity holds
@@ -317,13 +398,15 @@ class PredictionService {
   };
 
   void WorkerLoop(int worker_index) ARMNET_EXCLUDES(queue_mutex_);
-  // Pops and processes at most one micro-batch, crediting `shard`.
-  int64_t DrainBatch(CounterShard& shard)
+  // Pops and processes at most one micro-batch, crediting shard
+  // `shard_index` (0 = submit/DrainOnce shard, worker i = i + 1; the drift
+  // monitor shards follow the same scheme).
+  int64_t DrainBatch(int shard_index)
       ARMNET_EXCLUDES(queue_mutex_, model_mutex_);
   // Runs one micro-batch through the model (or the degradation ladder).
   void ProcessBatch(
       const std::vector<std::shared_ptr<PendingPrediction>>& batch,
-      CounterShard& shard) ARMNET_EXCLUDES(model_mutex_);
+      int shard_index) ARMNET_EXCLUDES(model_mutex_);
   // Flattens the per-request mapped rows into one forward-ready batch.
   data::Batch AssembleBatch(
       const std::vector<std::shared_ptr<PendingPrediction>>& batch) const;
@@ -342,6 +425,25 @@ class PredictionService {
   void CompleteTerminal(PendingPrediction& pending, ServeCode code,
                         std::string message);
   void RecordIncident(std::string message) ARMNET_EXCLUDES(incidents_mutex_);
+
+  // Drain-path drift bookkeeping: folds the batch's per-field degradation
+  // indices (and the primary logits, when the forward produced finite ones)
+  // into the monitor's window shard.
+  void ObserveDrift(int shard_index,
+                    const std::vector<std::shared_ptr<PendingPrediction>>&
+                        batch,
+                    const std::vector<float>* logits);
+  // Evaluates the alert set; raised alerts become incidents + counters and
+  // auto-dismiss the shadow, cleared alerts become incidents.
+  void HandleDriftEvents(int shard_index)
+      ARMNET_EXCLUDES(incidents_mutex_, shadow_mutex_);
+  // Off-critical-path shadow mirroring: runs AFTER the batch's primary
+  // completions were delivered, deterministically sampled by
+  // ShadowOptions::mirror_fraction. Shadow failures feed counters and the
+  // evaluator only — never the breaker, never a request outcome.
+  void MirrorToShadow(const data::Batch& b,
+                      const std::vector<float>& primary_logits,
+                      int shard_index) ARMNET_EXCLUDES(shadow_mutex_);
 
   // RCU reader side: returns the active model with this thread registered
   // as a reader of its slot (blocks only while an in-place reload is
@@ -407,6 +509,25 @@ class PredictionService {
   mutable Mutex store_mutex_;
   std::vector<std::shared_ptr<const QuantizedTable>> attached_stores_
       ARMNET_GUARDED_BY(store_mutex_);
+
+  // Drift monitor (always constructed; a space without a DriftReference
+  // yields a disabled monitor whose methods are cheap no-ops). Internally
+  // sharded like the counters; all its mutexes are leaves.
+  std::unique_ptr<DriftMonitor> drift_;
+
+  // Shadow deployment. The candidate's weights are mutated by
+  // LoadShadowModel, so shadow_mutex_ is held across both the stage and
+  // every mirror forward — mutual exclusion, not a reader protocol; the
+  // mirror rate is sampled, so serializing mirrors across workers is
+  // acceptable. shadow_active_ is the cheap pre-lock gate (re-checked under
+  // the mutex before forwarding).
+  models::TabularModel* shadow_slot_;
+  mutable Mutex shadow_mutex_;
+  std::string shadow_source_path_ ARMNET_GUARDED_BY(shadow_mutex_);
+  std::atomic<bool> shadow_active_{false};
+  // Deterministic Bresenham-style mirror sampling sequence.
+  std::atomic<int64_t> shadow_batch_seq_{0};
+  ShadowEvaluator shadow_eval_;  // internally synchronized
 };
 
 }  // namespace armnet::serve

@@ -1,0 +1,85 @@
+#include "serve/shadow.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace armnet::serve {
+
+void ShadowEvaluator::Record(const std::vector<float>& primary,
+                             const std::vector<float>& shadow) {
+  ARMNET_CHECK_EQ(primary.size(), shadow.size());
+  MutexLock lock(mu_);
+  ++mirrored_batches_;
+  for (size_t i = 0; i < primary.size(); ++i) {
+    const double p = static_cast<double>(primary[i]);
+    const double s = static_cast<double>(shadow[i]);
+    const double delta = std::fabs(p - s);
+    ++mirrored_rows_;
+    sum_abs_delta_ += delta;
+    max_abs_delta_ = std::max(max_abs_delta_, delta);
+    // Decision threshold: probability 0.5 ⇔ logit 0.
+    if ((p > 0) != (s > 0)) ++disagreements_;
+    int bin = static_cast<int>(delta / kDeltaRange * kDeltaBins);
+    bin = std::min(std::max(bin, 0), kDeltaBins);  // last slot = overflow
+    ++delta_hist_[bin];
+  }
+}
+
+void ShadowEvaluator::RecordFailure() {
+  MutexLock lock(mu_);
+  ++failed_forwards_;
+}
+
+void ShadowEvaluator::Reset() {
+  MutexLock lock(mu_);
+  mirrored_batches_ = 0;
+  mirrored_rows_ = 0;
+  failed_forwards_ = 0;
+  disagreements_ = 0;
+  sum_abs_delta_ = 0;
+  max_abs_delta_ = 0;
+  std::fill(delta_hist_, delta_hist_ + kDeltaBins + 1, int64_t{0});
+}
+
+ShadowStats ShadowEvaluator::Snapshot() const {
+  MutexLock lock(mu_);
+  ShadowStats stats;
+  stats.mirrored_batches = mirrored_batches_;
+  stats.mirrored_rows = mirrored_rows_;
+  stats.failed_forwards = failed_forwards_;
+  stats.disagreements = disagreements_;
+  if (mirrored_rows_ > 0) {
+    stats.mean_abs_delta =
+        sum_abs_delta_ / static_cast<double>(mirrored_rows_);
+    stats.disagreement_rate =
+        static_cast<double>(disagreements_) /
+        static_cast<double>(mirrored_rows_);
+    // p99 = upper edge of the first bin whose cumulative count covers 99%
+    // of rows; the overflow bin reports the exact observed max instead of
+    // a bin edge.
+    const int64_t target = static_cast<int64_t>(
+        std::ceil(0.99 * static_cast<double>(mirrored_rows_)));
+    int64_t cumulative = 0;
+    for (int b = 0; b <= kDeltaBins; ++b) {
+      cumulative += delta_hist_[b];
+      if (cumulative >= target) {
+        // The in-range estimate is an upper bin edge, so it can only
+        // overshoot; the observed max is a tighter cap (and exact when
+        // every delta landed in one bin).
+        stats.p99_abs_delta =
+            b < kDeltaBins
+                ? std::min((static_cast<double>(b) + 1) / kDeltaBins *
+                               kDeltaRange,
+                           max_abs_delta_)
+                : max_abs_delta_;
+        break;
+      }
+    }
+    stats.max_abs_delta = max_abs_delta_;
+  }
+  return stats;
+}
+
+}  // namespace armnet::serve

@@ -46,6 +46,8 @@ inline constexpr char kSiteServeReloadCorrupt[] = "serve/reload_corrupt";
 inline constexpr char kSiteServeQueueStall[] = "serve/queue_stall";
 inline constexpr char kSiteServeWorkerStall[] = "serve/worker_stall";
 inline constexpr char kSiteServePlanCompile[] = "serve/plan_compile";
+inline constexpr char kSiteServeShadowStall[] = "serve/shadow_stall";
+inline constexpr char kSiteServeDriftSkew[] = "serve/drift_skew";
 
 #ifdef ARMNET_FAULT_INJECTION
 

@@ -1,9 +1,13 @@
 // Chaos soak harness for the multi-worker serving layer (DESIGN.md §13,
 // ISSUE 7): several submitter threads drive open-loop Poisson traffic at a
 // worker pool while a chaos thread alternates valid and corrupt hot
-// reloads and (when fault injection is compiled in) arms worker stalls —
-// all on a fixed seed. The run ends with the three invariants the serving
-// layer promises under any interleaving:
+// reloads, restages/promotes/dismisses a shadow candidate, and (when fault
+// injection is compiled in) arms worker stalls, shadow stalls, and drift
+// skew — all on a fixed seed. Drift monitoring runs live (the space
+// carries a reference), so alert raise/clear edges, auto-dismissed
+// shadows, and degraded Ready probes are part of the churn. The run ends
+// with the three invariants the serving layer promises under any
+// interleaving:
 //
 //   1. no hung tickets — every Submit ever issued reaches a terminal
 //      state and its Wait() returns;
@@ -84,10 +88,19 @@ TEST(ServeSoakTest, ChaosRunKeepsInvariants) {
       csv, {false, true}, data::LoadOptions{}, nullptr, ',', &space);
   ASSERT_TRUE(loaded.ok()) << loaded.status().message();
 
+  // Drift-enabled artifact: a uniform reference histogram keeps the PSI
+  // quiet while the ~18% OOV traffic mix drives the per-field alert above
+  // threshold, so raise/clear edges and shadow auto-dismissal churn
+  // throughout the run.
+  data::DriftReference reference;
+  reference.score_histogram.assign(data::kDriftScoreBins, 10);
+  space.set_drift_reference(std::move(reference));
+
   Rng rng(7);
   models::Lr model(space.schema().num_features(), rng);
   models::Lr standby(space.schema().num_features(), rng);
   models::Lr fallback(space.schema().num_features(), rng);
+  models::Lr shadow(space.schema().num_features(), rng);
   FillParams(model, 0.0f);
   FillParams(fallback, 0.0f);
 
@@ -120,8 +133,14 @@ TEST(ServeSoakTest, ChaosRunKeepsInvariants) {
   options.shed_watermark = 48;
   options.latency_budget_seconds = 0.020;
   options.default_deadline_seconds = 5.0;
+  options.drift.window_seconds = 1.0;
+  options.drift.window_buckets = 4;
+  options.drift.min_window_requests = 50;
+  options.shadow.mirror_fraction = 0.5;
+  options.shadow.min_mirrored_rows = 32;
   PredictionService service(&model, space, options, /*clock=*/nullptr,
-                            &fallback, &standby);
+                            &fallback, &standby, &shadow);
+  ASSERT_TRUE(service.LoadShadowModel(good).ok());
 
   std::atomic<bool> stop{false};
 
@@ -164,11 +183,14 @@ TEST(ServeSoakTest, ChaosRunKeepsInvariants) {
     });
   }
 
-  // Chaos: alternate good/corrupt reloads under load, arm worker stalls
-  // when fault injection is compiled in, and concurrently read every
-  // public snapshot the service exposes (tsan audits the merges).
+  // Chaos: alternate good/corrupt reloads under load, restage/promote/
+  // dismiss the shadow candidate, arm worker stalls, shadow stalls, and
+  // drift skew when fault injection is compiled in, and concurrently read
+  // every public snapshot the service exposes (tsan audits the merges).
   int64_t chaos_reload_ok = 0;
   int64_t chaos_reload_rejected = 0;
+  int64_t chaos_promote_ok = 0;
+  int64_t chaos_promote_refused = 0;
   std::thread chaos([&] {
     Rng chaos_rng(42);
     bool use_good = true;
@@ -185,6 +207,18 @@ TEST(ServeSoakTest, ChaosRunKeepsInvariants) {
         fault::Arm(fault::kSiteServePlanCompile, fault::Kind::kFailOpen,
                    /*after=*/0, /*times=*/3);
       }
+      if (fault::kEnabled && chaos_rng.Uniform() < 0.3) {
+        // A slow shadow candidate parks a mirroring worker in real time;
+        // primary deadlines and the breaker must stay blind to it.
+        fault::Arm(fault::kSiteServeShadowStall, fault::Kind::kClockStall,
+                   /*after=*/0, /*times=*/2, /*magnitude=*/0.010);
+      }
+      if (fault::kEnabled && chaos_rng.Uniform() < 0.3) {
+        // Hostile-traffic drift skew: drained samples turn all-OOV with
+        // extreme scores, forcing alert raise edges and shadow dismissal.
+        fault::Arm(fault::kSiteServeDriftSkew, fault::Kind::kPoisonTensor,
+                   /*after=*/0, /*times=*/2);
+      }
       const Status status =
           service.ReloadModel(use_good ? good : corrupt);
       if (status.ok()) {
@@ -193,12 +227,36 @@ TEST(ServeSoakTest, ChaosRunKeepsInvariants) {
         ++chaos_reload_rejected;
       }
       use_good = !use_good;
+      // Shadow lifecycle churn: restage (the drift alerts above keep
+      // auto-dismissing it), sometimes attempt promotion — a success
+      // publishes via the reload path, a refusal is typed evidence —
+      // sometimes dismiss by hand.
+      const double shadow_pick = chaos_rng.Uniform();
+      if (shadow_pick < 0.5) {
+        (void)service.LoadShadowModel(good);
+      } else if (shadow_pick < 0.6) {
+        const Status promote = service.PromoteShadow();
+        if (promote.ok()) {
+          ++chaos_promote_ok;
+        } else if (promote.message().find("refused") != std::string::npos) {
+          // Evidence-based refusal; "no shadow candidate staged" (a drift
+          // alert dismissed it first) is not a promotion attempt.
+          ++chaos_promote_refused;
+        }
+      } else if (shadow_pick < 0.65) {
+        service.DismissShadow("chaos dismissal");
+      }
       // Concurrent observability reads must never tear or deadlock.
       (void)service.Ready();
       (void)service.counters();
       (void)service.CounterSnapshot();
       (void)service.GaugeSnapshot();
       (void)service.PlanCounterSnapshot();
+      (void)service.DriftAlertActive();
+      (void)service.DriftSnapshot();
+      (void)service.DriftMetricsSnapshot();
+      (void)service.ShadowActive();
+      (void)service.ShadowSnapshot();
       (void)service.incidents();
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
@@ -208,6 +266,9 @@ TEST(ServeSoakTest, ChaosRunKeepsInvariants) {
   stop.store(true);
   for (std::thread& s : submitters) s.join();
   chaos.join();
+  const int drift_skew_hits = fault::HitCount(fault::kSiteServeDriftSkew);
+  const int shadow_stall_hits =
+      fault::HitCount(fault::kSiteServeShadowStall);
   if (fault::kEnabled) fault::DisarmAll();
   service.Shutdown();
 
@@ -240,12 +301,20 @@ TEST(ServeSoakTest, ChaosRunKeepsInvariants) {
       << " terminal=" << counters.Terminal();
 
   // Invariant 3: reload churn behaved — valid reloads published, corrupt
-  // ones rejected, and neither took the service down.
-  EXPECT_EQ(counters.reloads_ok, chaos_reload_ok);
+  // ones rejected, and neither took the service down. Successful shadow
+  // promotions publish through the same reload path.
+  EXPECT_EQ(counters.reloads_ok, chaos_reload_ok + chaos_promote_ok);
   EXPECT_EQ(counters.reloads_rejected, chaos_reload_rejected);
   EXPECT_GT(counters.reloads_ok, 0);
   EXPECT_GT(counters.reloads_rejected, 0);
   EXPECT_FALSE(service.incidents().empty());
+
+  // Shadow/drift churn accounting: every promotion attempt resolved to a
+  // typed outcome, and the drift monitor stayed enabled throughout.
+  EXPECT_EQ(counters.shadow_promotions_ok, chaos_promote_ok);
+  EXPECT_EQ(counters.shadow_promotions_refused, chaos_promote_refused);
+  EXPECT_GT(counters.shadow_loads, 0);
+  EXPECT_TRUE(service.DriftSnapshot().enabled);
 
   // Compiled-plan degradation: batches ran — through the VM or through the
   // interpreted fallback after a refused TryRun — and when fault injection
@@ -265,6 +334,12 @@ TEST(ServeSoakTest, ChaosRunKeepsInvariants) {
   if (fault::kEnabled) {
     EXPECT_GT(plan_compile_failures, 0)
         << "chaos armed serve/plan_compile but no compile ever failed";
+    // The new fault sites were actually consulted: drained samples ran
+    // through the skew site and mirroring workers through the stall site.
+    EXPECT_GT(drift_skew_hits, 0)
+        << "chaos armed serve/drift_skew but no drained sample consulted it";
+    EXPECT_GT(shadow_stall_hits, 0)
+        << "chaos armed serve/shadow_stall but no mirror consulted it";
   }
 }
 

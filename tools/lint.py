@@ -41,6 +41,11 @@ tooling"):
                src/nn/embedding_store.cc, whose MappedFile owns the mapping
                lifetime through the QuantizedTable keep-alive and fully
                validates the envelope before any mapped byte escapes
+  drift-drain  drift-window and shadow-mirror bookkeeping stays off the
+               request critical path: PredictionService::Submit / Predict in
+               src/serve/service.cc may not touch the drift monitor or the
+               shadow machinery — histogram/window math runs only when a
+               worker drains a batch (DESIGN.md §16)
   layering     the include graph respects the layer DAG declared in
                tools/layering.py (no up-layer includes, no same-layer
                directory cycles)
@@ -259,6 +264,33 @@ def check_nograd_eval():
                            "autograd/grad_mode.h)")
 
 
+# The drift monitor's sliding windows and the shadow evaluator live behind
+# mutexes and do real math (bucket rotation, PSI); putting them on the
+# submit path would tax every caller and contend the very threads the
+# sharded-counter scheme was built to decouple. Updates and alert
+# evaluation belong to the drain path (ProcessBatch), so the request
+# critical path — Submit and the blocking Predict convenience — may not
+# name the drift/shadow machinery at all.
+DRIFT_HOT_FUNC_RE = re.compile(r"PredictionService::(Submit|Predict)\s*\(")
+DRIFT_MACHINERY_RE = re.compile(
+    r"\bdrift_\b|\bshadow_eval_\b|\bObserveDrift\s*\(|"
+    r"\bHandleDriftEvents\s*\(|\bMirrorToShadow\s*\(")
+
+
+def check_drift_drain():
+    path = SRC / "serve" / "service.cc"
+    in_hot_path = False
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = strip_comments(raw)
+        if FUNC_START_RE.match(line):
+            in_hot_path = bool(DRIFT_HOT_FUNC_RE.search(line))
+        if in_hot_path and DRIFT_MACHINERY_RE.search(line):
+            report(path, lineno, "drift-drain",
+                   "drift/shadow machinery on the request critical path; "
+                   "window updates and mirroring run only on the worker "
+                   "drain path (DESIGN.md §16)")
+
+
 # Raw standard-library synchronization primitives are invisible to Clang's
 # thread-safety analysis: a std::lock_guard on a std::mutex carries no
 # capability, so guarded state can be touched with no lock held and the
@@ -394,6 +426,7 @@ def main() -> int:
     check_raw_ofstream()
     check_raw_chrono()
     check_nograd_eval()
+    check_drift_drain()
     check_plan_trace_isolation()
     check_mutex_facade()
     check_mmap_isolation()
